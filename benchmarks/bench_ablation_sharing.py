@@ -1,0 +1,47 @@
+"""Ablation: resource sharing (paper Section 7 outlook).
+
+The paper plans to "share resources, both within instructions itself and
+across instruction boundaries, to make extensions with similar
+functionality (such as packed SIMD) even more economical", with automated
+design-space exploration providing trade-off points.  This bench computes
+those trade-off curves for the benchmark ISAXes and reports the area the
+shared design points would save on top of Table 4's spatial numbers.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.hls import analyze_functionality, analyze_isax, compile_isax
+from repro.hls.sharing import render_tradeoff
+from repro.isaxes import ALL_ISAXES
+
+
+def test_sharing_tradeoffs(benchmark, artifact_dir):
+    artifact = compile_isax(ALL_ISAXES["sqrt_tightly"], "VexRiscv")
+    report = benchmark.pedantic(
+        analyze_functionality, args=(artifact.artifact("fsqrt"),),
+        rounds=3, iterations=1,
+    )
+    sections = [render_tradeoff(report)]
+    for name in ("dotprod", "sparkle", "autoinc"):
+        isax = compile_isax(ALL_ISAXES[name], "VexRiscv")
+        sections.append(render_tradeoff(analyze_isax(isax)))
+    text = "\n\n".join(sections)
+    write_artifact(artifact_dir, "ablation_resource_sharing.txt", text)
+    # The deep sqrt pipeline has sharable slack; dotprod does not (all four
+    # multipliers fire in the same cycle).
+    assert report.saving_pct(2) > 0
+
+
+def test_sharing_never_beats_concurrency_floor():
+    """No trade-off point uses fewer units than the widest time step needs
+    divided by the initiation interval."""
+    import math
+
+    for name in ("sqrt_tightly", "sparkle", "dotprod"):
+        artifact = compile_isax(ALL_ISAXES[name], "VexRiscv")
+        report = analyze_isax(artifact)
+        for point in report.points:
+            for group in report.groups:
+                needed = math.ceil(
+                    group.max_concurrent / point.initiation_interval
+                )
+                assert point.units[group.kind] >= max(1, needed)

@@ -1,0 +1,70 @@
+"""Figure 6: the LongnailProblem instance for ADDI on the 5-stage VexRiscv,
+scheduled to meet a maximum cycle time of 3.5 ns — the chain breaker pushes
+lil.write_rd to start time 3."""
+
+from benchmarks.conftest import write_artifact
+from repro.frontend import elaborate
+from repro.lowering import convert_to_lil, lower_isa
+from repro.scaiev import core_datasheet
+from repro.scheduling import LongnailScheduler, uniform_delay_model
+
+ADDI = '''
+import "RV32I.core_desc"
+InstructionSet addi_only extends RV32I {
+  instructions {
+    ADDI {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b000 :: rd[4:0] :: 7'b0010011;
+      behavior: { X[rd] = (unsigned<32>) (X[rs1] + (signed) imm); }
+    }
+  }
+}
+'''
+
+
+def schedule_addi(engine="milp"):
+    isa = elaborate(ADDI)
+    lowered = lower_isa(isa)
+    graph = convert_to_lil(isa, lowered.instructions["ADDI"])
+    scheduler = LongnailScheduler(
+        core_datasheet("VexRiscv"), cycle_time_ns=3.5,
+        delay_model=uniform_delay_model(), engine=engine,
+    )
+    return graph, scheduler.schedule(graph)
+
+
+def find(graph, name):
+    return next(op for op in graph.operations if op.name == name)
+
+
+def test_figure6_schedule(benchmark, artifact_dir):
+    graph, result = benchmark.pedantic(schedule_addi, rounds=3, iterations=1)
+    # The Figure 6 solution: reads in their native stages, the write pushed
+    # to start time 3 by the chain-breaking edge.
+    assert result.stage_of(find(graph, "lil.instr_word")) == 1
+    assert result.stage_of(find(graph, "lil.read_rs1")) == 2
+    assert result.stage_of(find(graph, "lil.write_rd")) == 3
+    assert result.chain_breakers >= 1
+    result.problem.verify()
+
+    lines = [f"LongnailProblem for ADDI on VexRiscv, cycle time 3.5 ns "
+             f"(engine: {result.engine})",
+             f"{'operation':<22} {'start':>5} {'in-cycle':>9}"]
+    for op in graph.operations:
+        if op.name == "lil.sink":
+            continue
+        lines.append(
+            f"{op.name:<22} {result.stage_of(op):>5} "
+            f"{result.problem.start_time_in_cycle[op]:>8.2f}ns"
+        )
+    write_artifact(artifact_dir, "fig6_addi_schedule.txt", "\n".join(lines))
+
+
+def test_schedule_respects_datasheet_windows():
+    graph, result = schedule_addi()
+    ds = core_datasheet("VexRiscv")
+    instr = find(graph, "lil.instr_word")
+    rs1 = find(graph, "lil.read_rs1")
+    assert ds.timing("RdInstr").earliest <= result.stage_of(instr) \
+        <= ds.timing("RdInstr").latest
+    assert ds.timing("RdRS1").earliest <= result.stage_of(rs1) \
+        <= ds.timing("RdRS1").latest

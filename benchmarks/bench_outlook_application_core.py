@@ -1,0 +1,65 @@
+"""Outlook (paper Section 7): porting the flow to an application-class core.
+
+The paper reports prototypes of the SCAIE-V/Longnail flow on the CVA5
+(ex-Taiga) application-class core and observes that "the relative cost of
+SCAIE-V integration decreases, as the area of these base cores is generally
+much larger than that of the MCUs discussed here".  This bench ports every
+Table 3 ISAX to the modeled CVA5 and checks exactly that observation.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro import ALL_ISAXES, compile_isax
+from repro.eval.asic import evaluate_combination
+from repro.scaiev.cores import EXPERIMENTAL_CORES, core_datasheet
+from repro.sim.cosim import verify_artifact
+
+
+def test_cva5_datasheet_is_application_class():
+    cva5 = core_datasheet("CVA5")
+    for mcu in ("ORCA", "PicoRV32", "VexRiscv"):
+        assert cva5.base_area_um2 > 3 * core_datasheet(mcu).base_area_um2
+    assert cva5.stages > core_datasheet("VexRiscv").stages
+
+
+def test_all_isaxes_port_to_cva5(benchmark):
+    """Portability continues to hold: the unchanged CoreDSL sources compile
+    for the deeper pipeline; the dot product benchmarks the flow."""
+    artifact = benchmark.pedantic(
+        compile_isax, args=(ALL_ISAXES["dotprod"], "CVA5"),
+        rounds=3, iterations=1,
+    )
+    assert artifact.core_name == "CVA5"
+    for name, source in ALL_ISAXES.items():
+        compiled = compile_isax(source, "CVA5")
+        for functionality in compiled.functionalities.values():
+            functionality.schedule.problem.verify()
+
+
+def test_relative_cost_decreases(artifact_dir):
+    """The Section 7 observation, quantified."""
+    lines = [f"{'ISAX':<16} {'ORCA %':>8} {'VexRiscv %':>11} {'CVA5 %':>8}"]
+    for name in ("dotprod", "sparkle", "sqrt_tightly", "zol"):
+        orca = evaluate_combination("ORCA", [ALL_ISAXES[name]])
+        vex = evaluate_combination("VexRiscv", [ALL_ISAXES[name]])
+        cva5 = evaluate_combination("CVA5", [ALL_ISAXES[name]])
+        lines.append(f"{name:<16} {orca.area_overhead_pct:>7.1f}% "
+                     f"{vex.area_overhead_pct:>10.1f}% "
+                     f"{cva5.area_overhead_pct:>7.1f}%")
+        assert cva5.area_overhead_pct < orca.area_overhead_pct
+        assert cva5.area_overhead_pct < vex.area_overhead_pct
+    write_artifact(artifact_dir, "outlook_cva5_relative_cost.txt",
+                   "\n".join(lines))
+
+
+def test_cva5_generated_hardware_is_correct():
+    """Co-simulation passes on the experimental core too."""
+    for name in ("dotprod", "autoinc", "zol"):
+        artifact = compile_isax(ALL_ISAXES[name], "CVA5")
+        report = verify_artifact(artifact, trials=3, seed=7)
+        assert report.passed, report.failures
+
+
+def test_experimental_cores_listed():
+    assert "CVA5" in EXPERIMENTAL_CORES

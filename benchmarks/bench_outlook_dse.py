@@ -1,0 +1,43 @@
+"""Outlook (paper Section 7): automated design-space exploration.
+
+"Automated design space exploration will be implemented to provide multiple
+trade-off points" between conflicting area and latency goals.  This bench
+sweeps cycle time x initiation interval for the largest ISAXes and records
+the Pareto frontier a user would pick implementations from.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.eval.dse import explore, pareto_frontier, render_design_space
+from repro.isaxes import ALL_ISAXES
+
+
+def test_design_space_exploration(benchmark, artifact_dir):
+    points = benchmark.pedantic(
+        explore, args=(ALL_ISAXES["sqrt_tightly"], "VexRiscv"),
+        kwargs={"cycle_scales": (1.0, 2.0), "initiation_intervals": (1, 2)},
+        rounds=1, iterations=1,
+    )
+    sections = []
+    for name in ("sqrt_tightly", "sparkle", "dotprod"):
+        pts = explore(ALL_ISAXES[name], "VexRiscv")
+        frontier = pareto_frontier(pts)
+        sections.append(f"=== {name} ===\n"
+                        + render_design_space(pts, frontier))
+        # The frontier spans a real trade-off for the big ISAXes.
+        areas = [p.area_um2 for p in pts]
+        assert min(areas) < max(areas)
+    write_artifact(artifact_dir, "outlook_design_space.txt",
+                   "\n\n".join(sections))
+    assert points
+
+
+def test_frontier_offers_cheaper_than_default():
+    """DSE finds implementations cheaper than the default spatial/full-speed
+    point (at a latency cost)."""
+    points = explore(ALL_ISAXES["sqrt_tightly"], "VexRiscv")
+    default = next(p for p in points
+                   if p.initiation_interval == 1
+                   and p.cycle_time_ns == min(q.cycle_time_ns
+                                              for q in points))
+    cheapest = min(points, key=lambda p: p.area_um2)
+    assert cheapest.area_um2 < 0.7 * default.area_um2

@@ -1,0 +1,68 @@
+"""Section 5.5: ISAX performance benefits on the array-sum kernel.
+
+Paper: baseline VexRiscv needs 18n+50 cycles, the autoinc+zol version
+11n+50 cycles; the ~16 % additional chip area buys a >60 % speed-up."""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro import compile_isax
+from repro.eval.asic import evaluate_combination
+from repro.isaxes import AUTOINC, ZOL
+from repro.workloads import fit_linear, run_array_sum
+
+SIZES = [8, 16, 32, 64, 128, 256]
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return [compile_isax(AUTOINC, "VexRiscv"),
+            compile_isax(ZOL, "VexRiscv")]
+
+
+@pytest.fixture(scope="module")
+def sweep(artifacts):
+    return [run_array_sum(n, artifacts=artifacts) for n in SIZES]
+
+
+def test_sec55_cycle_counts(benchmark, artifacts, sweep, artifact_dir):
+    benchmark.pedantic(run_array_sum, args=(64,),
+                       kwargs={"artifacts": artifacts},
+                       rounds=3, iterations=1)
+    base_slope, base_const = fit_linear(
+        SIZES, [r.baseline_cycles for r in sweep]
+    )
+    isax_slope, isax_const = fit_linear(
+        SIZES, [r.isax_cycles for r in sweep]
+    )
+    lines = [f"{'n':>6} {'baseline':>10} {'autoinc+zol':>12} {'speedup':>9}"]
+    for result in sweep:
+        lines.append(f"{result.n:>6} {result.baseline_cycles:>10} "
+                     f"{result.isax_cycles:>12} {result.speedup:>8.2f}x")
+    lines.append(f"fit: baseline ~ {base_slope:.1f}n{base_const:+.0f} "
+                 "(paper: 18n+50)")
+    lines.append(f"fit: isax     ~ {isax_slope:.1f}n{isax_const:+.0f} "
+                 "(paper: 11n+50)")
+    write_artifact(artifact_dir, "sec55_array_sum.txt", "\n".join(lines))
+
+    # The paper's slopes, within one cycle per element.
+    assert base_slope == pytest.approx(18, abs=1)
+    assert isax_slope == pytest.approx(11, abs=1)
+
+
+def test_sec55_speedup_over_60_percent(sweep):
+    big = sweep[-1]
+    assert big.speedup > 1.6
+
+
+def test_sec55_area_cost_near_16_percent(artifacts):
+    asic = evaluate_combination("VexRiscv", [AUTOINC, ZOL])
+    # Paper: "the 16% additional chip area enables a >60% speed-up".
+    assert asic.area_overhead_pct == pytest.approx(16, abs=6)
+    # And the core's frequency is "practically unaffected".
+    assert abs(asic.freq_delta_pct) < 10
+
+
+def test_sec55_checksums_correct(sweep):
+    for result in sweep:
+        assert result.checksum == result.checksum & 0xFFFFFFFF

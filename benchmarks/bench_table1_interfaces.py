@@ -1,0 +1,28 @@
+"""Table 1: the SCAIE-V sub-interface operations for a 32-bit host core."""
+
+from benchmarks.conftest import write_artifact
+from repro.eval.tables import render_table1
+from repro.scaiev.interfaces import custom_register_interfaces, standard_interfaces
+
+
+def test_table1_interfaces(benchmark, artifact_dir):
+    catalogue = benchmark(standard_interfaces, 32)
+    assert len(catalogue) == 16
+    text = render_table1()
+    # Every Table 1 row is present.
+    for name in ("RdInstr", "RdRS1", "RdCustReg", "RdPC", "RdMem", "WrRD",
+                 "WrCustReg.addr", "WrCustReg.data", "WrPC", "WrMem",
+                 "RdIValid", "WrStall", "WrFlush"):
+        assert name in text
+    write_artifact(artifact_dir, "table1_interfaces.txt", text)
+
+
+def test_table1_custom_register_on_demand(benchmark):
+    """SCAIE-V creates individual sub-interfaces per custom register."""
+    subs = benchmark(custom_register_interfaces, "COUNT", 32, 32)
+    assert [s.name for s in subs] == ["RdCOUNT", "WrCOUNT.addr",
+                                      "WrCOUNT.data"]
+    read = subs[0]
+    # AW = ceil(log2(32)) = 5, DW = 32 (Table 1 caption).
+    assert read.operands[0] == ("index", 5)
+    assert read.results[0] == ("data", 32)

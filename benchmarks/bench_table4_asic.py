@@ -1,0 +1,93 @@
+"""Table 4: ASIC area and frequency overheads of each ISAX on each core.
+
+Regenerates the full table with our 22 nm-class model next to the paper's
+published numbers, and asserts the qualitative shape: which extensions are
+large, where frequency regresses, and what the hazard-handling ablation
+saves.  Absolute percentages differ (our substrate is an area/timing model,
+not the authors' commercial flow); EXPERIMENTS.md discusses the deltas.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.eval.asic import evaluate_combination, run_table4
+from repro.eval.tables import PAPER_TABLE4, render_table4
+from repro.isaxes import ALL_ISAXES
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_table4()
+
+
+def test_regenerate_table4(benchmark, table, artifact_dir):
+    """Benchmark one representative cell; render the full table."""
+    benchmark.pedantic(
+        evaluate_combination, args=("VexRiscv", [ALL_ISAXES["dotprod"]]),
+        rounds=3, iterations=1,
+    )
+    text = render_table4(table)
+    write_artifact(artifact_dir, "table4_asic.txt", text)
+    assert "autoinc+zol" in text
+
+
+def test_shape_sqrt_largest(table):
+    for core in ("ORCA", "Piccolo", "PicoRV32", "VexRiscv"):
+        sqrt_area = table["sqrt_tightly"][core].extension_area_um2
+        for label in ("autoinc", "dotprod", "ijmp", "sbox", "zol"):
+            assert sqrt_area > table[label][core].extension_area_um2
+
+
+def test_shape_piccolo_smallest_relative(table):
+    for label, row in table.items():
+        for core in ("ORCA", "PicoRV32", "VexRiscv"):
+            assert row["Piccolo"].area_overhead_pct <= \
+                row[core].area_overhead_pct
+
+
+def test_shape_orca_forwarding_regressions(table):
+    """Section 5.4: dotprod and sparkle regress on ORCA; autoinc mildly;
+    the non-forwarding cores stay within noise."""
+    assert table["dotprod"]["ORCA"].freq_delta_pct < -8
+    assert table["sparkle"]["ORCA"].freq_delta_pct < -8
+    assert -10 < table["autoinc"]["ORCA"].freq_delta_pct < 0
+    for label in ("dotprod", "sparkle"):
+        for core in ("Piccolo", "VexRiscv"):
+            assert table[label][core].freq_delta_pct > -6
+
+
+def test_shape_small_isaxes_cheap(table):
+    for core in ("ORCA", "Piccolo", "PicoRV32", "VexRiscv"):
+        assert table["ijmp"][core].area_overhead_pct < 10
+        assert table["sbox"][core].area_overhead_pct < 10
+
+
+def test_shape_hazard_ablation(table):
+    """Disabling data-hazard handling reduces area (Table 4 sub-row)."""
+    for core in ("ORCA", "Piccolo", "PicoRV32", "VexRiscv"):
+        with_hazard = table["sqrt_decoupled"][core]
+        without = table["sqrt_decoupled (no hazard handling)"][core]
+        assert without.extension_area_um2 < with_hazard.extension_area_um2
+
+
+def test_shape_combination_is_additive(table):
+    for core in ("ORCA", "Piccolo", "PicoRV32", "VexRiscv"):
+        combined = table["autoinc+zol"][core].extension_area_um2
+        parts = (table["autoinc"][core].extension_area_um2
+                 + table["zol"][core].extension_area_um2)
+        assert combined == pytest.approx(parts, rel=0.25)
+
+
+def test_zol_frequency_within_noise(table):
+    """Paper: 'zero-overhead loops are usually implemented as deeply
+    integrated functional units rather than using an ISA extension
+    mechanism' — yet frequency stays within ~10%."""
+    for core in ("ORCA", "Piccolo", "PicoRV32", "VexRiscv"):
+        assert table["zol"][core].freq_delta_pct > -10
+
+
+def test_paper_reference_embedded():
+    """Sanity: the recorded paper numbers cover every row and core."""
+    assert len(PAPER_TABLE4) == 10
+    for row in PAPER_TABLE4.values():
+        assert set(row) == {"ORCA", "Piccolo", "PicoRV32", "VexRiscv"}

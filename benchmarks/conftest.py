@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and writes the
+rendered artifact to ``benchmarks/out/`` so paper-vs-measured comparisons
+(EXPERIMENTS.md) can be refreshed from a single ``pytest benchmarks/
+--benchmark-only`` run.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(directory: pathlib.Path, name: str, text: str) -> None:
+    path = directory / name
+    path.write_text(text, encoding="utf-8")
+    print(f"\n[artifact] {path}")
+    print(text)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Crypto acceleration: the sbox and sparkle ISAXes with co-simulation.
+
+Compiles the AES S-box lookup and the Sparkle/Alzette ARX-box ISAXes for
+VexRiscv, then demonstrates the verification story of paper Section 5.3:
+the generated RTL is simulated cycle by cycle and checked against the
+CoreDSL golden interpreter and against an independent Python reference
+implementation of Alzette.
+
+Usage:  python examples/crypto_acceleration.py
+"""
+
+import random
+
+from repro import compile_isax
+from repro.isaxes import SBOX, SPARKLE
+from repro.sim import ArchState, CoreDSLInterpreter, RTLSimulator
+from repro.utils.bits import to_unsigned
+
+RC = 0xB7E15162
+ROUNDS = ((31, 24), (17, 17), (0, 31), (24, 16))
+
+
+def rotr(value: int, amount: int) -> int:
+    if amount == 0:
+        return value
+    return to_unsigned((value >> amount) | (value << (32 - amount)), 32)
+
+
+def alzette_reference(x: int, y: int) -> tuple:
+    """Independent software model of one Alzette ARX-box."""
+    for rot_a, rot_b in ROUNDS:
+        x = to_unsigned(x + rotr(y, rot_a), 32)
+        y ^= rotr(x, rot_b)
+        x ^= RC
+    return x, y
+
+
+def run_rtl(artifact, instr, a, b, rd=5):
+    functionality = artifact.artifact(instr)
+    module = functionality.module
+    enc = artifact.isa.instructions[instr].encoding
+    word = enc.encode({"rd": rd, "rs1": 3, "rs2": 4})
+    inputs = {}
+    for port in module.inputs:
+        if port.name.startswith("rs1_data"):
+            inputs[port.name] = a
+        elif port.name.startswith("rs2_data"):
+            inputs[port.name] = b
+        elif port.name.startswith("instr_word"):
+            inputs[port.name] = word
+    sim = RTLSimulator(module)
+    out = None
+    for _ in range(functionality.schedule.makespan + 2):
+        out = sim.step(inputs)
+    port = next(p.name for p in module.outputs
+                if p.name.startswith("wrrd_data"))
+    return out[port]
+
+
+def main() -> None:
+    rng = random.Random(2024)
+    sparkle = compile_isax(SPARKLE, "VexRiscv")
+    interp = CoreDSLInterpreter(sparkle.isa)
+
+    print("=== Alzette ARX-box (sparkle ISAX): RTL vs golden vs reference ===")
+    print(f"{'x':>10} {'y':>10} {'new x (RTL)':>12} {'new y (RTL)':>12} ok")
+    for _ in range(8):
+        x, y = rng.getrandbits(32), rng.getrandbits(32)
+        ref_x, ref_y = alzette_reference(x, y)
+        rtl_x = run_rtl(sparkle, "alzette_x", x, y)
+        rtl_y = run_rtl(sparkle, "alzette_y", x, y)
+        state = ArchState(sparkle.isa)
+        state.write_x(3, x)
+        state.write_x(4, y)
+        enc = sparkle.isa.instructions["alzette_x"].encoding
+        interp.execute_instruction(
+            state, "alzette_x", enc.encode({"rd": 5, "rs1": 3, "rs2": 4})
+        )
+        golden_x = state.read_x(5)
+        ok = rtl_x == ref_x == golden_x and rtl_y == ref_y
+        print(f"{x:>#10x} {y:>#10x} {rtl_x:>#12x} {rtl_y:>#12x} {ok}")
+        assert ok
+
+    print("\n=== AES S-box lookup (sbox ISAX) ===")
+    sbox = compile_isax(SBOX, "VexRiscv")
+    table = sbox.isa.state["SBOX"].init_values
+    for value in (0x00, 0x53, 0xFF):
+        rtl = run_rtl(sbox, "sbox", value, None)
+        print(f"  SBOX[{value:#04x}] = {rtl:#04x} "
+              f"(expected {table[value]:#04x})")
+        assert rtl == table[value]
+    print("\nAll crypto ISAX results match the independent references.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Decoupled execution: tightly-coupled vs spawn-block square root.
+
+The two sqrt ISAXes share the same 32-iteration behavior (paper Figure 4 /
+Table 3); the only difference is the ``spawn`` block.  This example shows
+what that buys: with the decoupled variant, independent instructions
+overtake the long-running computation in the base pipeline, while SCAIE-V's
+scoreboard stalls exactly the instructions that need the pending result.
+
+Usage:  python examples/decoupled_sqrt.py
+"""
+
+from repro import compile_isax, core_datasheet
+from repro.isaxes import SQRT_DECOUPLED, SQRT_TIGHTLY
+from repro.sim.riscv import CoreTimingModel, assemble
+
+INDEPENDENT_WORK = "\n".join(["addi t5, t5, 1"] * 24)
+
+
+def program(value: int) -> str:
+    return f"""
+      li t0, {value}
+      fsqrt t1, t0
+      {INDEPENDENT_WORK}
+      add t2, t1, t1     # first consumer of the sqrt result
+      ecall
+    """
+
+
+def run(source: str, label: str) -> None:
+    core = "VexRiscv"
+    artifact = compile_isax(source, core)
+    functionality = artifact.artifact("fsqrt")
+    model = CoreTimingModel(core_datasheet(core), artifacts=[artifact])
+    model.load_program(assemble(program(1 << 20), isaxes=[artifact.isa]))
+    report = model.run()
+    result = report.state.read_x(6)
+    expected = 1024 << 16  # sqrt(2^20) in Q16.16
+    assert result == expected, (hex(result), hex(expected))
+    print(f"{label:<18} mode={functionality.mode.value:<16} "
+          f"pipeline span={functionality.schedule.makespan:>2}  "
+          f"total={report.cycles:>4} cycles "
+          f"(stalled {report.stall_cycles})")
+
+
+def main() -> None:
+    print("=== sqrt(x) in Q16.16, followed by 24 independent instructions "
+          "and one dependent add ===\n")
+    run(SQRT_TIGHTLY, "sqrt_tightly")
+    run(SQRT_DECOUPLED, "sqrt_decoupled")
+    print("\nThe decoupled variant hides the sqrt latency behind the "
+          "independent instructions (lightweight out-of-order commit, "
+          "paper Section 2.5); the tightly-coupled one stalls the core "
+          "for the whole computation.")
+
+
+if __name__ == "__main__":
+    main()

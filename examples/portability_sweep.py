@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Portability: one CoreDSL description, four microarchitectures.
+
+The paper's central claim is that an ISAX written once in CoreDSL ports
+across host cores with very different microarchitectures (5-stage, 3-stage,
+FSM-sequenced) purely by scheduling against each core's virtual datasheet.
+This example compiles every benchmark ISAX for every core and shows how the
+*same* behavior lands in different pipeline stages and execution modes.
+
+Usage:  python examples/portability_sweep.py [isax]
+"""
+
+import sys
+
+from repro import ALL_ISAXES, CORES, compile_isax
+
+
+def describe(name: str) -> None:
+    print(f"=== {name} ===")
+    header = f"{'functionality':<14} {'core':<10} {'mode':<16} " \
+             f"{'span':>4}  interface schedule"
+    print(header)
+    print("-" * 100)
+    for core in CORES:
+        artifact = compile_isax(ALL_ISAXES[name], core)
+        for fname, functionality in artifact.functionalities.items():
+            schedule = ", ".join(
+                f"{entry.interface}@{entry.stage}"
+                for entry in functionality.functionality.schedule
+            )
+            print(f"{fname:<14} {core:<10} "
+                  f"{functionality.mode.value:<16} "
+                  f"{functionality.schedule.makespan:>4}  {schedule}")
+    print()
+
+
+def main() -> None:
+    names = sys.argv[1:] if len(sys.argv) > 1 else sorted(ALL_ISAXES)
+    for name in names:
+        describe(name)
+    print("Note how reads move between stages (e.g. RdRS1 in stage 2 on "
+          "VexRiscv but stage 3 on ORCA) and how long-running instructions "
+          "switch to the tightly-coupled or decoupled mode on short "
+          "pipelines — all from one unchanged CoreDSL source.")
+
+
+if __name__ == "__main__":
+    main()

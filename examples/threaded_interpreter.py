@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Indirect-threaded dispatch with the ijmp ISAX.
+
+The paper's ``ijmp`` instruction "reads the next PC from memory" (Table 3) —
+the classic accelerator for threaded interpreters: instead of a dispatch
+loop (load opcode, bounds-check, jump through a table), every bytecode
+handler ends by jumping straight to the next handler's address, fetched
+from the threaded-code stream with a single custom instruction.
+
+This example builds a tiny stack-machine program as threaded code, runs it
+on the VexRiscv timing model with and without ``ijmp``, and compares both
+the results and the dispatch cost.
+
+Usage:  python examples/threaded_interpreter.py
+"""
+
+from repro import compile_isax, core_datasheet
+from repro.isaxes import IJMP
+from repro.sim.riscv import CoreTimingModel, assemble
+
+THREAD_BASE = 0x2000    # threaded code: one word per op = handler address
+DATA_BASE = 0x3000      # immediate arguments, one word per op
+
+# Program: push 7, push 5, add, push 3, mul, halt  => (7+5)*3 = 36
+OPS = [("push", 7), ("push", 5), ("add", 0), ("push", 3), ("mul", 0),
+       ("halt", 0)]
+
+
+def interpreter(use_ijmp: bool) -> str:
+    """The interpreter core.  s0 = thread pointer, s1 = argument pointer,
+    sp-style stack in s2, result lands in a0."""
+    if use_ijmp:
+        # One instruction: PC <- MEM[s0], then bump the thread pointer in a
+        # single always-available custom register-free sequence.
+        dispatch = """
+      ijmp rs1=s0
+        """
+        advance = """
+      addi s0, s0, 4
+      addi s1, s1, 4
+        """
+    else:
+        dispatch = """
+      lw   t6, 0(s0)
+      jalr x0, 0(t6)
+        """
+        advance = """
+      addi s0, s0, 4
+      addi s1, s1, 4
+        """
+    return f"""
+      li   s0, {THREAD_BASE}
+      li   s1, {DATA_BASE}
+      li   s2, 0x7000          # stack pointer
+      {dispatch}
+
+    op_push:
+      {advance}
+      lw   t0, -4(s1)          # the argument for the op just dispatched
+      addi s2, s2, -4
+      sw   t0, 0(s2)
+      {dispatch}
+
+    op_add:
+      {advance}
+      lw   t0, 0(s2)
+      lw   t1, 4(s2)
+      add  t0, t0, t1
+      addi s2, s2, 4
+      sw   t0, 0(s2)
+      {dispatch}
+
+    op_mul:
+      {advance}
+      lw   t0, 0(s2)
+      lw   t1, 4(s2)
+      mul  t0, t0, t1
+      addi s2, s2, 4
+      sw   t0, 0(s2)
+      {dispatch}
+
+    op_halt:
+      lw   a0, 0(s2)
+      ecall
+    """
+
+
+def run(use_ijmp: bool):
+    core = "VexRiscv"
+    artifacts = []
+    isaxes = []
+    if use_ijmp:
+        artifact = compile_isax(IJMP, core)
+        artifacts.append(artifact)
+        isaxes.append(artifact.isa)
+    source = interpreter(use_ijmp)
+    from repro.sim.riscv.assembler import Assembler
+
+    assembler = Assembler(isaxes or None)
+    words, labels = assembler.assemble(source)
+
+    model = CoreTimingModel(core_datasheet(core), artifacts=artifacts)
+    model.load_program(words)
+    thread = [labels[f"op_{op}"] for op, _arg in OPS]
+    model.load_data(thread, THREAD_BASE)
+    model.load_data([arg for _op, arg in OPS], DATA_BASE)
+    report = model.run()
+    return report
+
+
+def main() -> None:
+    print("=== threaded bytecode interpreter: (7+5)*3 ===\n")
+    baseline = run(use_ijmp=False)
+    extended = run(use_ijmp=True)
+    assert baseline.state.read_x(10) == 36
+    assert extended.state.read_x(10) == 36
+    print(f"software dispatch (lw + jalr):  {baseline.cycles:>4} cycles")
+    print(f"ijmp dispatch (PC <- MEM[ptr]): {extended.cycles:>4} cycles")
+    print(f"dispatch acceleration:          "
+          f"{baseline.cycles / extended.cycles:.2f}x")
+    print("\nBoth interpreters compute 36; the ijmp ISAX folds the "
+          "load-address-and-jump sequence of every handler into one "
+          "custom control-flow instruction (Table 3: 'Read next PC from "
+          "memory').")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — a reproduction of "Longnail: High-Level Synthesis of Portable
+Custom Instruction Set Extensions for RISC-V Processors from Descriptions in
+the Open-Source CoreDSL Language" (ASPLOS 2024).
+
+Public API
+----------
+
+The one-call entry point is :func:`compile_isax`: CoreDSL source in,
+SystemVerilog + SCAIE-V configuration out, scheduled against a host core's
+virtual datasheet::
+
+    from repro import compile_isax
+
+    artifact = compile_isax(CORE_DSL_SOURCE, core="VexRiscv")
+    print(artifact.verilog)        # Figure 5d-style SystemVerilog
+    print(artifact.config_yaml)    # Figure 8/9-style SCAIE-V configuration
+
+Key packages:
+
+* :mod:`repro.frontend` — CoreDSL parser, type system, elaboration,
+* :mod:`repro.ir`, :mod:`repro.dialects`, :mod:`repro.lowering` — the
+  MLIR-style compilation pipeline,
+* :mod:`repro.scheduling` — the LongnailProblem and its ILP scheduler,
+* :mod:`repro.scaiev` — virtual datasheets, execution modes, integration,
+* :mod:`repro.hls` — hardware generation and SystemVerilog export,
+* :mod:`repro.sim` — RTL/golden-model simulators, RV32IM assembler & ISS,
+  cycle-approximate core timing models,
+* :mod:`repro.eval` — the 22 nm-class ASIC area/frequency model,
+* :mod:`repro.isaxes` — the benchmark ISAXes of Table 3,
+* :mod:`repro.workloads` — the Section 5.5/5.6 evaluation workloads.
+"""
+
+from repro.frontend import elaborate
+from repro.hls import compile_isax, compile_isax_set
+from repro.isaxes import ALL_ISAXES, isax_source
+from repro.scaiev import CORES, core_datasheet, integrate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "elaborate",
+    "compile_isax",
+    "compile_isax_set",
+    "ALL_ISAXES",
+    "isax_source",
+    "CORES",
+    "core_datasheet",
+    "integrate",
+    "__version__",
+]

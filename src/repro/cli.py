@@ -1,0 +1,188 @@
+"""Command-line interface for the Longnail reproduction.
+
+Usage (``python -m repro ...`` or the ``repro-longnail`` entry point):
+
+    repro-longnail compile my_isax.core_desc --core VexRiscv -o build/
+    repro-longnail datasheet ORCA
+    repro-longnail isaxes [name]
+    repro-longnail table1 | table3 | table4
+    repro-longnail simulate prog.s --isax zol --isax autoinc --core VexRiscv
+
+``compile`` runs the full flow — CoreDSL in, SystemVerilog and the SCAIE-V
+configuration file out — exactly like the paper's Figure 9 tool invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.hls.longnail import compile_isax
+from repro.isaxes import ALL_ISAXES
+from repro.scaiev.cores import CORES, core_datasheet
+from repro.utils.diagnostics import CoreDSLError
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    source = pathlib.Path(args.file).read_text(encoding="utf-8")
+    artifact = compile_isax(
+        source, core=args.core, top=args.top, engine=args.engine,
+        cycle_time_ns=args.cycle_time,
+    )
+    out_dir = pathlib.Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    sv_path = out_dir / f"{artifact.name}.sv"
+    cfg_path = out_dir / f"{artifact.name}.scaiev.yaml"
+    sv_path.write_text(artifact.verilog, encoding="utf-8")
+    cfg_path.write_text(artifact.config_yaml, encoding="utf-8")
+
+    print(f"ISAX '{artifact.name}' compiled for {artifact.core_name} "
+          f"({artifact.datasheet.cycle_time_ns:.2f} ns cycle)")
+    for name, functionality in artifact.functionalities.items():
+        print(f"  {functionality.kind:<12} {name:<16} "
+              f"mode={functionality.mode.value:<16} "
+              f"span={functionality.schedule.makespan}")
+    print(f"wrote {sv_path}")
+    print(f"wrote {cfg_path}")
+    return 0
+
+
+def _cmd_datasheet(args: argparse.Namespace) -> int:
+    print(core_datasheet(args.core).to_yaml(), end="")
+    return 0
+
+
+def _cmd_isaxes(args: argparse.Namespace) -> int:
+    if args.name:
+        print(ALL_ISAXES[args.name])
+        return 0
+    for name in ALL_ISAXES:
+        print(name)
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    from repro.eval.tables import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_table3(_args: argparse.Namespace) -> int:
+    from repro.eval.tables import render_table3
+
+    print(render_table3())
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    from repro.eval.asic import run_table4
+    from repro.eval.tables import render_table4
+
+    table = run_table4(cores=args.cores)
+    print(render_table4(table, include_paper=not args.no_paper,
+                        cores=args.cores))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.riscv.assembler import assemble
+    from repro.sim.riscv.core_model import CoreTimingModel
+
+    artifacts = [compile_isax(ALL_ISAXES[name], args.core)
+                 for name in args.isax]
+    program = pathlib.Path(args.file).read_text(encoding="utf-8")
+    model = CoreTimingModel(core_datasheet(args.core), artifacts=artifacts)
+    model.load_program(assemble(program, isaxes=[a.isa for a in artifacts]))
+    report = model.run(max_instructions=args.max_instructions)
+    print(f"core:        {args.core}"
+          + (f" + {'+'.join(args.isax)}" if args.isax else ""))
+    print(f"cycles:      {report.cycles}")
+    print(f"instret:     {report.instret}")
+    print(f"CPI:         {report.cpi:.2f}")
+    print(f"stalls:      {report.stall_cycles}")
+    for index in range(1, 32):
+        value = report.state.read_x(index)
+        if value:
+            print(f"  x{index:<3} = {value:#010x}")
+    for name, values in report.state.custom.items():
+        shown = values[0] if len(values) == 1 else values
+        print(f"  {name} = {shown if isinstance(shown, int) else shown}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-longnail",
+        description="Longnail/CoreDSL/SCAIE-V reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_p = sub.add_parser(
+        "compile", help="compile a CoreDSL file to SystemVerilog + config"
+    )
+    compile_p.add_argument("file", help="CoreDSL source file (.core_desc)")
+    compile_p.add_argument("--core", default="VexRiscv", choices=CORES)
+    compile_p.add_argument("--top", default=None,
+                           help="InstructionSet/Core to elaborate")
+    compile_p.add_argument("--engine", default="auto",
+                           choices=("auto", "milp", "asap"),
+                           help="scheduler engine")
+    compile_p.add_argument("--cycle-time", type=float, default=None,
+                           help="target cycle time in ns (default: the "
+                                "core's f_max)")
+    compile_p.add_argument("-o", "--output", default=".",
+                           help="output directory")
+    compile_p.set_defaults(func=_cmd_compile)
+
+    datasheet_p = sub.add_parser(
+        "datasheet", help="print a core's virtual datasheet (YAML)"
+    )
+    datasheet_p.add_argument("core", choices=CORES)
+    datasheet_p.set_defaults(func=_cmd_datasheet)
+
+    isaxes_p = sub.add_parser(
+        "isaxes", help="list the Table 3 benchmark ISAXes / print a source"
+    )
+    isaxes_p.add_argument("name", nargs="?", choices=sorted(ALL_ISAXES))
+    isaxes_p.set_defaults(func=_cmd_isaxes)
+
+    sub.add_parser("table1", help="print Table 1").set_defaults(
+        func=_cmd_table1)
+    sub.add_parser("table3", help="print Table 3").set_defaults(
+        func=_cmd_table3)
+    table4_p = sub.add_parser("table4", help="regenerate Table 4")
+    table4_p.add_argument("--cores", nargs="+", default=list(CORES),
+                          choices=CORES)
+    table4_p.add_argument("--no-paper", action="store_true",
+                          help="omit the paper's reference numbers")
+    table4_p.set_defaults(func=_cmd_table4)
+
+    simulate_p = sub.add_parser(
+        "simulate", help="assemble and run a program on a core timing model"
+    )
+    simulate_p.add_argument("file", help="assembly source file")
+    simulate_p.add_argument("--core", default="VexRiscv", choices=CORES)
+    simulate_p.add_argument("--isax", action="append", default=[],
+                            choices=sorted(ALL_ISAXES),
+                            help="integrate a benchmark ISAX (repeatable)")
+    simulate_p.add_argument("--max-instructions", type=int,
+                            default=1_000_000)
+    simulate_p.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (CoreDSLError, FileNotFoundError, KeyError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""IR dialects mirroring the ones named in paper Section 4.1.
+
+* :mod:`repro.dialects.coredsl` — instructions, always-blocks, state access,
+  bitwidth-aware extras (concat, extract, shifts, bitwise logic).
+* :mod:`repro.dialects.hwarith` — overflow-free arithmetic on ui/si types.
+* :mod:`repro.dialects.comb` — signless combinational logic (CIRCT comb).
+* :mod:`repro.dialects.lil` — the "Longnail Intermediate Language": flat
+  CDFG containers plus explicit SCAIE-V sub-interface operations.
+* :mod:`repro.dialects.hw` — hardware modules, ports and registers
+  (CIRCT hw + seq).
+
+Importing this package registers every operation with the IR registry.
+"""
+
+from repro.dialects import comb, coredsl, hw, hwarith, lil  # noqa: F401
+
+__all__ = ["comb", "coredsl", "hw", "hwarith", "lil"]

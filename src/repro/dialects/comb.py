@@ -1,0 +1,242 @@
+"""The ``comb`` dialect: signless combinational logic (CIRCT's comb).
+
+Conventions (enforced by verifiers):
+
+* arithmetic/bitwise/shift/mux operands have the width of the result —
+  the hwarith->comb lowering inserts explicit zero/sign extensions first,
+* ``comb.concat`` takes its operands MSB-first,
+* ``comb.icmp`` carries a ``predicate`` attribute and produces ``i1``.
+
+Each operation also has an evaluation function (used by the constant folder
+and by the RTL simulator) operating on unsigned bit-pattern ints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.ir.core import IRError, OpDef, Operation, register_op
+from repro.utils.bits import mask, to_signed, to_unsigned
+
+ICMP_PREDICATES = (
+    "eq", "ne", "ult", "ule", "ugt", "uge", "slt", "sle", "sgt", "sge",
+)
+
+
+# ---------------------------------------------------------------------------
+# Verifiers
+# ---------------------------------------------------------------------------
+
+def _verify_same_width(op: Operation) -> None:
+    width = op.result.width
+    for operand in op.operands:
+        if operand.width != width:
+            raise IRError(
+                f"'{op.name}' operand width {operand.width} != result width "
+                f"{width}"
+            )
+
+
+def _verify_binary(op: Operation) -> None:
+    if len(op.operands) != 2:
+        raise IRError(f"'{op.name}' expects 2 operands, has {len(op.operands)}")
+    _verify_same_width(op)
+
+
+def _verify_icmp(op: Operation) -> None:
+    if len(op.operands) != 2:
+        raise IRError("'comb.icmp' expects 2 operands")
+    if op.operands[0].width != op.operands[1].width:
+        raise IRError("'comb.icmp' operands must have equal widths")
+    if op.result.width != 1:
+        raise IRError("'comb.icmp' result must be i1")
+    if op.attr("predicate") not in ICMP_PREDICATES:
+        raise IRError(f"invalid icmp predicate {op.attr('predicate')!r}")
+
+
+def _verify_mux(op: Operation) -> None:
+    if len(op.operands) != 3:
+        raise IRError("'comb.mux' expects (cond, true, false)")
+    if op.operands[0].width != 1:
+        raise IRError("'comb.mux' condition must be i1")
+    if op.operands[1].width != op.result.width or op.operands[2].width != op.result.width:
+        raise IRError("'comb.mux' value widths must match the result")
+
+
+def _verify_extract(op: Operation) -> None:
+    if len(op.operands) != 1:
+        raise IRError("'comb.extract' expects 1 operand")
+    low = op.attr("low")
+    if low is None or low < 0:
+        raise IRError("'comb.extract' needs a non-negative 'low' attribute")
+    if low + op.result.width > op.operands[0].width:
+        raise IRError(
+            f"'comb.extract' range [{low}+:{op.result.width}] exceeds operand "
+            f"width {op.operands[0].width}"
+        )
+
+
+def _verify_concat(op: Operation) -> None:
+    if not op.operands:
+        raise IRError("'comb.concat' needs at least one operand")
+    total = sum(operand.width for operand in op.operands)
+    if total != op.result.width:
+        raise IRError(
+            f"'comb.concat' result width {op.result.width} != sum of operand "
+            f"widths {total}"
+        )
+
+
+def _verify_replicate(op: Operation) -> None:
+    if len(op.operands) != 1:
+        raise IRError("'comb.replicate' expects 1 operand")
+    if op.result.width % op.operands[0].width != 0:
+        raise IRError("'comb.replicate' result width must be a multiple of input")
+
+
+def _verify_constant(op: Operation) -> None:
+    if op.operands:
+        raise IRError("'comb.constant' takes no operands")
+    value = op.attr("value")
+    if value is None or value < 0 or value > mask(op.result.width):
+        raise IRError(
+            f"'comb.constant' value {value!r} out of range for "
+            f"i{op.result.width}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Evaluation (shared by folder and simulator)
+# ---------------------------------------------------------------------------
+
+def _eval_divu(a: int, b: int, width: int) -> int:
+    return a // b if b else mask(width)  # div-by-zero yields all-ones (RISC-V)
+
+
+def _eval_divs(a: int, b: int, width: int) -> int:
+    sa, sb = to_signed(a, width), to_signed(b, width)
+    if sb == 0:
+        return mask(width)
+    q = abs(sa) // abs(sb)
+    return to_unsigned(-q if (sa < 0) != (sb < 0) else q, width)
+
+
+def _eval_modu(a: int, b: int, width: int) -> int:
+    return a % b if b else a
+
+
+def _eval_mods(a: int, b: int, width: int) -> int:
+    sa, sb = to_signed(a, width), to_signed(b, width)
+    if sb == 0:
+        return a
+    q = abs(sa) // abs(sb)
+    q = -q if (sa < 0) != (sb < 0) else q
+    return to_unsigned(sa - q * sb, width)
+
+
+def _eval_shl(a: int, b: int, width: int) -> int:
+    return to_unsigned(a << b, width) if b < width else 0
+
+
+def _eval_shru(a: int, b: int, width: int) -> int:
+    return a >> b if b < width else 0
+
+
+def _eval_shrs(a: int, b: int, width: int) -> int:
+    sa = to_signed(a, width)
+    shift = min(b, width - 1)
+    return to_unsigned(sa >> shift, width)
+
+
+_BINARY_EVAL: Dict[str, Callable[[int, int, int], int]] = {
+    "comb.add": lambda a, b, w: to_unsigned(a + b, w),
+    "comb.sub": lambda a, b, w: to_unsigned(a - b, w),
+    "comb.mul": lambda a, b, w: to_unsigned(a * b, w),
+    "comb.divu": _eval_divu,
+    "comb.divs": _eval_divs,
+    "comb.modu": _eval_modu,
+    "comb.mods": _eval_mods,
+    "comb.and": lambda a, b, w: a & b,
+    "comb.or": lambda a, b, w: a | b,
+    "comb.xor": lambda a, b, w: a ^ b,
+    "comb.shl": _eval_shl,
+    "comb.shru": _eval_shru,
+    "comb.shrs": _eval_shrs,
+}
+
+_ICMP_EVAL: Dict[str, Callable[[int, int, int], bool]] = {
+    "eq": lambda a, b, w: a == b,
+    "ne": lambda a, b, w: a != b,
+    "ult": lambda a, b, w: a < b,
+    "ule": lambda a, b, w: a <= b,
+    "ugt": lambda a, b, w: a > b,
+    "uge": lambda a, b, w: a >= b,
+    "slt": lambda a, b, w: to_signed(a, w) < to_signed(b, w),
+    "sle": lambda a, b, w: to_signed(a, w) <= to_signed(b, w),
+    "sgt": lambda a, b, w: to_signed(a, w) > to_signed(b, w),
+    "sge": lambda a, b, w: to_signed(a, w) >= to_signed(b, w),
+}
+
+
+def evaluate(op: Operation, operand_values: List[int]) -> int:
+    """Evaluate a comb operation on unsigned operand values."""
+    name = op.name
+    width = op.result.width
+    if name == "comb.constant":
+        return op.attr("value")
+    if name in _BINARY_EVAL:
+        a, b = operand_values
+        return _BINARY_EVAL[name](a, b, width)
+    if name == "comb.not":
+        return to_unsigned(~operand_values[0], width)
+    if name == "comb.icmp":
+        a, b = operand_values
+        return int(_ICMP_EVAL[op.attr("predicate")](a, b, op.operands[0].width))
+    if name == "comb.mux":
+        cond, true_value, false_value = operand_values
+        return true_value if cond else false_value
+    if name == "comb.extract":
+        return (operand_values[0] >> op.attr("low")) & mask(width)
+    if name == "comb.concat":
+        out = 0
+        for operand, value in zip(op.operands, operand_values):
+            out = (out << operand.width) | to_unsigned(value, operand.width)
+        return out
+    if name == "comb.replicate":
+        times = width // op.operands[0].width
+        out = 0
+        for _ in range(times):
+            out = (out << op.operands[0].width) | operand_values[0]
+        return out
+    if name == "comb.rom":
+        table = op.attr("values")
+        index = operand_values[0]
+        return table[index] if index < len(table) else 0
+    raise IRError(f"no evaluation rule for '{name}'")
+
+
+def _fold(op: Operation, operand_values: List[Optional[int]]) -> Optional[int]:
+    if any(value is None for value in operand_values):
+        return None
+    return evaluate(op, operand_values)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Registration
+# ---------------------------------------------------------------------------
+
+register_op(OpDef("comb.constant", verifier=_verify_constant,
+                  folder=lambda op, vals: op.attr("value")))
+for _name in _BINARY_EVAL:
+    register_op(OpDef(_name, verifier=_verify_binary, folder=_fold))
+register_op(OpDef("comb.not", verifier=_verify_same_width, folder=_fold))
+register_op(OpDef("comb.icmp", verifier=_verify_icmp, folder=_fold))
+register_op(OpDef("comb.mux", verifier=_verify_mux, folder=_fold))
+register_op(OpDef("comb.extract", verifier=_verify_extract, folder=_fold))
+register_op(OpDef("comb.concat", verifier=_verify_concat, folder=_fold))
+register_op(OpDef("comb.replicate", verifier=_verify_replicate, folder=_fold))
+#: ROM lookup: constant registers internalized into the ISAX module
+#: (paper Section 4.5); 'values' attribute holds the table.
+register_op(OpDef("comb.rom", folder=_fold))
+
+BINARY_OPS = tuple(_BINARY_EVAL)

@@ -1,0 +1,98 @@
+"""The ``coredsl`` dialect, original to Longnail (paper Section 4.1).
+
+Models instructions, always-blocks, architectural-state accesses, and the
+"additional arithmetic operations such as concatenation and bit-range
+extraction, which are not available in the corresponding upstream dialects".
+
+Container operations:
+
+* ``coredsl.instruction`` — attributes ``name``, ``pattern`` (mask/match
+  string), ``fields``; one region holding the behavior.
+* ``coredsl.always`` — attribute ``name``; one region.
+
+State access (``reg`` attribute names the state element; an optional
+``pred`` operand guards writes; the trailing operand order is fixed and
+recorded in per-op attributes):
+
+* ``coredsl.field`` — read an encoding field.
+* ``coredsl.get`` / ``coredsl.set`` — element access (index operand for
+  register files / address spaces).
+* ``coredsl.get_range`` / ``coredsl.set_range`` — multi-element access on
+  address spaces (``MEM[a+3:a]``), ``count`` attribute gives element count.
+
+Terminators: ``coredsl.end`` (default) and ``coredsl.spawn``, which carries
+a region holding the decoupled part of the behavior (Section 2.5).
+"""
+
+from __future__ import annotations
+
+from repro.ir.core import IRError, OpDef, Operation, register_op
+
+
+def _verify_container(op: Operation) -> None:
+    if len(op.regions) != 1:
+        raise IRError(f"'{op.name}' must carry exactly one region")
+    if op.attr("name") is None:
+        raise IRError(f"'{op.name}' needs a 'name' attribute")
+    block = op.regions[0].entry
+    if not block.operations:
+        raise IRError(f"'{op.name}' region must end in a terminator")
+    last = block.operations[-1]
+    if not last.opdef.is_terminator:
+        raise IRError(
+            f"'{op.name}' region must end in a terminator, found '{last.name}'"
+        )
+
+
+def _verify_state_op(op: Operation) -> None:
+    if op.attr("reg") is None:
+        raise IRError(f"'{op.name}' needs a 'reg' attribute")
+
+
+def _verify_operand_count(expected: int):
+    def verify(op: Operation) -> None:
+        if len(op.operands) != expected:
+            raise IRError(
+                f"'{op.name}' expects {expected} operands, has {len(op.operands)}"
+            )
+    return verify
+
+
+def _verify_extract(op: Operation) -> None:
+    hi, lo = op.attr("hi"), op.attr("lo")
+    if hi is None or lo is None or hi < lo:
+        raise IRError(f"'coredsl.extract' has invalid range [{hi}:{lo}]")
+    if op.result.width != hi - lo + 1:
+        raise IRError("'coredsl.extract' result width must equal hi-lo+1")
+
+
+register_op(OpDef("coredsl.instruction", num_results=0, has_side_effects=True,
+                  verifier=_verify_container))
+register_op(OpDef("coredsl.always", num_results=0, has_side_effects=True,
+                  verifier=_verify_container))
+
+register_op(OpDef("coredsl.field"))
+register_op(OpDef("coredsl.get", verifier=_verify_state_op,
+                  has_side_effects=False))
+register_op(OpDef("coredsl.get_range", verifier=_verify_state_op))
+register_op(OpDef("coredsl.set", num_results=0, has_side_effects=True,
+                  verifier=_verify_state_op))
+register_op(OpDef("coredsl.set_range", num_results=0, has_side_effects=True,
+                  verifier=_verify_state_op))
+
+register_op(OpDef("coredsl.cast", verifier=_verify_operand_count(1)))
+register_op(OpDef("coredsl.concat", verifier=_verify_operand_count(2)))
+register_op(OpDef("coredsl.extract", verifier=_verify_extract))
+register_op(OpDef("coredsl.mux", verifier=_verify_operand_count(3)))
+register_op(OpDef("coredsl.neg", verifier=_verify_operand_count(1)))
+register_op(OpDef("coredsl.not", verifier=_verify_operand_count(1)))
+register_op(OpDef("coredsl.and", verifier=_verify_operand_count(2)))
+register_op(OpDef("coredsl.or", verifier=_verify_operand_count(2)))
+register_op(OpDef("coredsl.xor", verifier=_verify_operand_count(2)))
+register_op(OpDef("coredsl.shl", verifier=_verify_operand_count(2)))
+register_op(OpDef("coredsl.shr", verifier=_verify_operand_count(2)))
+
+register_op(OpDef("coredsl.end", num_results=0, is_terminator=True,
+                  has_side_effects=True))
+register_op(OpDef("coredsl.spawn", num_results=0, is_terminator=True,
+                  has_side_effects=True))

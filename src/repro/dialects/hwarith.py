@@ -1,0 +1,55 @@
+"""The ``hwarith`` dialect (CIRCT): bitwidth-aware arithmetic on signed and
+unsigned integer types without over-/underflow.
+
+The paper notes this dialect "captures CoreDSL's type system and operators
+perfectly" (Section 4.1).  Values at this level carry ``signed`` flags; the
+result types are computed by the frontend type checker and recorded on the
+result values, so verifiers only check structural properties.
+"""
+
+from __future__ import annotations
+
+from repro.ir.core import IRError, OpDef, Operation, register_op
+
+#: Sign-aware comparison predicates; the signedness of the comparison is
+#: derived from the operand types during lowering.
+ICMP_PREDICATES = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+def _verify_binary(op: Operation) -> None:
+    if len(op.operands) != 2:
+        raise IRError(f"'{op.name}' expects 2 operands")
+    for operand in op.operands:
+        if operand.signed is None:
+            raise IRError(f"'{op.name}' requires sign-typed operands")
+
+
+def _verify_constant(op: Operation) -> None:
+    if op.operands:
+        raise IRError("'hwarith.constant' takes no operands")
+    if op.attr("value") is None:
+        raise IRError("'hwarith.constant' needs a 'value' attribute")
+
+
+def _verify_cast(op: Operation) -> None:
+    if len(op.operands) != 1:
+        raise IRError("'hwarith.cast' expects 1 operand")
+
+
+def _verify_icmp(op: Operation) -> None:
+    if len(op.operands) != 2:
+        raise IRError("'hwarith.icmp' expects 2 operands")
+    if op.attr("predicate") not in ICMP_PREDICATES:
+        raise IRError(f"invalid hwarith.icmp predicate {op.attr('predicate')!r}")
+    if op.result.width != 1 or op.result.signed:
+        raise IRError("'hwarith.icmp' result must be ui1")
+
+
+register_op(OpDef("hwarith.constant", verifier=_verify_constant))
+register_op(OpDef("hwarith.add", verifier=_verify_binary))
+register_op(OpDef("hwarith.sub", verifier=_verify_binary))
+register_op(OpDef("hwarith.mul", verifier=_verify_binary))
+register_op(OpDef("hwarith.div", verifier=_verify_binary))
+register_op(OpDef("hwarith.mod", verifier=_verify_binary))
+register_op(OpDef("hwarith.cast", verifier=_verify_cast))
+register_op(OpDef("hwarith.icmp", verifier=_verify_icmp))

@@ -1,0 +1,147 @@
+"""The ``lil`` dialect — "Longnail Intermediate Language" (paper Section 4.1c).
+
+Provides (1) container graphs representing each instruction/always-block as a
+flat control-data-flow graph, and (2) explicit operations for the SCAIE-V
+sub-interfaces of Table 1, making them schedulable alongside the computation.
+
+Interface operations and their SCAIE-V counterparts:
+
+===================  =======================  ===========================
+operation            SCAIE-V sub-interface    operands -> results
+===================  =======================  ===========================
+lil.instr_word       RdInstr                  -> i32
+lil.read_rs1/_rs2    RdRS1 / RdRS2            -> i32
+lil.read_pc          RdPC                     -> i32
+lil.read_mem         RdMem                    (addr, pred) -> i<size>
+lil.write_rd         WrRD                     (value, pred)
+lil.write_pc         WrPC                     (newPC, pred)
+lil.write_mem        WrMem                    (addr, value, pred)
+lil.read_custreg     RdCustReg                (index, pred) -> iDW
+lil.write_custreg    WrCustReg.addr/.data     (index, value, pred)
+===================  =======================  ===========================
+
+Scalar custom registers omit the index operand (``has_index`` attribute is
+False); SCAIE-V still receives a ``.addr`` schedule entry for hazard
+handling, matching the paper's Figure 8 discussion.
+
+Operations lowered from inside a ``spawn`` block carry ``spawn: true`` to
+preserve their provenance (Section 4.1c).  ``lil.rom`` represents constant
+registers internalized into the ISAX module.  ``lil.sink`` is the graph
+terminator (visible in Figure 5c).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.core import Graph, IRError, OpDef, Operation, register_op
+
+#: Graph attribute keys.
+KIND_INSTRUCTION = "instruction"
+KIND_ALWAYS = "always"
+
+
+def _verify_pred_last(num_data: int):
+    """Interface ops have ``num_data`` payload operands plus a trailing i1
+    predicate."""
+
+    def verify(op: Operation) -> None:
+        if len(op.operands) != num_data + 1:
+            raise IRError(
+                f"'{op.name}' expects {num_data} data operands plus a "
+                f"predicate, has {len(op.operands)}"
+            )
+        if op.operands[-1].width != 1:
+            raise IRError(f"'{op.name}' predicate must be i1")
+
+    return verify
+
+
+def _verify_custreg(op: Operation) -> None:
+    if op.attr("reg") is None:
+        raise IRError(f"'{op.name}' needs a 'reg' attribute")
+    expected = 1 + (1 if op.attr("has_index") else 0)
+    if op.name == "lil.write_custreg":
+        expected += 1
+    if len(op.operands) != expected:
+        raise IRError(
+            f"'{op.name}' expects {expected} operands "
+            f"(has_index={bool(op.attr('has_index'))}), has {len(op.operands)}"
+        )
+
+
+def _verify_read_mem(op: Operation) -> None:
+    _verify_pred_last(1)(op)
+    if op.attr("size_bits") not in (8, 16, 32):
+        raise IRError("'lil.read_mem' size_bits must be 8, 16 or 32")
+    if op.result.width != op.attr("size_bits"):
+        raise IRError("'lil.read_mem' result width must equal size_bits")
+
+
+def _verify_write_mem(op: Operation) -> None:
+    _verify_pred_last(2)(op)
+    if op.attr("size_bits") not in (8, 16, 32):
+        raise IRError("'lil.write_mem' size_bits must be 8, 16 or 32")
+
+
+register_op(OpDef("lil.instr_word", has_side_effects=True))
+register_op(OpDef("lil.read_rs1", has_side_effects=True))
+register_op(OpDef("lil.read_rs2", has_side_effects=True))
+register_op(OpDef("lil.read_pc", has_side_effects=True))
+register_op(OpDef("lil.read_mem", has_side_effects=True,
+                  verifier=_verify_read_mem))
+register_op(OpDef("lil.write_rd", num_results=0, has_side_effects=True,
+                  verifier=_verify_pred_last(1)))
+register_op(OpDef("lil.write_pc", num_results=0, has_side_effects=True,
+                  verifier=_verify_pred_last(1)))
+register_op(OpDef("lil.write_mem", num_results=0, has_side_effects=True,
+                  verifier=_verify_write_mem))
+register_op(OpDef("lil.read_custreg", has_side_effects=True,
+                  verifier=_verify_custreg))
+register_op(OpDef("lil.write_custreg", num_results=0, has_side_effects=True,
+                  verifier=_verify_custreg))
+register_op(OpDef("lil.rom"))
+register_op(OpDef("lil.sink", num_results=0, has_side_effects=True,
+                  is_terminator=True))
+
+#: lil interface op name -> SCAIE-V sub-interface name (custom-register ops
+#: are resolved per-register, see :mod:`repro.scaiev.interfaces`).
+INTERFACE_OF = {
+    "lil.instr_word": "RdInstr",
+    "lil.read_rs1": "RdRS1",
+    "lil.read_rs2": "RdRS2",
+    "lil.read_pc": "RdPC",
+    "lil.read_mem": "RdMem",
+    "lil.write_rd": "WrRD",
+    "lil.write_pc": "WrPC",
+    "lil.write_mem": "WrMem",
+}
+
+#: Interface ops that change architectural state.
+WRITE_OPS = ("lil.write_rd", "lil.write_pc", "lil.write_mem", "lil.write_custreg")
+#: Interface ops usable in tightly-coupled/decoupled mode (paper Section 3.2).
+DECOUPLABLE_OPS = ("lil.write_rd", "lil.read_mem", "lil.write_mem")
+
+
+def is_interface_op(op: Operation) -> bool:
+    return op.name in INTERFACE_OF or op.name in (
+        "lil.read_custreg", "lil.write_custreg"
+    )
+
+
+def interface_name(op: Operation) -> Optional[str]:
+    """SCAIE-V sub-interface name for an interface operation."""
+    if op.name in INTERFACE_OF:
+        return INTERFACE_OF[op.name]
+    if op.name == "lil.read_custreg":
+        return f"Rd{op.attr('reg')}"
+    if op.name == "lil.write_custreg":
+        return f"Wr{op.attr('reg')}"
+    return None
+
+
+def make_graph(name: str, kind: str, **attrs) -> Graph:
+    """Create a lil graph container for an instruction or always-block."""
+    attributes = {"kind": kind}
+    attributes.update(attrs)
+    return Graph(name, attributes)

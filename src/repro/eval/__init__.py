@@ -1,0 +1,30 @@
+"""ASIC evaluation substrate (substitute for the paper's commercial 22 nm
+reference flow, Section 5.3).
+
+* :mod:`repro.eval.tech` — a 22 nm-class technology library: per-operator
+  propagation delays and cell areas, plus per-core calibration anchors,
+* :mod:`repro.eval.area` — netlist area accounting for generated modules and
+  SCAIE-V glue logic,
+* :mod:`repro.eval.timing` — static timing analysis of scheduled modules and
+  the integration-level frequency effects (ORCA's forwarding path,
+  Section 5.4),
+* :mod:`repro.eval.asic` — the full "synthesis + P&R" estimate producing
+  area/frequency overheads per core x ISAX combination,
+* :mod:`repro.eval.tables` — renders Table 4 and friends.
+"""
+
+from repro.eval.tech import TechLibrary
+from repro.eval.area import module_area, glue_area
+from repro.eval.timing import module_critical_path, extended_core_frequency
+from repro.eval.asic import AsicResult, evaluate_combination, run_table4
+
+__all__ = [
+    "TechLibrary",
+    "module_area",
+    "glue_area",
+    "module_critical_path",
+    "extended_core_frequency",
+    "AsicResult",
+    "evaluate_combination",
+    "run_table4",
+]

@@ -1,0 +1,127 @@
+"""Automated design-space exploration (paper Section 7, outlook).
+
+"Since area minimization and performance metrics, such as instruction
+latency, are often conflicting optimization goals, automated design space
+exploration will be implemented to provide multiple trade-off points."
+
+This module implements that exploration over two axes Longnail controls:
+
+* the **target cycle time** handed to the scheduler (slower clocks pack more
+  logic per stage: fewer pipeline registers, longer per-instruction latency
+  in ns),
+* the **initiation interval** of resource sharing (from the Section 7
+  sharing analysis: fewer operator instances, the ISAX accepts a new
+  operand set only every II cycles).
+
+Every candidate is compiled through the real flow and measured with the
+technology library; :func:`pareto_frontier` filters the non-dominated
+(area, latency) points a user would choose from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Union
+
+from repro.eval.area import module_area
+from repro.eval.tech import TechLibrary
+from repro.hls.longnail import compile_isax
+from repro.hls.sharing import analyze_functionality
+from repro.scaiev.cores import core_datasheet
+from repro.scaiev.datasheet import VirtualDatasheet
+
+
+@dataclasses.dataclass
+class DesignPoint:
+    """One evaluated implementation of one ISAX instruction."""
+
+    instruction: str
+    cycle_time_ns: float
+    initiation_interval: int
+    pipeline_stages: int
+    area_um2: float
+    latency_ns: float
+
+    @property
+    def throughput_per_us(self) -> float:
+        """Accepted operand sets per microsecond."""
+        return 1000.0 / (self.cycle_time_ns * self.initiation_interval)
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance on (area, latency): no worse in both, better in
+        at least one."""
+        no_worse = (self.area_um2 <= other.area_um2
+                    and self.latency_ns <= other.latency_ns)
+        better = (self.area_um2 < other.area_um2
+                  or self.latency_ns < other.latency_ns)
+        return no_worse and better
+
+
+def explore(source: str,
+            core: Union[str, VirtualDatasheet] = "VexRiscv",
+            cycle_scales: Sequence[float] = (1.0, 1.5, 2.0, 3.0, 4.0),
+            initiation_intervals: Sequence[int] = (1, 2, 4),
+            instruction: Optional[str] = None,
+            tech: Optional[TechLibrary] = None) -> List[DesignPoint]:
+    """Sweep the design space of one ISAX instruction on one core.
+
+    ``cycle_scales`` multiply the core's native cycle time (a scale > 1
+    means the ISAX internally runs at a divided clock / relaxed constraint,
+    trading latency for area).
+    """
+    tech = tech or TechLibrary()
+    datasheet = core_datasheet(core) if isinstance(core, str) else core
+    points: List[DesignPoint] = []
+    for scale in cycle_scales:
+        cycle = datasheet.cycle_time_ns * scale
+        artifact = compile_isax(source, datasheet, cycle_time_ns=cycle,
+                                delay_model=tech.delay_model())
+        names = [n for n, f in artifact.functionalities.items()
+                 if f.kind == "instruction"]
+        name = instruction or names[0]
+        functionality = artifact.artifact(name)
+        spatial_area = module_area(functionality.module, tech)
+        report = analyze_functionality(
+            functionality, tech, max_ii=max(initiation_intervals)
+        )
+        stages = functionality.schedule.makespan
+        for ii in initiation_intervals:
+            shared_point = report.point(ii)
+            datapath_delta = (report.spatial_point.total_area_um2
+                              - shared_point.total_area_um2)
+            area = max(0.0, spatial_area - datapath_delta)
+            points.append(DesignPoint(
+                instruction=name,
+                cycle_time_ns=cycle,
+                initiation_interval=ii,
+                pipeline_stages=stages,
+                area_um2=area,
+                latency_ns=stages * cycle,
+            ))
+    return points
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by area."""
+    frontier = [
+        p for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(frontier, key=lambda p: (p.area_um2, p.latency_ns))
+
+
+def render_design_space(points: Sequence[DesignPoint],
+                        frontier: Optional[Sequence[DesignPoint]] = None) -> str:
+    frontier = frontier if frontier is not None else pareto_frontier(points)
+    chosen = {id(p) for p in frontier}
+    lines = [f"{'cycle ns':>9} {'II':>3} {'stages':>7} {'area um2':>9} "
+             f"{'latency ns':>11} {'pareto':>7}"]
+    for point in sorted(points, key=lambda p: (p.cycle_time_ns,
+                                               p.initiation_interval)):
+        lines.append(
+            f"{point.cycle_time_ns:>9.2f} {point.initiation_interval:>3} "
+            f"{point.pipeline_stages:>7} {point.area_um2:>9.0f} "
+            f"{point.latency_ns:>11.1f} "
+            f"{'*' if id(point) in chosen else '':>7}"
+        )
+    return "\n".join(lines)

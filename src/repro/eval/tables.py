@@ -1,0 +1,116 @@
+"""Rendering of the evaluation tables (paper Tables 1, 3, 4).
+
+Also records the paper's published Table 4 numbers so benchmarks and
+EXPERIMENTS.md can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.eval.asic import AsicResult
+from repro.scaiev.cores import CORES
+from repro.scaiev.interfaces import standard_interfaces
+
+#: Table 4 as published: {row: {core: (area %, freq %)}}.
+PAPER_TABLE4: Dict[str, Dict[str, tuple]] = {
+    "autoinc": {"ORCA": (20, -6), "Piccolo": (3, -9), "PicoRV32": (23, 0),
+                "VexRiscv": (12, 2)},
+    "dotprod": {"ORCA": (23, -14), "Piccolo": (4, 0), "PicoRV32": (21, -2),
+                "VexRiscv": (21, 2)},
+    "ijmp": {"ORCA": (2, -3), "Piccolo": (7, 3), "PicoRV32": (7, 2),
+             "VexRiscv": (12, 0)},
+    "sbox": {"ORCA": (7, -2), "Piccolo": (0, 3), "PicoRV32": (6, 2),
+             "VexRiscv": (8, -1)},
+    "sparkle": {"ORCA": (85, -24), "Piccolo": (2, -1), "PicoRV32": (46, 0),
+                "VexRiscv": (45, -2)},
+    "sqrt_tightly": {"ORCA": (80, -32), "Piccolo": (22, -15),
+                     "PicoRV32": (100, -5), "VexRiscv": (43, -8)},
+    "sqrt_decoupled": {"ORCA": (56, -5), "Piccolo": (10, 3),
+                       "PicoRV32": (111, -7), "VexRiscv": (47, 6)},
+    "sqrt_decoupled (no hazard handling)": {
+        "ORCA": (46, -6), "Piccolo": (10, 3), "PicoRV32": (96, -2),
+        "VexRiscv": (40, 4)},
+    "zol": {"ORCA": (7, -2), "Piccolo": (13, 4), "PicoRV32": (10, -1),
+            "VexRiscv": (14, -3)},
+    "autoinc+zol": {"ORCA": (29, -6), "Piccolo": (3, 2), "PicoRV32": (32, -1),
+                    "VexRiscv": (16, 5)},
+}
+
+#: Base-core rows of Table 4: (area µm², f_max MHz).
+PAPER_BASELINES = {
+    "ORCA": (6612, 996),
+    "Piccolo": (26098, 420),
+    "PicoRV32": (4745, 1278),
+    "VexRiscv": (9052, 701),
+}
+
+
+def render_table1() -> str:
+    """The SCAIE-V sub-interface catalogue (Table 1)."""
+    lines = [f"{'Sub-interface':<16} {'Operands':<34} {'Results':<12} "
+             f"Description"]
+    lines.append("-" * 110)
+    for name, iface in standard_interfaces().items():
+        operands = ", ".join(f"i{w} {n}" for n, w in iface.operands) or "-"
+        results = ", ".join(f"i{w}" for _n, w in iface.results) or "-"
+        suffix = "_s" if iface.per_stage else ""
+        lines.append(
+            f"{name + suffix:<16} {operands:<34} {results:<12} "
+            f"{iface.description}"
+        )
+    return "\n".join(lines)
+
+
+def render_table4(table: Dict[str, Dict[str, AsicResult]],
+                  include_paper: bool = True,
+                  cores: Sequence[str] = CORES) -> str:
+    """Render measured (and optionally paper) area/frequency overheads."""
+    width = 26 if include_paper else 18
+    lines = []
+    header = f"{'ISAX':<38}" + "".join(f"{core:>{width}}" for core in cores)
+    lines.append(header)
+    base_cells = []
+    for core in cores:
+        area, freq = PAPER_BASELINES[core]
+        base_cells.append(f"{area:,} um2 @ {freq} MHz")
+    lines.append(f"{'Base core (excl. caches)':<38}"
+                 + "".join(f"{cell:>{width}}" for cell in base_cells))
+    lines.append("-" * len(header))
+    for label, row in table.items():
+        cells = []
+        for core in cores:
+            result = row[core]
+            cell = (f"+{result.area_overhead_pct:.0f}% "
+                    f"{result.freq_delta_pct:+.0f}%")
+            if include_paper and label in PAPER_TABLE4:
+                paper_area, paper_freq = PAPER_TABLE4[label][core]
+                cell += f" (paper +{paper_area}% {paper_freq:+d}%)"
+            cells.append(cell)
+        lines.append(f"{label:<38}" + "".join(f"{c:>{width}}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_table3() -> str:
+    """The benchmark-ISAX inventory (Table 3)."""
+    rows = [
+        ("autoinc", "Auto-incrementing load/store instructions and setup",
+         "Custom register and main memory access"),
+        ("dotprod", "4x8bit dot product (Figure 1)",
+         "Loop and bit ranges concisely describing SIMD behavior"),
+        ("ijmp", "Read next PC from memory", "PC and main memory access"),
+        ("sbox", "Lookup from AES S-Box", "Constant custom register"),
+        ("sparkle", "Lightweight post-quantum cryptography",
+         "R-type instructions, bit manipulations, helper functions"),
+        ("sqrt_tightly", "CORDIC-based fix-point square root",
+         "Loop unrolling, tightly-coupled interfaces"),
+        ("sqrt_decoupled", "CORDIC-based fix-point square root",
+         "spawn-block, decoupled interfaces"),
+        ("zol", "Zero-overhead loop inspired by PULP extensions",
+         "PC and custom register access in always-block"),
+    ]
+    lines = [f"{'ISAX':<16} {'Description':<52} Demonstrates"]
+    lines.append("-" * 120)
+    for name, description, demonstrates in rows:
+        lines.append(f"{name:<16} {description:<52} {demonstrates}")
+    return "\n".join(lines)

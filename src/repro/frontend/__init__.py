@@ -1,0 +1,28 @@
+"""CoreDSL frontend: lexer, parser, type system, elaboration, type checking.
+
+This package implements the CoreDSL language from Section 2 of the paper:
+a C-like behavioral ADL with arbitrary-precision integer types, bitwidth-aware
+operators, instruction encodings, architectural state, helper functions, and
+the ``always``/``spawn`` decoupled-execution constructs.
+
+The main entry point is :func:`repro.frontend.elaboration.elaborate`, which
+parses, links (imports + inheritance), and type-checks a CoreDSL description,
+producing an :class:`~repro.frontend.elaboration.ElaboratedISA`.
+"""
+
+from repro.frontend.types import IntType, signed, unsigned, BOOL
+from repro.frontend.lexer import tokenize, Token
+from repro.frontend.parser import parse_description
+from repro.frontend.elaboration import elaborate, ElaboratedISA
+
+__all__ = [
+    "IntType",
+    "signed",
+    "unsigned",
+    "BOOL",
+    "tokenize",
+    "Token",
+    "parse_description",
+    "elaborate",
+    "ElaboratedISA",
+]

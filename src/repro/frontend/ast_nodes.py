@@ -1,0 +1,308 @@
+"""AST node definitions for CoreDSL.
+
+The node set mirrors the grammar in Figure 2 of the paper plus the C-inspired
+statement/expression sublanguage of Section 2.4.  After type checking
+(:mod:`repro.frontend.typecheck`) every expression node carries a ``ctype``
+(:class:`repro.frontend.types.IntType`) and, where applicable, a compile-time
+``const_value``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Union
+
+from repro.frontend.types import IntType, Type
+from repro.utils.diagnostics import SourceLocation
+
+
+@dataclasses.dataclass
+class Node:
+    loc: SourceLocation = dataclasses.field(
+        default_factory=SourceLocation, repr=False, compare=False
+    )
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Expr(Node):
+    #: Filled in by the type checker.
+    ctype: Optional[IntType] = dataclasses.field(default=None, compare=False)
+    #: Compile-time constant value, if known (unsigned Python int view).
+    const_value: Optional[int] = dataclasses.field(default=None, compare=False)
+
+
+@dataclasses.dataclass
+class IntLiteral(Expr):
+    value: int = 0
+    #: Explicit type from a Verilog-sized literal, None for C literals.
+    explicit_type: Optional[IntType] = None
+
+
+@dataclasses.dataclass
+class BoolLiteral(Expr):
+    value: bool = False
+
+
+@dataclasses.dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclasses.dataclass
+class BinaryOp(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class UnaryOp(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class Conditional(Expr):
+    cond: Optional[Expr] = None
+    true_value: Optional[Expr] = None
+    false_value: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class Cast(Expr):
+    """C-style cast: ``(signed<8>) x`` or sign-only ``(unsigned) x``."""
+
+    target_signed: bool = False
+    target_width: Optional[int] = None          # None => keep source width
+    width_expr: Optional[Expr] = None           # unresolved parameterized width
+    operand: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class FunctionCall(Expr):
+    callee: str = ""
+    args: List[Expr] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class IndexExpr(Expr):
+    """``base[index]``: register-file element, address-space byte, or scalar
+    single-bit access (paper extends the subscript operator to scalars)."""
+
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class RangeExpr(Expr):
+    """``base[hi:lo]``: bit range on scalars, multi-element range on address
+    spaces (``MEM[addr+3:addr]`` is a 32-bit little-endian load)."""
+
+    base: Optional[Expr] = None
+    hi: Optional[Expr] = None
+    lo: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclasses.dataclass
+class BlockStmt(Stmt):
+    statements: List[Stmt] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class VarDecl(Stmt):
+    decl_type: Optional[Type] = None
+    width_expr: Optional[Expr] = None           # parameterized width
+    is_signed: bool = False
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class Assign(Stmt):
+    """``target op= value``; plain assignment has ``op == "="``."""
+
+    target: Optional[Expr] = None
+    op: str = "="
+    value: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class IfStmt(Stmt):
+    cond: Optional[Expr] = None
+    then_body: Optional[Stmt] = None
+    else_body: Optional[Stmt] = None
+
+
+@dataclasses.dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Optional[Stmt] = None
+
+
+@dataclasses.dataclass
+class WhileStmt(Stmt):
+    """``while``/``do-while`` loop; like ``for``, the trip count must be
+    compile-time evaluable for hardware synthesis (paper Section 2.4 lists
+    these as planned loop constructs)."""
+
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+    is_do_while: bool = False
+
+
+@dataclasses.dataclass
+class SwitchCase(Node):
+    """One ``case CONST:`` (or ``default:`` when label is None) arm; arms
+    must be break-terminated (no fall-through)."""
+
+    label: Optional[Expr] = None
+    body: Optional["BlockStmt"] = None
+
+
+@dataclasses.dataclass
+class SwitchStmt(Stmt):
+    value: Optional[Expr] = None
+    cases: List[SwitchCase] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class SpawnStmt(Stmt):
+    """``spawn { ... }`` — the behavior inside executes decoupled from the
+    base pipeline (paper Section 2.5)."""
+
+    body: Optional[Stmt] = None
+
+
+# ---------------------------------------------------------------------------
+# Encodings
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class EncBits(Node):
+    """A constant run of encoding bits, e.g. ``7'b0001011``."""
+
+    width: int = 0
+    value: int = 0
+
+
+@dataclasses.dataclass
+class EncField(Node):
+    """A named operand field slice, e.g. ``rs2[4:0]`` — bits [hi:lo] *of the
+    field* placed at this position of the instruction word."""
+
+    name: str = ""
+    hi: int = 0
+    lo: int = 0
+
+
+EncodingComponent = Union[EncBits, EncField]
+
+
+# ---------------------------------------------------------------------------
+# Top-level definitions
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class StateDecl(Node):
+    """One declaration from an ``architectural_state`` section.
+
+    ``storage`` is ``"register"`` (architectural register / register file),
+    ``"extern"`` (address space, e.g. main memory), ``"const"`` (ROM) or
+    ``"param"`` (an ISA parameter — a declaration without storage class).
+    """
+
+    storage: str = "param"
+    is_signed: bool = False
+    width_expr: Optional[Expr] = None
+    width: Optional[int] = None
+    name: str = ""
+    array_size_expr: Optional[Expr] = None
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+    init_list: Optional[List[Expr]] = None
+    attributes: List[str] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class FunctionParam(Node):
+    is_signed: bool = False
+    width_expr: Optional[Expr] = None
+    name: str = ""
+
+
+@dataclasses.dataclass
+class FunctionDef(Node):
+    name: str = ""
+    return_signed: bool = False
+    return_width_expr: Optional[Expr] = None    # None => void
+    params: List[FunctionParam] = dataclasses.field(default_factory=list)
+    body: Optional[BlockStmt] = None
+
+
+@dataclasses.dataclass
+class InstructionDef(Node):
+    name: str = ""
+    encoding: List[EncodingComponent] = dataclasses.field(default_factory=list)
+    behavior: Optional[BlockStmt] = None
+
+
+@dataclasses.dataclass
+class AlwaysDef(Node):
+    name: str = ""
+    body: Optional[BlockStmt] = None
+
+
+@dataclasses.dataclass
+class ISABody(Node):
+    state: List[StateDecl] = dataclasses.field(default_factory=list)
+    instructions: List[InstructionDef] = dataclasses.field(default_factory=list)
+    always_blocks: List[AlwaysDef] = dataclasses.field(default_factory=list)
+    functions: List[FunctionDef] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class InstructionSetDef(Node):
+    name: str = ""
+    extends: Optional[str] = None
+    body: Optional[ISABody] = None
+
+
+@dataclasses.dataclass
+class CoreDef(Node):
+    name: str = ""
+    provides: List[str] = dataclasses.field(default_factory=list)
+    body: Optional[ISABody] = None
+
+
+@dataclasses.dataclass
+class Description(Node):
+    """A parsed CoreDSL file: imports followed by definitions."""
+
+    imports: List[str] = dataclasses.field(default_factory=list)
+    instruction_sets: List[InstructionSetDef] = dataclasses.field(default_factory=list)
+    cores: List[CoreDef] = dataclasses.field(default_factory=list)

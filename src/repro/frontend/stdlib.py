@@ -1,0 +1,29 @@
+"""Builtin CoreDSL descriptions available via ``import``.
+
+The paper's examples start with ``import "RV32I.core_desc"``, which declares
+the standard RISC-V architectural state: the general-purpose register field
+``X`` (32 elements of ``unsigned<32>``), the program counter ``PC``, and the
+byte-addressable main-memory address space ``MEM``.  The special roles are
+marked with attributes (``[[is_main_reg]]``, ``[[is_pc]]``, ``[[is_main_mem]]``)
+so later flow stages can pattern-match accesses to SCAIE-V sub-interfaces.
+"""
+
+RV32I_CORE_DESC = """
+InstructionSet RISCVBase {
+  architectural_state {
+    unsigned int XLEN = 32;
+    register unsigned<XLEN> X[32] [[is_main_reg]];
+    register unsigned<XLEN> PC [[is_pc]];
+    extern unsigned<8> MEM[4294967296] [[is_main_mem]];
+  }
+}
+
+InstructionSet RV32I extends RISCVBase {
+}
+"""
+
+#: Import path -> CoreDSL source text.
+BUILTIN_SOURCES = {
+    "RV32I.core_desc": RV32I_CORE_DESC,
+    "RISCVBase.core_desc": RV32I_CORE_DESC,
+}

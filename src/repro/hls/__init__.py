@@ -1,0 +1,23 @@
+"""Longnail: the domain-specific HLS flow (paper Section 4).
+
+End-to-end driver: CoreDSL text -> elaborated ISA -> coredsl IR -> lil CDFG
+-> scheduled problem -> pipelined hardware module -> SystemVerilog +
+SCAIE-V configuration file.
+"""
+
+from repro.hls.longnail import IsaxArtifact, compile_isax, compile_isax_set
+from repro.hls.hwgen import generate_module
+from repro.hls.sharing import SharingReport, analyze_functionality, analyze_isax
+from repro.hls.verilog import emit_module, emit_modules
+
+__all__ = [
+    "IsaxArtifact",
+    "compile_isax",
+    "compile_isax_set",
+    "generate_module",
+    "SharingReport",
+    "analyze_functionality",
+    "analyze_isax",
+    "emit_module",
+    "emit_modules",
+]

@@ -1,0 +1,219 @@
+"""The end-to-end Longnail driver (paper Figure 9).
+
+``compile_isax`` runs the full flow for one CoreDSL InstructionSet against
+one host core:
+
+1. frontend: parse + elaborate + type-check (Section 2),
+2. lower to the coredsl IR and then to lil CDFGs (Section 4.1),
+3. read the core's virtual datasheet and schedule each graph (Sections
+   4.2/4.3), selecting the execution mode of every interface use
+   (Section 3.2 / 4.3),
+4. generate the pipelined hardware modules and SystemVerilog (Section 4.5),
+5. emit the SCAIE-V configuration file (Section 4.6).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Union
+
+from repro.dialects import lil
+from repro.dialects.hw import HWModule
+from repro.frontend.elaboration import ElaboratedISA, elaborate
+from repro.hls.hwgen import generate_module
+from repro.hls.verilog import emit_modules
+from repro.ir.core import Graph
+from repro.lowering import convert_to_lil, lower_isa
+from repro.scaiev.config import (
+    Functionality,
+    IsaxConfig,
+    RegisterRequest,
+    ScheduleEntry,
+)
+from repro.scaiev.cores import core_datasheet
+from repro.scaiev.datasheet import VirtualDatasheet
+from repro.scaiev.modes import ExecutionMode, select_mode
+from repro.scheduling.scheduler import (
+    DelayModel,
+    LongnailScheduler,
+    ScheduleResult,
+)
+
+
+@dataclasses.dataclass
+class FunctionalityArtifact:
+    """Everything Longnail produced for one instruction or always-block."""
+
+    name: str
+    kind: str                       # "instruction" | "always"
+    graph: Graph
+    schedule: ScheduleResult
+    module: HWModule
+    functionality: Functionality
+
+    @property
+    def mode(self) -> ExecutionMode:
+        """Overall execution mode: the 'strongest' mode of any write."""
+        modes = [entry.mode for entry in self.functionality.schedule]
+        for candidate in ("always", "decoupled", "tightly_coupled"):
+            if candidate in modes:
+                return ExecutionMode(candidate)
+        return ExecutionMode.IN_PIPELINE
+
+
+@dataclasses.dataclass
+class IsaxArtifact:
+    """The complete result of compiling one ISAX for one core."""
+
+    isa: ElaboratedISA
+    datasheet: VirtualDatasheet
+    functionalities: Dict[str, FunctionalityArtifact]
+    config: IsaxConfig
+
+    @property
+    def name(self) -> str:
+        return self.isa.name
+
+    @property
+    def core_name(self) -> str:
+        return self.datasheet.core_name
+
+    @property
+    def modules(self) -> List[HWModule]:
+        return [f.module for f in self.functionalities.values()]
+
+    @property
+    def verilog(self) -> str:
+        return emit_modules(self.modules)
+
+    @property
+    def config_yaml(self) -> str:
+        return self.config.to_yaml()
+
+    def artifact(self, name: str) -> FunctionalityArtifact:
+        return self.functionalities[name]
+
+
+def _schedule_entries(graph: Graph, schedule: ScheduleResult,
+                      datasheet: VirtualDatasheet,
+                      is_always: bool) -> List[ScheduleEntry]:
+    entries: List[ScheduleEntry] = []
+    for op in graph.operations:
+        interface = lil.interface_name(op)
+        if interface is None:
+            continue
+        stage = schedule.stage_of(op)
+        mode = select_mode(op, stage, datasheet, in_always=is_always)
+        has_valid = False
+        if op.name in lil.WRITE_OPS:
+            # State updates carry their predicate as an explicit valid bit;
+            # mandatory for always-blocks (Section 3.2).
+            has_valid = True
+        if op.name == "lil.read_mem":
+            has_valid = True
+        if op.name == "lil.write_custreg":
+            # Figure 8: writes to custom registers submit the index first
+            # (Wr<NAME>.addr), then the data (Wr<NAME>.data).  For registers
+            # with a single element the .addr entry only provides stage
+            # information for the hazard-handling mechanism.
+            entries.append(ScheduleEntry(
+                interface=f"{interface}.addr", stage=stage,
+                has_valid=False, mode=str(mode),
+            ))
+            entries.append(ScheduleEntry(
+                interface=f"{interface}.data", stage=stage,
+                has_valid=True, mode=str(mode),
+            ))
+            continue
+        entries.append(ScheduleEntry(
+            interface=interface, stage=stage, has_valid=has_valid,
+            mode=str(mode),
+        ))
+    entries.sort(key=lambda e: (e.stage, e.interface))
+    return entries
+
+
+def compile_isax(
+    source: Union[str, ElaboratedISA],
+    core: Union[str, VirtualDatasheet] = "VexRiscv",
+    top: Optional[str] = None,
+    engine: str = "auto",
+    delay_model: Optional[DelayModel] = None,
+    cycle_time_ns: Optional[float] = None,
+    extra_sources: Optional[Dict[str, str]] = None,
+) -> IsaxArtifact:
+    """Compile a CoreDSL description (text or elaborated ISA) for a core."""
+    if isinstance(source, ElaboratedISA):
+        isa = source
+    else:
+        isa = elaborate(source, top=top, extra_sources=extra_sources)
+    datasheet = core_datasheet(core) if isinstance(core, str) else core
+
+    lowered = lower_isa(isa)
+    scheduler = LongnailScheduler(
+        datasheet, delay_model=delay_model, cycle_time_ns=cycle_time_ns,
+        engine=engine,
+    )
+
+    functionalities: Dict[str, FunctionalityArtifact] = {}
+    config_functionalities: List[Functionality] = []
+
+    for name, container in lowered.instructions.items():
+        graph = convert_to_lil(isa, container)
+        schedule = scheduler.schedule(graph)
+        module = generate_module(graph, schedule)
+        functionality = Functionality(
+            kind="instruction",
+            name=name,
+            mask=isa.instructions[name].encoding.pattern,
+            schedule=_schedule_entries(graph, schedule, datasheet, False),
+        )
+        config_functionalities.append(functionality)
+        functionalities[name] = FunctionalityArtifact(
+            name=name, kind="instruction", graph=graph, schedule=schedule,
+            module=module, functionality=functionality,
+        )
+
+    for name, container in lowered.always_blocks.items():
+        graph = convert_to_lil(isa, container)
+        schedule = scheduler.schedule(graph)
+        module = generate_module(graph, schedule)
+        functionality = Functionality(
+            kind="always",
+            name=name,
+            schedule=_schedule_entries(graph, schedule, datasheet, True),
+        )
+        config_functionalities.append(functionality)
+        functionalities[name] = FunctionalityArtifact(
+            name=name, kind="always", graph=graph, schedule=schedule,
+            module=module, functionality=functionality,
+        )
+
+    registers = [
+        RegisterRequest(info.name, info.element.width, info.size or 1)
+        for info in isa.custom_state()
+        if info.kind in ("scalar_reg", "array_reg")
+    ]
+    config = IsaxConfig(
+        name=isa.name,
+        registers=registers,
+        functionalities=config_functionalities,
+    )
+    return IsaxArtifact(
+        isa=isa,
+        datasheet=datasheet,
+        functionalities=functionalities,
+        config=config,
+    )
+
+
+def compile_isax_set(
+    sources: List[Union[str, ElaboratedISA]],
+    core: Union[str, VirtualDatasheet] = "VexRiscv",
+    **kwargs,
+) -> List[IsaxArtifact]:
+    """Compile several ISAXes for the same core (e.g. the autoinc+zol
+    combination of Section 5.1); integration is handled by
+    :func:`repro.scaiev.integrate.integrate`."""
+    datasheet = core_datasheet(core) if isinstance(core, str) else core
+    return [compile_isax(src, datasheet, **kwargs) for src in sources]

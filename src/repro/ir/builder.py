@@ -1,0 +1,43 @@
+"""Builder helper for constructing IR with less boilerplate."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ir.core import Block, Graph, Operation, Region, Value
+
+
+class Builder:
+    """Creates operations and appends them to a block (or graph).
+
+    The builder also performs *constant uniquing*: requesting the same
+    constant twice yields the same SSA value, which keeps the dataflow graphs
+    small before canonicalization even runs.
+    """
+
+    def __init__(self, target: Block):
+        self.block = target
+        self._constants: Dict[Tuple[str, int, int], Value] = {}
+
+    @classmethod
+    def at(cls, graph: Graph) -> "Builder":
+        return cls(graph.block)
+
+    def create(self, name: str, operands: Optional[List[Value]] = None,
+               result_types: Optional[List[Tuple[int, Optional[bool]]]] = None,
+               attributes: Optional[Dict[str, Any]] = None,
+               regions: Optional[List[Region]] = None) -> Operation:
+        operation = Operation(name, operands, result_types, attributes, regions)
+        self.block.append(operation)
+        return operation
+
+    def constant(self, value: int, width: int, op_name: str = "comb.constant") -> Value:
+        key = (op_name, value, width)
+        cached = self._constants.get(key)
+        if cached is not None:
+            return cached
+        operation = self.create(
+            op_name, [], [(width, None)], {"value": value & ((1 << width) - 1)}
+        )
+        self._constants[key] = operation.result
+        return operation.result

@@ -1,0 +1,182 @@
+"""IR passes: canonicalization (constant folding + DCE) on flat graphs.
+
+MLIR's "usual canonicalization patterns" (paper Section 4.5) are represented
+here by iterated constant folding through the dialect-registered folders,
+algebraic simplifications on ``comb`` operations, and dead-code elimination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.core import Graph, Operation, Value
+
+
+def _constant_value(value: Value) -> Optional[int]:
+    owner = value.owner
+    if owner is not None and owner.name == "comb.constant":
+        return owner.attr("value")
+    return None
+
+
+def _make_constant(graph: Graph, anchor: Operation, value: int, width: int) -> Value:
+    op = Operation("comb.constant", [], [(width, None)], {"value": value})
+    graph.block.insert_before(anchor, op)
+    return op.result
+
+
+def _simplify_algebraic(op: Operation) -> Optional[Value]:
+    """Identity simplifications that do not require all operands constant."""
+    name = op.name
+    if name in ("comb.add", "comb.sub", "comb.or", "comb.xor", "comb.shl",
+                "comb.shru"):
+        rhs = _constant_value(op.operands[1])
+        if rhs == 0 and op.operands[0].width == op.result.width:
+            return op.operands[0]
+    if name == "comb.add":
+        lhs = _constant_value(op.operands[0])
+        if lhs == 0 and op.operands[1].width == op.result.width:
+            return op.operands[1]
+    if name == "comb.mul":
+        rhs = _constant_value(op.operands[1])
+        if rhs == 1 and op.operands[0].width == op.result.width:
+            return op.operands[0]
+    if name == "comb.and":
+        rhs = _constant_value(op.operands[1])
+        if rhs is not None and rhs == (1 << op.result.width) - 1:
+            return op.operands[0]
+    if name == "comb.mux":
+        cond = _constant_value(op.operands[0])
+        if cond is not None:
+            return op.operands[1] if cond else op.operands[2]
+        if op.operands[1] is op.operands[2]:
+            return op.operands[1]
+    if name == "comb.extract":
+        if op.attr("low") == 0 and op.result.width == op.operands[0].width:
+            return op.operands[0]
+    if name == "comb.concat" and len(op.operands) == 1:
+        return op.operands[0]
+    return None
+
+
+def _rewrite_constant_shift(graph: Graph, op: Operation) -> bool:
+    """Shifts by a constant amount are wiring, not shifters: rewrite them to
+    extract/concat so neither area nor delay is attributed to them."""
+    if op.name not in ("comb.shru", "comb.shrs", "comb.shl"):
+        return False
+    amount = _constant_value(op.operands[1])
+    if amount is None or amount == 0:
+        return False
+    width = op.result.width
+    value = op.operands[0]
+    replacement: Optional[Value] = None
+    if op.name == "comb.shru" or (op.name == "comb.shrs" and amount < width):
+        keep = width - min(amount, width)
+        if keep == 0:
+            replacement = _make_constant(graph, op, 0, width)
+        else:
+            high = Operation("comb.extract", [value], [(keep, None)],
+                             {"low": amount})
+            graph.block.insert_before(op, high)
+            if op.name == "comb.shru":
+                pad = _make_constant(graph, op, 0, width - keep)
+                fill = pad
+            else:
+                msb = Operation("comb.extract", [value], [(1, None)],
+                                {"low": width - 1})
+                graph.block.insert_before(op, msb)
+                if width - keep == 1:
+                    fill = msb.result
+                else:
+                    rep = Operation("comb.replicate", [msb.result],
+                                    [(width - keep, None)])
+                    graph.block.insert_before(op, rep)
+                    fill = rep.result
+            concat = Operation("comb.concat", [fill, high.result],
+                               [(width, None)])
+            graph.block.insert_before(op, concat)
+            replacement = concat.result
+    elif op.name == "comb.shl":
+        if amount >= width:
+            replacement = _make_constant(graph, op, 0, width)
+        else:
+            keep = width - amount
+            low = Operation("comb.extract", [value], [(keep, None)],
+                            {"low": 0})
+            graph.block.insert_before(op, low)
+            pad = _make_constant(graph, op, 0, amount)
+            concat = Operation("comb.concat", [low.result, pad],
+                               [(width, None)])
+            graph.block.insert_before(op, concat)
+            replacement = concat.result
+    if replacement is None:
+        return False
+    op.result.replace_all_uses_with(replacement)
+    op.erase()
+    return True
+
+
+def fold_constants(graph: Graph) -> int:
+    """Fold operations whose operands are all constants; returns the number
+    of operations replaced."""
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for op in list(graph.operations):
+            if op.name == "comb.constant" or not op.results:
+                continue
+            if len(op.results) != 1:
+                continue
+            simplified = _simplify_algebraic(op) if op.name.startswith("comb.") else None
+            if simplified is not None:
+                op.result.replace_all_uses_with(simplified)
+                op.erase()
+                folded += 1
+                changed = True
+                continue
+            if op.name.startswith("comb.") and _rewrite_constant_shift(graph, op):
+                folded += 1
+                changed = True
+                continue
+            folder = op.opdef.folder
+            if folder is None or op.opdef.has_side_effects:
+                continue
+            operand_values = [_constant_value(v) for v in op.operands]
+            result = folder(op, operand_values)
+            if result is None:
+                continue
+            constant = _make_constant(graph, op, result, op.result.width)
+            op.result.replace_all_uses_with(constant)
+            op.erase()
+            folded += 1
+            changed = True
+    return folded
+
+
+def dedupe_constants(graph: Graph) -> int:
+    """Merge identical ``comb.constant`` operations."""
+    seen: Dict[tuple, Value] = {}
+    removed = 0
+    for op in list(graph.operations):
+        if op.name != "comb.constant":
+            continue
+        key = (op.attr("value"), op.result.width)
+        existing = seen.get(key)
+        if existing is None:
+            seen[key] = op.result
+        else:
+            op.result.replace_all_uses_with(existing)
+            op.erase()
+            removed += 1
+    return removed
+
+
+def canonicalize(graph: Graph) -> None:
+    """Run folding, constant dedup and DCE to a fixed point."""
+    while True:
+        changed = fold_constants(graph)
+        changed += dedupe_constants(graph)
+        changed += graph.remove_dead_code()
+        if not changed:
+            return

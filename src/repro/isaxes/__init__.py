@@ -1,0 +1,49 @@
+"""The benchmark ISAXes of paper Table 3, as CoreDSL source.
+
+=================  =============================================================
+ISAX               Demonstrates
+=================  =============================================================
+autoinc            Custom register and main memory access
+dotprod            Loop + bit ranges concisely describing SIMD behavior (Fig. 1)
+ijmp               PC and main memory access
+sbox               Constant custom register (ROM)
+sparkle            R-type instructions, bit manipulations, helper functions
+sqrt_tightly       Loop unrolling, tightly-coupled interfaces
+sqrt_decoupled     spawn-block, decoupled interfaces
+zol                PC and custom register access in an always-block (Fig. 3)
+=================  =============================================================
+
+``autoinc + zol`` (the Table 4 combination row and the Section 5.5 case
+study) is obtained by compiling both sources for the same core and
+integrating them together.
+
+Custom opcode usage is coordinated so any subset of these ISAXes can be
+integrated into one core without encoding conflicts: most use *custom-0*
+(0001011) with distinct funct3 codes; ``autoinc`` uses *custom-1* (0101011).
+"""
+
+from repro.isaxes.sources import (
+    ALL_ISAXES,
+    AUTOINC,
+    DOTPROD,
+    IJMP,
+    SBOX,
+    SPARKLE,
+    SQRT_DECOUPLED,
+    SQRT_TIGHTLY,
+    ZOL,
+    isax_source,
+)
+
+__all__ = [
+    "ALL_ISAXES",
+    "AUTOINC",
+    "DOTPROD",
+    "IJMP",
+    "SBOX",
+    "SPARKLE",
+    "SQRT_DECOUPLED",
+    "SQRT_TIGHTLY",
+    "ZOL",
+    "isax_source",
+]

@@ -1,0 +1,296 @@
+"""CoreDSL sources of the benchmark ISAXes (paper Table 3)."""
+
+AUTOINC = '''
+import "RV32I.core_desc"
+
+// Auto-incrementing load/store instructions and setup, using a custom
+// register to track the current address (Table 3).
+InstructionSet autoinc extends RV32I {
+  architectural_state {
+    register unsigned<32> ADDR;
+  }
+  instructions {
+    setup_ai {
+      encoding: 12'd0 :: rs1[4:0] :: 3'b000 :: 5'd0 :: 7'b0101011;
+      behavior: {
+        ADDR = X[rs1];
+      }
+    }
+    lw_ai {
+      encoding: 12'd0 :: 5'd0 :: 3'b001 :: rd[4:0] :: 7'b0101011;
+      behavior: {
+        X[rd] = MEM[ADDR+3:ADDR];
+        ADDR = (unsigned<32>) (ADDR + 4);
+      }
+    }
+    sw_ai {
+      encoding: 7'd0 :: rs2[4:0] :: 5'd0 :: 3'b010 :: 5'd0 :: 7'b0101011;
+      behavior: {
+        MEM[ADDR+3:ADDR] = X[rs2];
+        ADDR = (unsigned<32>) (ADDR + 4);
+      }
+    }
+  }
+}
+'''
+
+DOTPROD = '''
+import "RV32I.core_desc"
+
+// 4x8bit dot-product ISAX (paper Figure 1).
+InstructionSet X_DOTP extends RV32I {
+  instructions {
+    dotp {
+        encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] ::
+                  3'd0 :: rd[4:0] :: 7'b0001011;
+        behavior: {
+          signed<32> res = 0;
+          for (int i = 0; i < 32; i += 8) {
+            signed<16> prod = (signed) X[rs1][i+7:i] *
+                              (signed) X[rs2][i+7:i];
+            res += prod;
+          }
+          X[rd] = (unsigned) res;
+        }
+    }
+  }
+}
+'''
+
+IJMP = '''
+import "RV32I.core_desc"
+
+// Read the next PC from memory (Table 3: PC and main memory access).
+InstructionSet ijmp extends RV32I {
+  instructions {
+    ijmp {
+      encoding: 12'd0 :: rs1[4:0] :: 3'b011 :: 5'd0 :: 7'b0001011;
+      behavior: {
+        unsigned<32> a = X[rs1];
+        PC = MEM[a+3:a];
+      }
+    }
+  }
+}
+'''
+
+SBOX = '''
+import "RV32I.core_desc"
+
+// Lookup from the AES S-Box held in a constant custom register
+// (Table 3: constant custom register).
+InstructionSet sbox extends RV32I {
+  architectural_state {
+    const unsigned<8> SBOX[256] = {
+      0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+      0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+      0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+      0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+      0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+      0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+      0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+      0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+      0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+      0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+      0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+      0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+      0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+      0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+      0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+      0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+      0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+      0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+      0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+      0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+      0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+      0xb0, 0x54, 0xbb, 0x16
+    };
+  }
+  instructions {
+    sbox {
+      encoding: 12'd0 :: rs1[4:0] :: 3'b100 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        X[rd] = (unsigned<32>) SBOX[X[rs1][7:0]];
+      }
+    }
+  }
+}
+'''
+
+SPARKLE = '''
+import "RV32I.core_desc"
+
+// One Alzette ARX-box of the Sparkle suite for lightweight (post-quantum
+// era) symmetric cryptography (Table 3: R-type instructions, bit
+// manipulations, helper functions).  alzette_x returns the new x word and
+// alzette_y the new y word after the four ARX rounds with round constant c.
+InstructionSet sparkle extends RV32I {
+  functions {
+    unsigned<32> rotr(unsigned<32> v, unsigned<5> amount) {
+      return (unsigned<32>) ((v >> amount) |
+                             (v << (unsigned<6>) (32 - amount)));
+    }
+    unsigned<32> alzette_half(unsigned<32> xin, unsigned<32> yin,
+                              unsigned<1> want_y) {
+      unsigned<32> c = 0xB7E15162;
+      unsigned<32> x = xin;
+      unsigned<32> y = yin;
+      x = (unsigned<32>) (x + rotr(y, 31));
+      y = y ^ rotr(x, 24);
+      x = x ^ c;
+      x = (unsigned<32>) (x + rotr(y, 17));
+      y = y ^ rotr(x, 17);
+      x = x ^ c;
+      x = (unsigned<32>) (x + y);
+      y = y ^ rotr(x, 31);
+      x = x ^ c;
+      x = (unsigned<32>) (x + rotr(y, 24));
+      y = y ^ rotr(x, 16);
+      x = x ^ c;
+      return want_y ? y : x;
+    }
+  }
+  instructions {
+    alzette_x {
+      encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'b101 :: rd[4:0] :: 7'b0101011;
+      behavior: {
+        X[rd] = alzette_half(X[rs1], X[rs2], 1'b0);
+      }
+    }
+    alzette_y {
+      encoding: 7'd1 :: rs2[4:0] :: rs1[4:0] :: 3'b101 :: rd[4:0] :: 7'b0101011;
+      behavior: {
+        X[rd] = alzette_half(X[rs1], X[rs2], 1'b1);
+      }
+    }
+  }
+}
+'''
+
+_SQRT_BODY = '''
+          unsigned<64> acc = X[rs1] :: 32'd0;
+          unsigned<34> rem = 0;
+          unsigned<32> root = 0;
+          for (int i = 31; i >= 0; i -= 1) {
+            rem = (unsigned<34>) ((rem :: 2'b00)
+                  | (unsigned<2>) (acc >> (unsigned<6>) (2 * i)));
+            unsigned<34> trial = (unsigned<34>) (root :: 2'b01);
+            if (trial <= rem) {
+              rem = (unsigned<34>) (rem - trial);
+              root = (unsigned<32>) (root :: 1'b1);
+            } else {
+              root = (unsigned<32>) (root :: 1'b0);
+            }
+          }
+'''
+
+SQRT_TIGHTLY = f'''
+import "RV32I.core_desc"
+
+// CORDIC-style fix-point square root: 32 unrolled shift-subtract
+// iterations computing sqrt(x) in Q16.16 (Table 3: loop unrolling,
+// tightly-coupled interfaces).
+InstructionSet sqrt_tightly extends RV32I {{
+  instructions {{
+    fsqrt {{
+      encoding: 12'd0 :: rs1[4:0] :: 3'b110 :: rd[4:0] :: 7'b0001011;
+      behavior: {{
+{_SQRT_BODY}
+        X[rd] = root;
+      }}
+    }}
+  }}
+}}
+'''
+
+SQRT_DECOUPLED = f'''
+import "RV32I.core_desc"
+
+// Same square-root behavior, but the long-running computation is wrapped
+// in a spawn-block so other instructions may overtake it in the base
+// pipeline (paper Figure 4; Table 3: spawn-block, decoupled interfaces).
+InstructionSet sqrt_decoupled extends RV32I {{
+  instructions {{
+    fsqrt {{
+      encoding: 12'd0 :: rs1[4:0] :: 3'b111 :: rd[4:0] :: 7'b0001011;
+      behavior: {{
+        unsigned<32> operand = X[rs1];
+        spawn {{
+          unsigned<64> acc = operand :: 32'd0;
+          unsigned<34> rem = 0;
+          unsigned<32> root = 0;
+          for (int i = 31; i >= 0; i -= 1) {{
+            rem = (unsigned<34>) ((rem :: 2'b00)
+                  | (unsigned<2>) (acc >> (unsigned<6>) (2 * i)));
+            unsigned<34> trial = (unsigned<34>) (root :: 2'b01);
+            if (trial <= rem) {{
+              rem = (unsigned<34>) (rem - trial);
+              root = (unsigned<32>) (root :: 1'b1);
+            }} else {{
+              root = (unsigned<32>) (root :: 1'b0);
+            }}
+          }}
+          X[rd] = root;
+        }}
+      }}
+    }}
+  }}
+}}
+'''
+
+ZOL = '''
+import "RV32I.core_desc"
+
+// Zero-overhead loop inspired by the PULP extensions (paper Figure 3).
+// Loop bounds and counter are modeled as custom registers; the redirect
+// logic runs in an always-block in parallel to the pipeline.
+InstructionSet zol extends RV32I {
+  architectural_state {
+    register unsigned<32> START_PC, END_PC, COUNT;
+  }
+  instructions {
+    setup_zol {
+      encoding: uimmL[11:0] :: uimmS[4:0] :: 3'b101
+                 :: 5'b00000 :: 7'b0001011;
+      behavior:
+      {
+        START_PC = (unsigned<32>) (PC + 4);
+        END_PC =
+           (unsigned<32>) (PC + (uimmS :: 1'b0));
+        COUNT = uimmL;
+      }
+    }
+  }
+  always {
+    zol {
+      // program counter (`PC`) defined in RV32I
+      if (COUNT != 0 && END_PC == PC) {
+        PC = START_PC;
+        --COUNT;
+      }
+    }
+  }
+}
+'''
+
+#: Table 3, in the paper's row order.  ``autoinc+zol`` is the combination
+#: evaluated in Table 4 and Section 5.5.
+ALL_ISAXES = {
+    "autoinc": AUTOINC,
+    "dotprod": DOTPROD,
+    "ijmp": IJMP,
+    "sbox": SBOX,
+    "sparkle": SPARKLE,
+    "sqrt_tightly": SQRT_TIGHTLY,
+    "sqrt_decoupled": SQRT_DECOUPLED,
+    "zol": ZOL,
+}
+
+
+def isax_source(name: str) -> str:
+    """CoreDSL source of one benchmark ISAX by Table 3 name."""
+    if name not in ALL_ISAXES:
+        raise KeyError(
+            f"unknown ISAX {name!r}; available: {', '.join(ALL_ISAXES)}"
+        )
+    return ALL_ISAXES[name]

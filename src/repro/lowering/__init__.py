@@ -1,0 +1,14 @@
+"""Lowering pipeline: decorated AST -> coredsl IR -> lil CDFG.
+
+Mirrors Figure 5 of the paper: (a) CoreDSL source is elaborated by the
+frontend, (b) :mod:`repro.lowering.ast_to_coredsl` emits a flat, typed
+coredsl+hwarith representation (loops unrolled, calls inlined, branches
+if-converted), (c) :mod:`repro.lowering.coredsl_to_lil` erases types into
+``comb`` logic and pattern-matches state accesses to explicit SCAIE-V
+sub-interface operations in the ``lil`` dialect.
+"""
+
+from repro.lowering.ast_to_coredsl import LoweredISAX, lower_isa
+from repro.lowering.coredsl_to_lil import convert_to_lil
+
+__all__ = ["LoweredISAX", "lower_isa", "convert_to_lil"]

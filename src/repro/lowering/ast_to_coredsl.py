@@ -1,0 +1,856 @@
+"""AST -> coredsl/hwarith IR emission (paper Figure 5, step a->b).
+
+The emitter performs the "pre-HLS" normalizations while walking the decorated
+AST:
+
+* **Loop unrolling** — ``for`` loops must have compile-time-known trip counts
+  (paper Section 2.4); the loop variable is tracked as a constant local.
+* **Function inlining** — non-recursive helper functions are inlined at the
+  call site.
+* **If-conversion** — branches become mux-selected dataflow; architectural
+  state writes accumulate a predicate.
+* **State-access legalization** — every (state element, index) pair is read
+  at most once and written at most once per behavior, with sequential
+  read-after-write semantics provided by a shadow environment.  This is what
+  makes the result compatible with SCAIE-V's one-use-per-sub-interface rule
+  (Section 3.1).
+
+The result per instruction/always-block is a ``coredsl.instruction`` /
+``coredsl.always`` container operation holding a flat behavior region,
+terminated by ``coredsl.end`` or ``coredsl.spawn`` (Section 2.5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.elaboration import ElabAlways, ElabInstruction, ElaboratedISA
+from repro.frontend.typecheck import FunctionSig, StateInfo, const_eval
+from repro.frontend.types import IntType, signed, unsigned
+from repro.ir.builder import Builder
+from repro.ir.core import Block, Operation, Region, Value
+from repro.utils.bits import to_unsigned
+from repro.utils.diagnostics import CoreDSLError
+
+#: Guard against runaway unrolling.
+MAX_UNROLL_ITERATIONS = 65536
+
+
+def _itype(value: Value) -> IntType:
+    assert value.signed is not None
+    return IntType(value.width, value.signed)
+
+
+@dataclasses.dataclass
+class _ShadowEntry:
+    """Pending state of one (state element, index) pair."""
+
+    value: Optional[Value] = None        # current value (read or written)
+    written: bool = False
+    pred: Optional[Value] = None         # accumulated write predicate (ui1)
+    index: Optional[Value] = None        # index value for array accesses
+    count: int = 1                       # elements (for address-space ranges)
+    read_emitted: bool = False
+
+
+@dataclasses.dataclass
+class LoweredISAX:
+    """All container ops for one ISAX, plus its originating ISA."""
+
+    isa: ElaboratedISA
+    instructions: Dict[str, Operation]
+    always_blocks: Dict[str, Operation]
+
+
+class _BehaviorEmitter:
+    """Emits one instruction or always-block behavior into a flat region."""
+
+    def __init__(self, isa: ElaboratedISA, fields: Dict[str, IntType]):
+        self.isa = isa
+        self.fields = fields
+        self.block = Block()
+        self.builder = Builder(self.block)
+        self.locals: List[Dict[str, Value]] = [{}]
+        self.const_locals: List[Dict[str, Optional[int]]] = [{}]
+        self.pred: Optional[Value] = None          # current path predicate
+        self.shadow: Dict[Tuple, _ShadowEntry] = {}
+        self.field_cache: Dict[str, Value] = {}
+        self.inline_stack: List[str] = []
+        self.return_slot: Optional[Value] = None
+        self.spawn_emitted = False
+        self.mem_write_seen = False
+
+    # ------------------------------------------------------------------ env
+    def push_scope(self) -> None:
+        self.locals.append({})
+        self.const_locals.append({})
+
+    def pop_scope(self) -> None:
+        self.locals.pop()
+        self.const_locals.pop()
+
+    def bind(self, name: str, value: Value, const: Optional[int]) -> None:
+        self.locals[-1][name] = value
+        self.const_locals[-1][name] = const
+
+    def rebind(self, name: str, value: Value, const: Optional[int]) -> None:
+        for frame, cframe in zip(reversed(self.locals),
+                                 reversed(self.const_locals)):
+            if name in frame:
+                frame[name] = value
+                cframe[name] = const
+                return
+        raise CoreDSLError(f"assignment to undeclared local '{name}'")
+
+    def lookup(self, name: str) -> Optional[Value]:
+        for frame in reversed(self.locals):
+            if name in frame:
+                return frame[name]
+        return None
+
+    def const_env(self) -> Dict[str, int]:
+        env = dict(self.isa.parameters)
+        for frame in self.const_locals:
+            for name, value in frame.items():
+                if value is not None:
+                    env[name] = value
+                elif name in env:
+                    del env[name]
+        return env
+
+    # ------------------------------------------------------------ value utils
+    def constant(self, value: int, type_: IntType) -> Value:
+        raw = to_unsigned(value, type_.width)
+        op = self.builder.create(
+            "hwarith.constant", [], [(type_.width, type_.is_signed)],
+            {"value": raw},
+        )
+        return op.result
+
+    def cast_to(self, value: Value, target: IntType) -> Value:
+        if value.width == target.width and value.signed == target.is_signed:
+            return value
+        op = self.builder.create(
+            "coredsl.cast", [value], [(target.width, target.is_signed)]
+        )
+        return op.result
+
+    def to_bool(self, value: Value) -> Value:
+        if value.width == 1 and value.signed is False:
+            return value
+        zero = self.constant(0, _itype(value))
+        op = self.builder.create(
+            "hwarith.icmp", [value, zero], [(1, False)], {"predicate": "ne"}
+        )
+        return op.result
+
+    def bool_and(self, lhs: Optional[Value], rhs: Value) -> Value:
+        if lhs is None:
+            return rhs
+        op = self.builder.create("coredsl.and", [lhs, rhs], [(1, False)])
+        return op.result
+
+    def bool_not(self, value: Value) -> Value:
+        op = self.builder.create("coredsl.not", [value], [(1, False)])
+        return op.result
+
+    def mux(self, cond: Value, true_value: Value, false_value: Value) -> Value:
+        if true_value is false_value:
+            return true_value
+        target = IntType(
+            max(true_value.width, false_value.width),
+            bool(true_value.signed or false_value.signed),
+        )
+        # Widen one more bit if mixed signedness would lose values.
+        if true_value.signed != false_value.signed:
+            target = IntType(target.width + 1, True)
+        true_cast = self.cast_to(true_value, target)
+        false_cast = self.cast_to(false_value, target)
+        op = self.builder.create(
+            "coredsl.mux", [cond, true_cast, false_cast],
+            [(target.width, target.is_signed)],
+        )
+        return op.result
+
+    # ------------------------------------------------------- state handling
+    def _state_info(self, name: str) -> Optional[StateInfo]:
+        if self.lookup(name) is not None:
+            return None
+        return self.isa.state.get(name)
+
+    def _index_key(self, reg: str, index: Optional[ast.Expr],
+                   index_value: Optional[Value]) -> Tuple:
+        if index is None:
+            return (reg, None)
+        const = const_eval(index, self.const_env())
+        if const is not None:
+            return (reg, "const", const)
+        if isinstance(index, ast.Identifier) and index.name in self.fields:
+            return (reg, "field", index.name)
+        return (reg, "dyn", id(index_value))
+
+    def state_read(self, info: StateInfo, index: Optional[ast.Expr] = None,
+                   count: int = 1) -> Value:
+        index_value = None
+        if index is not None:
+            index_value = self.emit_expr(index)
+        key = self._index_key(info.name, index, index_value) + (count,)
+        entry = self.shadow.get(key)
+        if entry is not None and entry.value is not None:
+            return entry.value
+        if info.kind == "mem" and any(
+            k[0] == info.name and self.shadow[k].written for k in self.shadow
+        ):
+            raise CoreDSLError(
+                f"read from '{info.name}' after a write to it is not "
+                "supported within one instruction"
+            )
+        result_type = (info.element.width * count, False if count > 1
+                       else info.element.is_signed)
+        operands = [] if index_value is None else [index_value]
+        attrs = {"reg": info.name}
+        op_name = "coredsl.get"
+        if count > 1:
+            op_name = "coredsl.get_range"
+            attrs["count"] = count
+        if info.kind == "mem" and self.pred is not None:
+            operands.append(self.pred)
+            attrs["has_pred"] = True
+        op = self.builder.create(op_name, operands, [result_type], attrs)
+        entry = _ShadowEntry(value=op.result, index=index_value, count=count,
+                             read_emitted=True)
+        self.shadow[key] = entry
+        return op.result
+
+    def state_write(self, info: StateInfo, value: Value,
+                    index: Optional[ast.Expr] = None, count: int = 1) -> None:
+        if info.kind == "rom":
+            raise CoreDSLError(f"cannot write constant register '{info.name}'")
+        index_value = None
+        if index is not None:
+            index_value = self.emit_expr(index)
+        key = self._index_key(info.name, index, index_value) + (count,)
+        target = (unsigned(info.element.width * count) if count > 1
+                  else info.element)
+        value = self.cast_to(value, target)
+        entry = self.shadow.setdefault(
+            key, _ShadowEntry(index=index_value, count=count)
+        )
+        # Invariant: ``entry.pred is None`` means the write always happens.
+        if entry.written and self.pred is not None:
+            # Conditional overwrite: merge with the previous pending value.
+            entry.value = self.cast_to(
+                self.mux(self.pred, value, entry.value), target
+            )
+            if entry.pred is not None:
+                entry.pred = self.builder.create(
+                    "coredsl.or", [entry.pred, self.pred], [(1, False)]
+                ).result
+        else:
+            entry.value = value
+            entry.pred = self.pred
+        entry.written = True
+
+    def finalize_writes(self) -> None:
+        """Emit one coredsl.set per written (state, index) pair."""
+        for key, entry in list(self.shadow.items()):
+            if not entry.written:
+                continue
+            reg = key[0]
+            info = self.isa.state[reg]
+            operands = [entry.value]
+            attrs: Dict[str, object] = {"reg": reg}
+            op_name = "coredsl.set"
+            if entry.count > 1:
+                op_name = "coredsl.set_range"
+                attrs["count"] = entry.count
+            if entry.index is not None:
+                operands.append(entry.index)
+                attrs["has_index"] = True
+            if entry.pred is not None:
+                operands.append(entry.pred)
+                attrs["has_pred"] = True
+            self.builder.create(op_name, operands, [], attrs)
+        self.shadow.clear()
+        self.field_cache.clear()
+
+    # ---------------------------------------------------------- statements
+    def emit_behavior(self, body: ast.BlockStmt, kind: str) -> Block:
+        self.emit_stmt(body)
+        self.finalize_writes()
+        if not self.spawn_emitted:
+            self.builder.create("coredsl.end", [], [])
+        return self.block
+
+    def emit_stmt(self, stmt: ast.Stmt) -> None:
+        if self.spawn_emitted:
+            raise CoreDSLError(
+                "no statements may follow a 'spawn' block", stmt.loc
+            )
+        if isinstance(stmt, ast.BlockStmt):
+            self.push_scope()
+            for child in stmt.statements:
+                self.emit_stmt(child)
+            self.pop_scope()
+        elif isinstance(stmt, ast.VarDecl):
+            self.emit_var_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self.emit_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.FunctionCall):
+                self.inline_call(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self.emit_if(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self.emit_for(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.emit_while(stmt)
+        elif isinstance(stmt, ast.SwitchStmt):
+            self.emit_switch(stmt)
+        elif isinstance(stmt, ast.SpawnStmt):
+            self.emit_spawn(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            raise CoreDSLError("'return' outside of a function", stmt.loc)
+        else:
+            raise CoreDSLError(
+                f"cannot lower statement {type(stmt).__name__}", stmt.loc
+            )
+
+    def emit_var_decl(self, stmt: ast.VarDecl) -> None:
+        decl_type = stmt.decl_type
+        assert isinstance(decl_type, IntType)
+        if stmt.init is not None:
+            const = const_eval(stmt.init, self.const_env())
+            value = self.cast_to(self.emit_expr(stmt.init), decl_type)
+        else:
+            const = 0
+            value = self.constant(0, decl_type)
+        self.bind(stmt.name, value, const)
+
+    def emit_assign(self, stmt: ast.Assign) -> None:
+        if stmt.op == "=":
+            rhs = self.emit_expr(stmt.value)
+            rhs_const = const_eval(stmt.value, self.const_env())
+        else:
+            binop = ast.BinaryOp(
+                loc=stmt.loc, op=stmt.op[:-1], lhs=stmt.target, rhs=stmt.value
+            )
+            binop.ctype = None
+            rhs_const = const_eval(binop, self.const_env())
+            rhs = self.emit_binary(binop)
+        target = stmt.target
+        if isinstance(target, ast.Identifier):
+            local = self.lookup(target.name)
+            if local is not None:
+                target_type = _itype(local)
+                value = self.cast_to(rhs, target_type)
+                if rhs_const is not None and not target_type.can_represent(rhs_const):
+                    rhs_const = None  # compound wrap-around: drop const track
+                if self.pred is not None:
+                    value = self.cast_to(
+                        self.mux(self.pred, value, local), target_type
+                    )
+                    rhs_const = None
+                self.rebind(target.name, value, rhs_const)
+                return
+            info = self._state_info(target.name)
+            if info is not None and info.kind == "scalar_reg":
+                self.state_write(info, self.cast_to(rhs, info.element))
+                return
+            raise CoreDSLError(
+                f"unsupported assignment target '{target.name}'", stmt.loc
+            )
+        if isinstance(target, ast.IndexExpr):
+            assert isinstance(target.base, ast.Identifier)
+            info = self._state_info(target.base.name)
+            if info is None:
+                raise CoreDSLError(
+                    "bit-indexed assignment is not supported", stmt.loc
+                )
+            self.state_write(info, rhs, index=target.index)
+            return
+        if isinstance(target, ast.RangeExpr):
+            assert isinstance(target.base, ast.Identifier)
+            info = self._state_info(target.base.name)
+            if info is None or info.kind != "mem":
+                raise CoreDSLError("unsupported range assignment", stmt.loc)
+            count = self._range_count(target)
+            self.state_write(info, rhs, index=target.lo, count=count)
+            return
+        raise CoreDSLError("unsupported assignment target", stmt.loc)
+
+    def emit_if(self, stmt: ast.IfStmt) -> None:
+        const_cond = const_eval(stmt.cond, self.const_env())
+        if const_cond is not None:
+            branch = stmt.then_body if const_cond else stmt.else_body
+            if branch is not None:
+                self.emit_stmt(branch)
+            return
+        cond = self.to_bool(self.emit_expr(stmt.cond))
+
+        saved_locals = [dict(f) for f in self.locals]
+        saved_consts = [dict(f) for f in self.const_locals]
+        saved_shadow = {k: dataclasses.replace(v) for k, v in self.shadow.items()}
+        saved_pred = self.pred
+
+        self.pred = self.bool_and(saved_pred, cond)
+        self.emit_stmt(stmt.then_body)
+        then_locals = [dict(f) for f in self.locals]
+        then_consts = [dict(f) for f in self.const_locals]
+        then_shadow = self.shadow
+
+        self.locals = [dict(f) for f in saved_locals]
+        self.const_locals = [dict(f) for f in saved_consts]
+        self.shadow = {k: dataclasses.replace(v) for k, v in saved_shadow.items()}
+        self.pred = self.bool_and(saved_pred, self.bool_not(cond))
+        if stmt.else_body is not None:
+            self.emit_stmt(stmt.else_body)
+        else_locals = self.locals
+        else_consts = self.const_locals
+        else_shadow = self.shadow
+
+        self.pred = saved_pred
+        # Merge locals frame by frame.
+        merged_locals: List[Dict[str, Value]] = []
+        merged_consts: List[Dict[str, Optional[int]]] = []
+        for frame_then, frame_else, cframe_then, cframe_else in zip(
+            then_locals, else_locals, then_consts, else_consts
+        ):
+            frame: Dict[str, Value] = {}
+            cframe: Dict[str, Optional[int]] = {}
+            for name in frame_then:
+                if name not in frame_else:
+                    continue
+                tv, ev = frame_then[name], frame_else[name]
+                if tv is ev:
+                    frame[name] = tv
+                    cframe[name] = cframe_then.get(name)
+                else:
+                    original = _itype(tv)
+                    frame[name] = self.cast_to(self.mux(cond, tv, ev), original)
+                    cframe[name] = None
+            merged_locals.append(frame)
+            merged_consts.append(cframe)
+        self.locals = merged_locals
+        self.const_locals = merged_consts
+        self.shadow = self._merge_shadow(cond, then_shadow, else_shadow)
+
+    def _merge_shadow(self, cond: Value, then_shadow: Dict, else_shadow: Dict) -> Dict:
+        merged: Dict[Tuple, _ShadowEntry] = {}
+        for key in set(then_shadow) | set(else_shadow):
+            te = then_shadow.get(key)
+            ee = else_shadow.get(key)
+            if te is None:
+                merged[key] = ee  # type: ignore[assignment]
+                continue
+            if ee is None:
+                merged[key] = te
+                continue
+            if te.value is ee.value and te.written == ee.written:
+                merged[key] = te
+                continue
+            entry = _ShadowEntry(index=te.index if te.index is not None else ee.index,
+                                 count=te.count)
+            entry.written = te.written or ee.written
+            if te.value is not None and ee.value is not None:
+                entry.value = self.mux(cond, te.value, ee.value)
+                if te.value.signed is not None:
+                    entry.value = self.cast_to(entry.value, _itype(te.value))
+            else:
+                entry.value = te.value if te.value is not None else ee.value
+            if entry.written:
+                # Predicate per branch: None means "always written"; a branch
+                # that did not write contributes constant 0.
+                one = self.constant(1, unsigned(1))
+                zero = self.constant(0, unsigned(1))
+                tp = (te.pred or one) if te.written else zero
+                ep = (ee.pred or one) if ee.written else zero
+                entry.pred = self.cast_to(self.mux(cond, tp, ep), unsigned(1))
+            entry.read_emitted = te.read_emitted or ee.read_emitted
+            merged[key] = entry
+        return merged
+
+    def emit_for(self, stmt: ast.ForStmt) -> None:
+        self.push_scope()
+        if stmt.init is not None:
+            self.emit_stmt(stmt.init)
+        iterations = 0
+        while True:
+            if stmt.cond is not None:
+                cond = const_eval(stmt.cond, self.const_env())
+                if cond is None:
+                    raise CoreDSLError(
+                        "for-loops must have compile-time-known trip counts "
+                        "for hardware synthesis",
+                        stmt.loc,
+                    )
+                if not cond:
+                    break
+            self.emit_stmt(stmt.body)
+            if stmt.step is not None:
+                self.emit_stmt(stmt.step)
+            iterations += 1
+            if iterations > MAX_UNROLL_ITERATIONS:
+                raise CoreDSLError(
+                    f"loop exceeds {MAX_UNROLL_ITERATIONS} unrolled iterations",
+                    stmt.loc,
+                )
+        self.pop_scope()
+
+    def emit_while(self, stmt: ast.WhileStmt) -> None:
+        """While/do-while loops unroll like for-loops: the condition must be
+        compile-time evaluable at every iteration boundary."""
+        self.push_scope()
+        iterations = 0
+        first = True
+        while True:
+            if not (first and stmt.is_do_while):
+                cond = const_eval(stmt.cond, self.const_env())
+                if cond is None:
+                    raise CoreDSLError(
+                        "while-loops must have compile-time-known trip "
+                        "counts for hardware synthesis",
+                        stmt.loc,
+                    )
+                if not cond:
+                    break
+            first = False
+            self.emit_stmt(stmt.body)
+            iterations += 1
+            if iterations > MAX_UNROLL_ITERATIONS:
+                raise CoreDSLError(
+                    f"loop exceeds {MAX_UNROLL_ITERATIONS} unrolled "
+                    "iterations",
+                    stmt.loc,
+                )
+        self.pop_scope()
+
+    def emit_switch(self, stmt: ast.SwitchStmt) -> None:
+        """Switch lowers to an if/else-if chain on equality (arms are
+        break-terminated, so there is no fall-through to model)."""
+        value_const = const_eval(stmt.value, self.const_env())
+        default = next((c for c in stmt.cases if c.label is None), None)
+        if value_const is not None:
+            for case in stmt.cases:
+                if case.label is not None and \
+                        case.label.const_value == value_const:
+                    self.emit_stmt(case.body)
+                    return
+            if default is not None:
+                self.emit_stmt(default.body)
+            return
+        chain: Optional[ast.Stmt] = default.body if default else None
+        for case in reversed([c for c in stmt.cases if c.label is not None]):
+            cond = ast.BinaryOp(loc=case.loc, op="==", lhs=stmt.value,
+                                rhs=case.label)
+            cond.ctype = None
+            chain = ast.IfStmt(loc=case.loc, cond=cond, then_body=case.body,
+                               else_body=chain)
+        if chain is not None:
+            self.emit_stmt(chain)
+
+    def emit_spawn(self, stmt: ast.SpawnStmt) -> None:
+        if self.pred is not None:
+            raise CoreDSLError(
+                "'spawn' inside a conditional branch is not supported", stmt.loc
+            )
+        self.finalize_writes()
+        region = Region([Block()])
+        self.builder.create("coredsl.spawn", [], [], regions=[region])
+        outer_builder = self.builder
+        self.builder = Builder(region.entry)
+        self.emit_stmt(stmt.body)
+        self.finalize_writes()
+        self.builder.create("coredsl.end", [], [])
+        self.builder = outer_builder
+        self.spawn_emitted = True
+
+    # ---------------------------------------------------------- expressions
+    def emit_expr(self, expr: ast.Expr) -> Value:
+        env = self.const_env()
+        const = const_eval(expr, env)
+        if const is not None and expr.ctype is not None:
+            # Materialize emission-time constants (e.g. unrolled loop vars).
+            type_ = expr.ctype
+            if not type_.can_represent(const):
+                type_ = signed(max(type_.width + 1, const.bit_length() + 1))
+            return self.constant(const, type_)
+        if isinstance(expr, ast.IntLiteral):
+            type_ = expr.explicit_type or expr.ctype
+            assert type_ is not None
+            return self.constant(expr.value, type_)
+        if isinstance(expr, ast.BoolLiteral):
+            return self.constant(int(expr.value), unsigned(1))
+        if isinstance(expr, ast.Identifier):
+            return self.emit_identifier(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self.emit_binary(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self.emit_unary(expr)
+        if isinstance(expr, ast.Conditional):
+            cond = self.to_bool(self.emit_expr(expr.cond))
+            true_value = self.emit_expr(expr.true_value)
+            false_value = self.emit_expr(expr.false_value)
+            result = self.mux(cond, true_value, false_value)
+            return self.cast_to(result, expr.ctype) if expr.ctype else result
+        if isinstance(expr, ast.Cast):
+            operand = self.emit_expr(expr.operand)
+            assert expr.ctype is not None
+            return self.cast_to(operand, expr.ctype)
+        if isinstance(expr, ast.FunctionCall):
+            result = self.inline_call(expr)
+            if result is None:
+                raise CoreDSLError(
+                    f"void function '{expr.callee}' used as value", expr.loc
+                )
+            return result
+        if isinstance(expr, ast.IndexExpr):
+            return self.emit_index(expr)
+        if isinstance(expr, ast.RangeExpr):
+            return self.emit_range(expr)
+        raise CoreDSLError(
+            f"cannot lower expression {type(expr).__name__}", expr.loc
+        )
+
+    def emit_identifier(self, expr: ast.Identifier) -> Value:
+        local = self.lookup(expr.name)
+        if local is not None:
+            return local
+        if expr.name in self.fields:
+            cached = self.field_cache.get(expr.name)
+            if cached is not None:
+                return cached
+            type_ = self.fields[expr.name]
+            op = self.builder.create(
+                "coredsl.field", [], [(type_.width, False)], {"name": expr.name}
+            )
+            self.field_cache[expr.name] = op.result
+            return op.result
+        info = self._state_info(expr.name)
+        if info is not None and info.kind == "scalar_reg":
+            return self.state_read(info)
+        raise CoreDSLError(f"cannot lower identifier '{expr.name}'", expr.loc)
+
+    _BINOP_TO_IR = {
+        "+": "hwarith.add", "-": "hwarith.sub", "*": "hwarith.mul",
+        "/": "hwarith.div", "%": "hwarith.mod",
+        "&": "coredsl.and", "|": "coredsl.or", "^": "coredsl.xor",
+        "<<": "coredsl.shl", ">>": "coredsl.shr", "::": "coredsl.concat",
+    }
+    _CMP_TO_PRED = {
+        "==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+    }
+
+    def emit_binary(self, expr: ast.BinaryOp) -> Value:
+        op = expr.op
+        if op in ("&&", "||"):
+            lhs = self.to_bool(self.emit_expr(expr.lhs))
+            rhs = self.to_bool(self.emit_expr(expr.rhs))
+            name = "coredsl.and" if op == "&&" else "coredsl.or"
+            return self.builder.create(name, [lhs, rhs], [(1, False)]).result
+        lhs = self.emit_expr(expr.lhs)
+        rhs = self.emit_expr(expr.rhs)
+        if op in self._CMP_TO_PRED:
+            return self.builder.create(
+                "hwarith.icmp", [lhs, rhs], [(1, False)],
+                {"predicate": self._CMP_TO_PRED[op]},
+            ).result
+        result_type = expr.ctype
+        if result_type is None:
+            # Synthesized compound-assignment node: recompute the type.
+            from repro.frontend import types as ty
+            lt, rt = _itype(lhs), _itype(rhs)
+            result_type = {
+                "+": ty.add_result, "-": ty.sub_result, "*": ty.mul_result,
+                "/": ty.div_result, "%": ty.mod_result,
+                "&": ty.bitwise_result, "|": ty.bitwise_result,
+                "^": ty.bitwise_result,
+            }.get(op, lambda a, b: None)(lt, rt)
+            if result_type is None:
+                if op == "<<":
+                    shift_const = const_eval(expr.rhs, self.const_env())
+                    result_type = ty.shl_result(lt, rt, shift_const)
+                elif op == ">>":
+                    result_type = ty.shr_result(lt, rt)
+                elif op == "::":
+                    result_type = ty.concat_result(lt, rt)
+                else:
+                    raise CoreDSLError(f"cannot type operator '{op}'", expr.loc)
+        name = self._BINOP_TO_IR.get(op)
+        if name is None:
+            raise CoreDSLError(f"cannot lower operator '{op}'", expr.loc)
+        return self.builder.create(
+            name, [lhs, rhs], [(result_type.width, result_type.is_signed)]
+        ).result
+
+    def emit_unary(self, expr: ast.UnaryOp) -> Value:
+        operand = self.emit_expr(expr.operand)
+        if expr.op == "-":
+            type_ = expr.ctype or signed(operand.width + 1)
+            return self.builder.create(
+                "coredsl.neg", [operand], [(type_.width, type_.is_signed)]
+            ).result
+        if expr.op == "~":
+            return self.builder.create(
+                "coredsl.not", [operand], [(operand.width, operand.signed)]
+            ).result
+        if expr.op == "!":
+            zero = self.constant(0, _itype(operand))
+            return self.builder.create(
+                "hwarith.icmp", [operand, zero], [(1, False)],
+                {"predicate": "eq"},
+            ).result
+        raise CoreDSLError(f"cannot lower unary '{expr.op}'", expr.loc)
+
+    def emit_index(self, expr: ast.IndexExpr) -> Value:
+        if isinstance(expr.base, ast.Identifier):
+            info = self._state_info(expr.base.name)
+            if info is not None and info.kind in ("array_reg", "mem", "rom"):
+                return self.state_read(info, index=expr.index)
+            if info is not None and info.kind == "scalar_reg":
+                base = self.state_read(info)
+                return self._bit_select(base, expr.index)
+        base = self.emit_expr(expr.base)
+        return self._bit_select(base, expr.index)
+
+    def _bit_select(self, base: Value, index: ast.Expr) -> Value:
+        const = const_eval(index, self.const_env())
+        if const is not None:
+            return self.builder.create(
+                "coredsl.extract", [base], [(1, False)],
+                {"hi": const, "lo": const},
+            ).result
+        amount = self.emit_expr(index)
+        shifted = self.builder.create(
+            "coredsl.shr", [base, amount], [(base.width, base.signed)]
+        ).result
+        return self.builder.create(
+            "coredsl.extract", [shifted], [(1, False)], {"hi": 0, "lo": 0}
+        ).result
+
+    def _range_count(self, expr: ast.RangeExpr) -> int:
+        env = self.const_env()
+        hi = const_eval(expr.hi, env)
+        lo = const_eval(expr.lo, env)
+        if hi is not None and lo is not None:
+            if hi < lo:
+                raise CoreDSLError(f"range [{hi}:{lo}] has from < to", expr.loc)
+            return hi - lo + 1
+        from repro.frontend.typecheck import range_width
+        return range_width(expr.hi, expr.lo, env)
+
+    def emit_range(self, expr: ast.RangeExpr) -> Value:
+        count = self._range_count(expr)
+        if isinstance(expr.base, ast.Identifier):
+            info = self._state_info(expr.base.name)
+            if info is not None and info.kind in ("mem", "array_reg", "rom"):
+                return self.state_read(info, index=expr.lo, count=count)
+            if info is not None and info.kind == "scalar_reg":
+                base = self.state_read(info)
+                return self._range_select(base, expr, count)
+        base = self.emit_expr(expr.base)
+        return self._range_select(base, expr, count)
+
+    def _range_select(self, base: Value, expr: ast.RangeExpr, count: int) -> Value:
+        env = self.const_env()
+        lo = const_eval(expr.lo, env)
+        if lo is None:
+            raise CoreDSLError(
+                "bit-range bounds must be compile-time constants after "
+                "loop unrolling",
+                expr.loc,
+            )
+        return self.builder.create(
+            "coredsl.extract", [base], [(count, False)],
+            {"hi": lo + count - 1, "lo": lo},
+        ).result
+
+    # ------------------------------------------------------------- inlining
+    def inline_call(self, call: ast.FunctionCall) -> Optional[Value]:
+        sig = self.isa.functions.get(call.callee)
+        if sig is None:
+            raise CoreDSLError(f"unknown function '{call.callee}'", call.loc)
+        if call.callee in self.inline_stack:
+            raise CoreDSLError(
+                f"recursive call to '{call.callee}' cannot be synthesized",
+                call.loc,
+            )
+        self.inline_stack.append(call.callee)
+        outer_locals, outer_consts = self.locals, self.const_locals
+        # Evaluate arguments in the caller's environment first.
+        frame: Dict[str, Value] = {}
+        cframe: Dict[str, Optional[int]] = {}
+        for arg, (param_name, param_type) in zip(call.args, sig.params):
+            frame[param_name] = self.cast_to(self.emit_expr(arg), param_type)
+            cframe[param_name] = const_eval(arg, self.const_env())
+        result = self._inline_body(sig, [frame], [cframe])
+        self.locals, self.const_locals = outer_locals, outer_consts
+        self.inline_stack.pop()
+        return result
+
+    def _inline_body(self, sig: FunctionSig, inner_locals, inner_consts):
+        self.locals, self.const_locals = inner_locals, inner_consts
+        body = sig.definition.body
+        assert body is not None
+        statements = body.statements
+        result: Optional[Value] = None
+        for i, stmt in enumerate(statements):
+            if isinstance(stmt, ast.ReturnStmt):
+                if i != len(statements) - 1:
+                    raise CoreDSLError(
+                        f"'return' must be the last statement of "
+                        f"'{sig.name}' for inlining",
+                        stmt.loc,
+                    )
+                if stmt.value is not None:
+                    assert sig.return_type is not None
+                    result = self.cast_to(
+                        self.emit_expr(stmt.value), sig.return_type
+                    )
+                break
+            self.emit_stmt(stmt)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def lower_instruction(isa: ElaboratedISA, instr: ElabInstruction) -> Operation:
+    emitter = _BehaviorEmitter(isa, instr.fields)
+    block = emitter.emit_behavior(instr.behavior, "instruction")
+    region = Region([block])
+    return Operation(
+        "coredsl.instruction", [], [],
+        {
+            "name": instr.name,
+            "pattern": instr.encoding.pattern,
+            "fields": sorted(instr.fields),
+        },
+        regions=[region],
+    )
+
+
+def lower_always(isa: ElaboratedISA, always: ElabAlways) -> Operation:
+    emitter = _BehaviorEmitter(isa, {})
+    block = emitter.emit_behavior(always.body, "always")
+    region = Region([block])
+    return Operation(
+        "coredsl.always", [], [], {"name": always.name}, regions=[region]
+    )
+
+
+def lower_isa(isa: ElaboratedISA) -> LoweredISAX:
+    """Lower every instruction and always-block of an elaborated ISA to the
+    coredsl/hwarith IR level (paper Figure 5b)."""
+    instructions = {
+        name: lower_instruction(isa, instr)
+        for name, instr in isa.instructions.items()
+    }
+    always_blocks = {
+        name: lower_always(isa, always)
+        for name, always in isa.always_blocks.items()
+    }
+    return LoweredISAX(isa, instructions, always_blocks)

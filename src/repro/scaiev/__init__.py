@@ -1,0 +1,41 @@
+"""SCAIE-V: the vendor-neutral core-microarchitecture abstraction (paper
+Section 3).
+
+This package implements both sides of the Longnail <-> SCAIE-V contract:
+
+* :mod:`repro.scaiev.interfaces` — the sub-interface catalogue of Table 1,
+* :mod:`repro.scaiev.datasheet` — virtual datasheets (earliest/latest/latency
+  per sub-interface) with YAML load/store,
+* :mod:`repro.scaiev.cores` — datasheets for ORCA, Piccolo, PicoRV32 and
+  VexRiscv (the evaluation cores of Section 5.2),
+* :mod:`repro.scaiev.config` — the ISAX configuration file exchanged after
+  HLS (Figures 8 and 9),
+* :mod:`repro.scaiev.modes` — execution-mode selection (Section 3.2),
+* :mod:`repro.scaiev.hazard` — scoreboard-based data-hazard handling for
+  decoupled results,
+* :mod:`repro.scaiev.arbitration` — static arbitration between ISAXes
+  (Section 3.3),
+* :mod:`repro.scaiev.regfile` — SCAIE-V-managed custom register files,
+* :mod:`repro.scaiev.integrate` — glue-logic construction and the
+  integration report used by the evaluation.
+"""
+
+from repro.scaiev.interfaces import SubInterface, standard_interfaces
+from repro.scaiev.datasheet import InterfaceTiming, VirtualDatasheet
+from repro.scaiev.cores import CORES, core_datasheet
+from repro.scaiev.config import IsaxConfig, ScheduleEntry
+from repro.scaiev.modes import ExecutionMode
+from repro.scaiev.integrate import integrate
+
+__all__ = [
+    "SubInterface",
+    "standard_interfaces",
+    "InterfaceTiming",
+    "VirtualDatasheet",
+    "CORES",
+    "core_datasheet",
+    "IsaxConfig",
+    "ScheduleEntry",
+    "ExecutionMode",
+    "integrate",
+]

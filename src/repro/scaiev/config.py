@@ -1,0 +1,157 @@
+"""The SCAIE-V configuration file Longnail emits after HLS (paper Section 4.6,
+Figures 8 and 9).
+
+The configuration contains: requested ISAX-internal state elements, each
+functionality (instruction with its encoding mask, or always-block), and the
+computed interface schedule — which sub-interfaces are required, in which
+stages, with which execution mode, and whether they carry an explicit valid
+bit (mandatory for state updates from always-blocks).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.utils import yaml_lite
+
+
+@dataclasses.dataclass
+class RegisterRequest:
+    """Request for a SCAIE-V-managed custom register (Figure 8, line 1)."""
+
+    name: str
+    width: int
+    elements: int = 1
+
+    def to_dict(self) -> dict:
+        return {"register": self.name, "width": self.width,
+                "elements": self.elements}
+
+
+@dataclasses.dataclass
+class ScheduleEntry:
+    """One scheduled sub-interface use: ``{interface: RdPC, stage: 1}``."""
+
+    interface: str
+    stage: int
+    has_valid: bool = False
+    mode: str = "in_pipeline"
+
+    def to_dict(self) -> dict:
+        entry: Dict[str, object] = {
+            "interface": self.interface, "stage": self.stage,
+        }
+        if self.has_valid:
+            entry["has_valid"] = 1
+        if self.mode != "in_pipeline":
+            entry["mode"] = self.mode
+        return entry
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScheduleEntry":
+        return cls(
+            interface=data["interface"],
+            stage=data["stage"],
+            has_valid=bool(data.get("has_valid", 0)),
+            mode=data.get("mode", "in_pipeline"),
+        )
+
+
+@dataclasses.dataclass
+class Functionality:
+    """An instruction (with encoding mask) or an always-block."""
+
+    kind: str                       # "instruction" | "always"
+    name: str
+    mask: Optional[str] = None      # 32-char pattern for instructions
+    schedule: List[ScheduleEntry] = dataclasses.field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        entry: Dict[str, object] = {self.kind: self.name}
+        if self.mask is not None:
+            entry["mask"] = self.mask
+        entry["schedule"] = [s.to_dict() for s in self.schedule]
+        return entry
+
+    def uses(self, interface: str) -> bool:
+        return any(s.interface == interface for s in self.schedule)
+
+    def entry(self, interface: str) -> Optional[ScheduleEntry]:
+        for s in self.schedule:
+            if s.interface == interface:
+                return s
+        return None
+
+    @property
+    def max_stage(self) -> int:
+        return max((s.stage for s in self.schedule), default=0)
+
+    @property
+    def modes(self) -> List[str]:
+        return sorted({s.mode for s in self.schedule})
+
+
+@dataclasses.dataclass
+class IsaxConfig:
+    """The full configuration for one ISAX (one CoreDSL InstructionSet)."""
+
+    name: str
+    registers: List[RegisterRequest] = dataclasses.field(default_factory=list)
+    functionalities: List[Functionality] = dataclasses.field(default_factory=list)
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def instructions(self) -> List[Functionality]:
+        return [f for f in self.functionalities if f.kind == "instruction"]
+
+    @property
+    def always_blocks(self) -> List[Functionality]:
+        return [f for f in self.functionalities if f.kind == "always"]
+
+    def register(self, name: str) -> Optional[RegisterRequest]:
+        for reg in self.registers:
+            if reg.name == name:
+                return reg
+        return None
+
+    def interfaces_used(self) -> List[str]:
+        names = set()
+        for func in self.functionalities:
+            for entry in func.schedule:
+                names.add(entry.interface)
+        return sorted(names)
+
+    def is_decoupled(self) -> bool:
+        return any(
+            entry.mode == "decoupled"
+            for func in self.functionalities
+            for entry in func.schedule
+        )
+
+    # -- (de)serialization ------------------------------------------------------
+    def to_yaml(self) -> str:
+        doc: Dict[str, object] = {"isax": self.name}
+        if self.registers:
+            doc["registers"] = [r.to_dict() for r in self.registers]
+        doc["functionalities"] = [f.to_dict() for f in self.functionalities]
+        return yaml_lite.dumps(doc)
+
+    @classmethod
+    def from_yaml(cls, text: str) -> "IsaxConfig":
+        doc = yaml_lite.loads(text)
+        registers = [
+            RegisterRequest(r["register"], r["width"], r.get("elements", 1))
+            for r in doc.get("registers", [])
+        ]
+        functionalities = []
+        for f in doc.get("functionalities", []):
+            kind = "instruction" if "instruction" in f else "always"
+            functionalities.append(Functionality(
+                kind=kind,
+                name=f[kind],
+                mask=f.get("mask"),
+                schedule=[ScheduleEntry.from_dict(s)
+                          for s in f.get("schedule", [])],
+            ))
+        return cls(doc.get("isax", "isax"), registers, functionalities)

@@ -1,0 +1,134 @@
+"""Virtual datasheets: SCAIE-V's abstraction of a host core (Section 3.1).
+
+For each sub-interface the datasheet specifies the *earliest* and *latest*
+time steps (pipeline stages, relative to time step 0 = instruction fetch) the
+operation is available in, and its *latency* in cycles.  Longnail's scheduler
+consumes exactly this information (Section 4.2); the YAML form matches the
+excerpt shown in the paper's Figure 9.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.utils import yaml_lite
+
+INFINITY = float("inf")
+
+
+@dataclasses.dataclass(frozen=True)
+class InterfaceTiming:
+    """Availability window and latency of one sub-interface."""
+
+    earliest: int
+    latest: float  # int or float('inf')
+    latency: int = 0
+
+    def __post_init__(self) -> None:
+        if self.earliest < 0:
+            raise ValueError("earliest must be >= 0")
+        if self.latest < self.earliest:
+            raise ValueError("latest must be >= earliest")
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+
+    def to_dict(self) -> dict:
+        latest = self.latest if self.latest != INFINITY else ".inf"
+        return {"earliest": self.earliest, "latest": self.latest,
+                "latency": self.latency}
+
+
+@dataclasses.dataclass
+class VirtualDatasheet:
+    """The metadata SCAIE-V exposes about one host core.
+
+    Besides the per-sub-interface timings, the datasheet carries the
+    structural facts the reproduction's evaluation needs: pipeline length,
+    whether the core sequences via an FSM (PicoRV32), the write-back and
+    memory stages, the forwarding structure (ORCA forwards from the last
+    stage into stage 3, the root cause of the dotprod/sparkle frequency
+    regressions discussed in Section 5.4), and the base-core ASIC anchors
+    from Table 4.
+    """
+
+    core_name: str
+    stages: int
+    timings: Dict[str, InterfaceTiming]
+    is_fsm: bool = False
+    writeback_stage: int = 0
+    memory_stage: int = 0
+    forwarding_from_last_stage: bool = False
+    base_area_um2: float = 0.0
+    base_freq_mhz: float = 0.0
+
+    @property
+    def cycle_time_ns(self) -> float:
+        """Target clock period implied by the base core's f_max."""
+        return 1000.0 / self.base_freq_mhz
+
+    # -- lookups ------------------------------------------------------------
+    def timing(self, interface: str) -> InterfaceTiming:
+        timing = self.timings.get(interface)
+        if timing is None:
+            raise KeyError(
+                f"core '{self.core_name}' has no sub-interface '{interface}'"
+            )
+        return timing
+
+    def custom_register_timing(self, write: bool) -> InterfaceTiming:
+        """Timing window for SCAIE-V-managed custom registers; defaults to
+        the general-purpose register file's windows (Section 3.2: the same
+        hazard-handling concepts are applied to ISAX-internal state)."""
+        key = "WrCustReg" if write else "RdCustReg"
+        if key in self.timings:
+            return self.timings[key]
+        return self.timings["WrRD" if write else "RdRS1"]
+
+    # -- (de)serialization -----------------------------------------------------
+    def to_yaml(self) -> str:
+        doc = {
+            "core": self.core_name,
+            "stages": self.stages,
+            "is_fsm": self.is_fsm,
+            "writeback_stage": self.writeback_stage,
+            "memory_stage": self.memory_stage,
+            "forwarding_from_last_stage": self.forwarding_from_last_stage,
+            "base_area_um2": self.base_area_um2,
+            "base_freq_mhz": self.base_freq_mhz,
+            "datasheet": [
+                {
+                    "interface": name,
+                    "earliest": timing.earliest,
+                    "latest": timing.latest,
+                    "latency": timing.latency,
+                }
+                for name, timing in sorted(self.timings.items())
+            ],
+        }
+        return yaml_lite.dumps(doc)
+
+    @classmethod
+    def from_yaml(cls, text: str) -> "VirtualDatasheet":
+        doc = yaml_lite.loads(text)
+        timings = {}
+        for entry in doc.get("datasheet", []):
+            latest = entry["latest"]
+            timings[entry["interface"]] = InterfaceTiming(
+                earliest=entry["earliest"],
+                latest=float(latest) if latest is not None else INFINITY,
+                latency=entry.get("latency", 0),
+            )
+        return cls(
+            core_name=doc["core"],
+            stages=doc["stages"],
+            timings=timings,
+            is_fsm=doc.get("is_fsm", False),
+            writeback_stage=doc.get("writeback_stage", 0),
+            memory_stage=doc.get("memory_stage", 0),
+            forwarding_from_last_stage=doc.get(
+                "forwarding_from_last_stage", False
+            ),
+            base_area_um2=doc.get("base_area_um2", 0.0),
+            base_freq_mhz=doc.get("base_freq_mhz", 0.0),
+        )

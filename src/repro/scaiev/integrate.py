@@ -1,0 +1,232 @@
+"""Automatic integration of ISAX modules into a host core (paper Section 3).
+
+``integrate`` plays the role of the SCAIE-V generator invocation: given the
+core's virtual datasheet and the artifacts Longnail produced (one hardware
+module + configuration per ISAX), it
+
+* validates that the core supports every requested sub-interface and that
+  instruction encodings do not conflict across ISAXes,
+* instantiates SCAIE-V-managed custom register files,
+* plans interface arbitration (Section 3.3) and the hazard scoreboard for
+  decoupled results (Section 3.2) — the latter can be disabled to reproduce
+  Table 4's "without data-hazard handling" row,
+* produces an itemized *glue logic* summary (decoders, muxes, valid-bit
+  pipelines, stall logic) consumed by the ASIC area/timing model and by the
+  core timing simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.dialects.hw import HWModule
+from repro.scaiev.arbitration import ArbitrationPlan, plan_arbitration
+from repro.scaiev.config import IsaxConfig
+from repro.scaiev.datasheet import VirtualDatasheet
+from repro.scaiev.hazard import ScoreboardPlan, plan_scoreboard
+from repro.scaiev.interfaces import base_interface_of, standard_interfaces
+from repro.scaiev.regfile import CustomRegisterFile, build_register_files
+
+
+class IntegrationError(Exception):
+    """Raised when a set of ISAXes cannot be integrated into the core."""
+
+
+@dataclasses.dataclass
+class GlueItem:
+    """One piece of SCAIE-V-generated interface logic.
+
+    ``kind`` is one of: "decode" (instruction decoder compare), "mux"
+    (interface arbitration / regfile read mux), "storage" (flip-flop bits),
+    "valid_pipe" (per-instruction valid tracking), "comparator" (scoreboard
+    hazard compare), "stall" (stall/flush control logic).
+    """
+
+    kind: str
+    bits: int
+    description: str
+
+
+@dataclasses.dataclass
+class IntegrationResult:
+    datasheet: VirtualDatasheet
+    configs: List[IsaxConfig]
+    modules: Dict[str, HWModule]
+    register_files: Dict[str, CustomRegisterFile]
+    scoreboards: Dict[str, ScoreboardPlan]
+    arbitration: ArbitrationPlan
+    glue: List[GlueItem]
+    hazard_handling: bool
+
+    @property
+    def core_name(self) -> str:
+        return self.datasheet.core_name
+
+    def glue_bits(self, kind: Optional[str] = None) -> int:
+        return sum(i.bits for i in self.glue if kind is None or i.kind == kind)
+
+    def functionalities(self) -> List[Tuple[IsaxConfig, object]]:
+        return [(c, f) for c in self.configs for f in c.functionalities]
+
+    def summary(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for item in self.glue:
+            out[item.kind] = out.get(item.kind, 0) + item.bits
+        return out
+
+
+def _mask_overlap(mask_a: str, mask_b: str) -> bool:
+    """Two 32-char '-'/0/1 patterns overlap if no fixed bit distinguishes
+    them."""
+    for bit_a, bit_b in zip(mask_a, mask_b):
+        if bit_a != "-" and bit_b != "-" and bit_a != bit_b:
+            return False
+    return True
+
+
+def _validate(datasheet: VirtualDatasheet, configs: List[IsaxConfig]) -> None:
+    known = standard_interfaces()
+    masks: List[Tuple[str, str]] = []
+    for config in configs:
+        for func in config.functionalities:
+            for entry in func.schedule:
+                family = base_interface_of(entry.interface)
+                if family not in known:
+                    raise IntegrationError(
+                        f"unknown sub-interface '{entry.interface}'"
+                    )
+                if func.kind == "always":
+                    is_data_write = (
+                        entry.interface.startswith("Wr")
+                        and not entry.interface.endswith(".addr")
+                    )
+                    if is_data_write and not entry.has_valid:
+                        raise IntegrationError(
+                            f"always-block '{func.name}': state updates need "
+                            "an explicit valid bit (Section 3.2)"
+                        )
+                    if entry.stage != 0:
+                        raise IntegrationError(
+                            f"always-block '{func.name}' schedules "
+                            f"'{entry.interface}' in stage {entry.stage}; "
+                            "always-blocks execute in stage 0"
+                        )
+            if func.kind == "instruction":
+                if func.mask is None or len(func.mask) != 32:
+                    raise IntegrationError(
+                        f"instruction '{func.name}' has no 32-bit encoding mask"
+                    )
+                for other_name, other_mask in masks:
+                    if _mask_overlap(func.mask, other_mask):
+                        raise IntegrationError(
+                            f"encoding conflict between '{func.name}' and "
+                            f"'{other_name}'"
+                        )
+                masks.append((func.name, func.mask))
+
+
+def _plan_glue(datasheet: VirtualDatasheet, configs: List[IsaxConfig],
+               register_files: Dict[str, CustomRegisterFile],
+               scoreboards: Dict[str, ScoreboardPlan],
+               arbitration: ArbitrationPlan) -> List[GlueItem]:
+    glue: List[GlueItem] = []
+    for config in configs:
+        for func in config.instructions:
+            fixed_bits = sum(1 for c in (func.mask or "") if c != "-")
+            glue.append(GlueItem(
+                "decode", fixed_bits,
+                f"{func.name}: opcode match on {fixed_bits} fixed bits",
+            ))
+            depth = max(2, func.max_stage + 1)
+            glue.append(GlueItem(
+                "valid_pipe", depth,
+                f"{func.name}: valid-bit tracking over {depth} stages",
+            ))
+            modes = func.modes
+            if "tightly_coupled" in modes:
+                glue.append(GlueItem(
+                    "stall", 2 * datasheet.stages,
+                    f"{func.name}: tightly-coupled stall of the base core",
+                ))
+            if "decoupled" in modes:
+                # One stall cycle to avoid write-back conflicts (Section 3.2)
+                # plus commit-queue control.
+                glue.append(GlueItem(
+                    "stall", 3 * datasheet.stages,
+                    f"{func.name}: decoupled commit control",
+                ))
+    for regfile in register_files.values():
+        glue.append(GlueItem(
+            "storage", regfile.storage_bits,
+            f"custom register {regfile.name}: "
+            f"{regfile.elements} x {regfile.width} bits",
+        ))
+        if regfile.elements > 1:
+            glue.append(GlueItem(
+                "mux", regfile.storage_bits,
+                f"custom register {regfile.name}: read multiplexing",
+            ))
+    for mux in arbitration.muxes:
+        glue.append(GlueItem(
+            "mux", (mux.ways - 1) * mux.width,
+            f"arbitration mux on {mux.interface} ({mux.ways} ways)",
+        ))
+    for isax_name, plan in scoreboards.items():
+        if plan.storage_bits:
+            glue.append(GlueItem(
+                "storage", plan.storage_bits,
+                f"{isax_name}: scoreboard pending-destination storage",
+            ))
+            glue.append(GlueItem(
+                "comparator", plan.comparator_bits,
+                f"{isax_name}: scoreboard hazard comparators",
+            ))
+            glue.append(GlueItem(
+                "stall", plan.stall_fanout,
+                f"{isax_name}: scoreboard stall fanout",
+            ))
+    return glue
+
+
+def integrate(datasheet: VirtualDatasheet,
+              artifacts: List[Tuple[IsaxConfig, Optional[HWModule]]],
+              hazard_handling: bool = True) -> IntegrationResult:
+    """Integrate a list of (config, module) ISAX artifacts into a core."""
+    configs = [config for config, _module in artifacts]
+    _validate(datasheet, configs)
+    modules = {
+        config.name: module
+        for config, module in artifacts
+        if module is not None
+    }
+    register_files: Dict[str, CustomRegisterFile] = {}
+    for config in configs:
+        for name, regfile in build_register_files(config).items():
+            if name in register_files:
+                existing = register_files[name]
+                if (existing.width, existing.elements) != (
+                    regfile.width, regfile.elements
+                ):
+                    raise IntegrationError(
+                        f"conflicting definitions of custom register '{name}'"
+                    )
+                continue  # Shared state between ISAXes is allowed.
+            register_files[name] = regfile
+    scoreboards = {
+        config.name: plan_scoreboard(config, datasheet, hazard_handling)
+        for config in configs
+    }
+    arbitration = plan_arbitration(configs)
+    glue = _plan_glue(datasheet, configs, register_files, scoreboards,
+                      arbitration)
+    return IntegrationResult(
+        datasheet=datasheet,
+        configs=configs,
+        modules=modules,
+        register_files=register_files,
+        scoreboards=scoreboards,
+        arbitration=arbitration,
+        glue=glue,
+        hazard_handling=hazard_handling,
+    )

@@ -1,0 +1,64 @@
+"""Execution modes (paper Section 3.2) and post-scheduling mode selection
+(Section 4.3).
+
+The concrete sub-interface variant is selected *after* scheduling, based on
+the virtual datasheet: if the operation's start time is within the base
+core's native window for the used interface, the in-pipeline version is
+used.  Otherwise, if the operation came from a ``spawn`` block, the
+decoupled version is used, else the tightly-coupled version.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.dialects import lil
+from repro.ir.core import Operation
+from repro.scaiev.datasheet import VirtualDatasheet
+
+
+class ExecutionMode(str, enum.Enum):
+    IN_PIPELINE = "in_pipeline"
+    TIGHTLY_COUPLED = "tightly_coupled"
+    DECOUPLED = "decoupled"
+    ALWAYS = "always"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Modes that may be used per sub-interface family (Section 3.2: "the other
+#: mechanisms may be used only for the WrRD, RdMem, or WrMem sub-interfaces",
+#: which we extend to custom-register writes as SCAIE-V manages their hazards
+#: the same way).
+_DECOUPLABLE = ("lil.write_rd", "lil.read_mem", "lil.write_mem",
+                "lil.write_custreg")
+
+
+def select_mode(op: Operation, stage: int, datasheet: VirtualDatasheet,
+                in_always: bool = False) -> ExecutionMode:
+    """Select the execution mode for one scheduled interface operation."""
+    if in_always:
+        return ExecutionMode.ALWAYS
+    if op.name in ("lil.read_custreg", "lil.write_custreg"):
+        timing = datasheet.custom_register_timing(
+            write=op.name == "lil.write_custreg"
+        )
+    else:
+        interface = lil.INTERFACE_OF[op.name]
+        timing = datasheet.timing(interface)
+    if timing.earliest <= stage <= timing.latest:
+        return ExecutionMode.IN_PIPELINE
+    if stage < timing.earliest:
+        raise ValueError(
+            f"'{op.name}' scheduled at {stage} before its earliest stage "
+            f"{timing.earliest}"
+        )
+    if op.name not in _DECOUPLABLE:
+        raise ValueError(
+            f"'{op.name}' cannot be used outside its native window "
+            f"[{timing.earliest}, {timing.latest}]"
+        )
+    if op.attr("spawn"):
+        return ExecutionMode.DECOUPLED
+    return ExecutionMode.TIGHTLY_COUPLED

@@ -1,0 +1,91 @@
+"""SCAIE-V-managed custom register files (paper Section 3.1).
+
+Longnail requests size/element-type/usage information via the configuration
+file; SCAIE-V "automatically instantiates new storage elements that are
+accessed in a similar manner as the general-purpose register file", including
+hazard handling.  This module provides that storage model: it is used
+structurally by the evaluation's area model and behaviorally by the core
+timing simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.scaiev.config import IsaxConfig, RegisterRequest
+from repro.utils.bits import to_unsigned
+
+
+@dataclasses.dataclass
+class PortUsage:
+    """How many functionalities read/write one custom register."""
+
+    readers: int = 0
+    writers: int = 0
+
+
+class CustomRegisterFile:
+    """Storage for one requested custom register (file)."""
+
+    def __init__(self, request: RegisterRequest,
+                 init: Optional[List[int]] = None):
+        self.name = request.name
+        self.width = request.width
+        self.elements = request.elements
+        self.values: List[int] = [0] * request.elements
+        if init:
+            for i, value in enumerate(init[: request.elements]):
+                self.values[i] = to_unsigned(value, self.width)
+
+    @property
+    def storage_bits(self) -> int:
+        return self.width * self.elements
+
+    @property
+    def address_width(self) -> int:
+        if self.elements <= 1:
+            return 1
+        return max(1, (self.elements - 1).bit_length())
+
+    def read(self, index: int = 0) -> int:
+        if not 0 <= index < self.elements:
+            return 0
+        return self.values[index]
+
+    def write(self, value: int, index: int = 0) -> None:
+        if 0 <= index < self.elements:
+            self.values[index] = to_unsigned(value, self.width)
+
+    def reset(self) -> None:
+        self.values = [0] * self.elements
+
+    def __repr__(self) -> str:
+        return (f"<CustomRegisterFile {self.name}: {self.elements} x "
+                f"{self.width} bits>")
+
+
+def build_register_files(config: IsaxConfig) -> Dict[str, CustomRegisterFile]:
+    """Instantiate storage for every register the ISAX requests."""
+    return {req.name: CustomRegisterFile(req) for req in config.registers}
+
+
+def port_usage(config: IsaxConfig) -> Dict[str, PortUsage]:
+    """Count read/write users per custom register across functionalities;
+    drives mux sizing in the area model."""
+    usage: Dict[str, PortUsage] = {r.name: PortUsage() for r in config.registers}
+    for func in config.functionalities:
+        seen_read = set()
+        seen_write = set()
+        for entry in func.schedule:
+            name = entry.interface
+            if name.startswith("Rd") and name[2:] in usage:
+                if name[2:] not in seen_read:
+                    usage[name[2:]].readers += 1
+                    seen_read.add(name[2:])
+            if name.startswith("Wr") and name.endswith(".data"):
+                reg = name[2:-len(".data")]
+                if reg in usage and reg not in seen_write:
+                    usage[reg].writers += 1
+                    seen_write.add(reg)
+    return usage

@@ -1,0 +1,41 @@
+"""Static scheduling infrastructure (paper Section 4.2/4.3).
+
+Reimplements the relevant slice of CIRCT's scheduling infrastructure: the
+extensible problem model (``Problem`` -> ``ChainingProblem`` ->
+``LongnailProblem``, Table 2), chain-breaker computation, and the ILP
+formulation of Figure 7 with exact (``scipy.optimize.milp``) and heuristic
+(ASAP longest-path) solver engines.
+"""
+
+from repro.scheduling.problem import (
+    ChainingProblem,
+    Dependence,
+    LongnailProblem,
+    OperatorType,
+    Problem,
+    ScheduleError,
+)
+from repro.scheduling.chaining import compute_chain_breakers, compute_start_times_in_cycle
+from repro.scheduling.scheduler import (
+    LongnailScheduler,
+    ScheduleResult,
+    build_problem,
+    default_delay_model,
+    uniform_delay_model,
+)
+
+__all__ = [
+    "Problem",
+    "ChainingProblem",
+    "LongnailProblem",
+    "OperatorType",
+    "Dependence",
+    "ScheduleError",
+    "compute_chain_breakers",
+    "compute_start_times_in_cycle",
+    "LongnailScheduler",
+    "ScheduleResult",
+    "build_problem",
+    "default_delay_model",
+    "uniform_delay_model",
+]

@@ -1,0 +1,184 @@
+"""The ILP formulation of the LongnailProblem (paper Figure 7).
+
+Decision variables: a start time ``t_i`` per operation and a lifetime
+``l_ij`` per dependence edge.  The multi-criteria objective minimizes the sum
+of all start times (overall latency) plus all lifetimes (pipeline registers
+in the ISAX module):
+
+    minimize    sum_i t_i  +  sum_{i->j} l_ij
+    subject to  t_i + latency_i          <= t_j      (C1, precedence)
+                l_ij                     >= t_j - t_i (C2, lifetimes)
+                earliest_i <= t_i <= latest_i         (C3, interfaces)
+                t_i, l_ij integer, >= 0               (C4, domains)
+                t_i + latency_i + 1      <= t_j      (C5, chain breakers)
+
+The paper solves this with Cbc via OR-Tools; we use ``scipy.optimize.milp``
+(HiGHS).  Because the constraint matrix is a network (difference-constraint)
+matrix, the LP relaxation is integral, so any exact solver produces the same
+optimum.  A pure-Python ASAP longest-path engine is provided as a fallback
+and as the heuristic baseline for the scheduler ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from repro.scheduling.problem import (
+    INFINITY,
+    LongnailProblem,
+    ScheduleError,
+)
+
+try:
+    import numpy as np
+    from scipy.optimize import Bounds, LinearConstraint, milp
+    from scipy.sparse import lil_matrix
+
+    HAVE_MILP = True
+except ImportError:  # pragma: no cover - scipy is an install requirement
+    HAVE_MILP = False
+
+
+def _lifetime_weight(source: Hashable) -> float:
+    """Width-proportional weight of a dependence edge's lifetime (bits
+    carried across a cycle boundary), normalized to a 32-bit word."""
+    results = getattr(source, "results", None)
+    if results:
+        return max(0.03125, results[0].width / 32.0)
+    return 1.0
+
+
+def solve_asap(problem: LongnailProblem) -> Dict[Hashable, int]:
+    """Heuristic engine: as-soon-as-possible longest-path schedule honoring
+    earliest bounds and chain breakers; raises if a latest bound cannot be
+    met (ASAP is componentwise minimal, so failure implies infeasibility)."""
+    preds: Dict[Hashable, List[Tuple[Hashable, int]]] = {
+        op: [] for op in problem.operations
+    }
+    for dep in problem.dependences:
+        extra = 1 if dep.is_chain_breaker else 0
+        preds[dep.target].append((dep.source, extra))
+
+    start: Dict[Hashable, int] = {}
+    state: Dict[Hashable, int] = {}
+
+    def visit(op: Hashable) -> int:
+        if state.get(op) == 2:
+            return start[op]
+        if state.get(op) == 1:
+            raise ScheduleError("cycle in dependence graph")
+        state[op] = 1
+        lot = problem.linked_operator_type(op)
+        time = lot.earliest
+        for pred, extra in preds[op]:
+            time = max(time, visit(pred) + problem.latency(pred) + extra)
+        if time > lot.latest:
+            raise ScheduleError(
+                f"infeasible: {op} cannot start before {time} but its "
+                f"window closes at {lot.latest}"
+            )
+        state[op] = 2
+        start[op] = time
+        return time
+
+    for op in problem.operations:
+        visit(op)
+    return start
+
+
+def solve_milp(problem: LongnailProblem) -> Dict[Hashable, int]:
+    """Exact engine: the Figure 7 ILP via scipy's HiGHS-based MILP solver."""
+    if not HAVE_MILP:  # pragma: no cover
+        raise ScheduleError("scipy.optimize.milp is unavailable")
+    ops = problem.operations
+    deps = problem.dependences
+    n, m = len(ops), len(deps)
+    if n == 0:
+        return {}
+    index = {op: i for i, op in enumerate(ops)}
+
+    # Objective: sum of start times plus sum of lifetimes.  Lifetimes are
+    # weighted by the carried value's width: the objective minimizes
+    # pipeline register *bits* in the ISAX module, which is the quantity
+    # Figure 7's lifetime term stands for.
+    cost = np.ones(n + m)
+    for k, dep in enumerate(deps):
+        cost[n + k] = _lifetime_weight(dep.source)
+
+    # A finite horizon keeps the solver comfortable.
+    horizon = sum(problem.latency(op) + 1 for op in ops) + max(
+        (problem.linked_operator_type(op).earliest for op in ops), default=0
+    )
+
+    lower = np.zeros(n + m)
+    upper = np.full(n + m, float(horizon))
+    for op, i in index.items():
+        lot = problem.linked_operator_type(op)
+        lower[i] = lot.earliest
+        if lot.latest != INFINITY:
+            upper[i] = min(upper[i], lot.latest)
+        if lower[i] > upper[i]:
+            raise ScheduleError(f"infeasible bounds for {op}")
+
+    # Constraint rows: (C1/C5) t_i - t_j <= -(latency_i [+1]);
+    #                  (C2)    t_j - t_i - l_ij <= 0.
+    matrix = lil_matrix((2 * m, n + m))
+    bound = np.zeros(2 * m)
+    for k, dep in enumerate(deps):
+        i, j = index[dep.source], index[dep.target]
+        latency = problem.latency(dep.source) + (1 if dep.is_chain_breaker else 0)
+        matrix[2 * k, i] = 1.0
+        matrix[2 * k, j] = -1.0
+        bound[2 * k] = -float(latency)
+        matrix[2 * k + 1, j] = 1.0
+        matrix[2 * k + 1, i] = -1.0
+        matrix[2 * k + 1, n + k] = -1.0
+        bound[2 * k + 1] = 0.0
+
+    constraints = LinearConstraint(matrix.tocsr(), -np.inf, bound)
+    result = milp(
+        c=cost,
+        constraints=constraints,
+        bounds=Bounds(lower, upper),
+        integrality=np.ones(n + m),
+    )
+    if not result.success:
+        raise ScheduleError(f"ILP solver failed: {result.message}")
+    values = result.x
+    return {op: int(round(values[index[op]])) for op in ops}
+
+
+def objective_value(problem: LongnailProblem) -> int:
+    """Figure 7 objective of the current solution: sum of start times plus
+    sum of (non-negative) lifetimes."""
+    total = sum(problem.start_time[op] for op in problem.operations)
+    for dep in problem.dependences:
+        total += max(
+            0, problem.start_time[dep.target] - problem.start_time[dep.source]
+        )
+    return total
+
+
+def weighted_objective_value(problem: LongnailProblem) -> float:
+    """The objective the exact engine actually minimizes: start times plus
+    width-weighted lifetimes (pipeline-register bits / 32)."""
+    total = float(sum(problem.start_time[op] for op in problem.operations))
+    for dep in problem.dependences:
+        lifetime = max(
+            0, problem.start_time[dep.target] - problem.start_time[dep.source]
+        )
+        total += _lifetime_weight(dep.source) * lifetime
+    return total
+
+
+def solve(problem: LongnailProblem, engine: str = "auto") -> str:
+    """Solve the problem in place; returns the engine actually used."""
+    if engine == "auto":
+        engine = "milp" if HAVE_MILP else "asap"
+    if engine == "milp":
+        problem.start_time = solve_milp(problem)
+    elif engine == "asap":
+        problem.start_time = solve_asap(problem)
+    else:
+        raise ScheduleError(f"unknown scheduler engine {engine!r}")
+    return engine

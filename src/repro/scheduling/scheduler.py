@@ -1,0 +1,239 @@
+"""The Longnail scheduler: lil graph + virtual datasheet -> solved
+LongnailProblem (paper Sections 4.2-4.4).
+
+Building the problem:
+
+* every lil interface operation is linked to an operator type whose
+  ``earliest``/``latest``/``latency`` come from the core's virtual
+  datasheet.  For the WrRD, RdMem and WrMem operator types ``latest`` is
+  lifted to infinity, which is what later unlocks the tightly-coupled or
+  decoupled variants (Section 4.2),
+* non-interface (comb) operations get default windows [0, inf) and
+  zero latency with propagation delays from a delay model (by default the
+  paper's "uniform delays" assumption),
+* chain-breaker edges computed against the core's cycle time split overly
+  long combinational chains (Section 4.2),
+* for always-blocks, all interface constraints are pinned to stage 0, so
+  solving merely checks the behavior executes in a single clock cycle
+  (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.dialects import lil
+from repro.ir.core import Graph, Operation
+from repro.scaiev.datasheet import INFINITY, VirtualDatasheet
+from repro.scheduling import ilp
+from repro.scheduling.chaining import (
+    compute_chain_breakers,
+    compute_start_times_in_cycle,
+)
+from repro.scheduling.problem import (
+    LongnailProblem,
+    OperatorType,
+    ScheduleError,
+)
+
+DelayModel = Callable[[Operation], float]
+
+#: Sub-interfaces whose 'latest' is lifted to infinity so the scheduler may
+#: push them past their native window (Section 4.2).
+LIFTED_INTERFACES = ("WrRD", "RdMem", "WrMem")
+
+#: Operations that cost (essentially) no logic: wiring only.
+FREE_OPS = ("comb.constant", "comb.extract", "comb.concat", "comb.replicate")
+
+#: Clock-to-Q plus setup margin reserved out of every cycle (ns); matches
+#: the sequential overhead the evaluation's timing analysis charges.
+CLOCK_MARGIN_NS = 0.08
+
+
+def uniform_delay_model(delay_ns: float = 1.25) -> DelayModel:
+    """The paper's current simplification: uniform delays for logic and
+    non-combinational sub-interface operations (Section 4.2)."""
+
+    def model(op: Operation) -> float:
+        if op.name in FREE_OPS or op.name == "lil.sink":
+            return 0.0
+        return delay_ns
+
+    return model
+
+
+def default_delay_model() -> DelayModel:
+    """Real technology delays (the library Section 4.2 says Longnail is
+    intended to consume); the default for the scheduler and the driver."""
+    from repro.eval.tech import TechLibrary  # deferred: avoids an import cycle
+
+    return TechLibrary().delay_model()
+
+
+@dataclasses.dataclass
+class ScheduleResult:
+    """A solved schedule for one lil graph."""
+
+    graph: Graph
+    problem: LongnailProblem
+    engine: str
+    cycle_time_ns: float
+    chain_breakers: int
+
+    @property
+    def start_times(self) -> Dict[Operation, int]:
+        return self.problem.start_time
+
+    def stage_of(self, op: Operation) -> int:
+        return self.problem.start_time[op]
+
+    @property
+    def makespan(self) -> int:
+        return self.problem.makespan()
+
+    @property
+    def objective(self) -> int:
+        return ilp.objective_value(self.problem)
+
+    def interface_schedule(self) -> List[tuple]:
+        """(interface name, operation, stage) for every interface op."""
+        entries = []
+        for op in self.graph.operations:
+            name = lil.interface_name(op)
+            if name is not None:
+                entries.append((name, op, self.problem.start_time[op]))
+        return entries
+
+
+def _interface_operator_type(op: Operation, datasheet: VirtualDatasheet,
+                             delay: float, always: bool) -> OperatorType:
+    interface = lil.interface_name(op)
+    assert interface is not None
+    if op.name in ("lil.read_custreg", "lil.write_custreg"):
+        timing = datasheet.custom_register_timing(
+            write=op.name == "lil.write_custreg"
+        )
+    else:
+        timing = datasheet.timing(interface)
+    earliest, latest, latency = timing.earliest, timing.latest, timing.latency
+    base = lil.INTERFACE_OF.get(op.name)
+    if base in LIFTED_INTERFACES or op.name == "lil.write_custreg":
+        latest = INFINITY
+    if op.attr("spawn"):
+        # Decoupled operations commit whenever they are ready.
+        latest = INFINITY
+    if always:
+        # Always-blocks execute continuously in a single cycle (Section 4.4).
+        earliest, latest, latency = 0, 0, 0
+    return OperatorType(
+        name=f"iface_{interface}_{op.name}",
+        latency=latency,
+        incoming_delay=delay if latency > 0 else delay,
+        outgoing_delay=delay,
+        earliest=earliest,
+        latest=latest,
+    )
+
+
+def build_problem(graph: Graph, datasheet: VirtualDatasheet,
+                  delay_model: Optional[DelayModel] = None,
+                  cycle_time_ns: Optional[float] = None) -> LongnailProblem:
+    """Construct the LongnailProblem for a lil graph (Table 2 modeling)."""
+    delay_model = delay_model or default_delay_model()
+    cycle_time = cycle_time_ns or datasheet.cycle_time_ns
+    # Reserve the sequential overhead so scheduled stages meet timing.
+    cycle_time = max(0.1, cycle_time - CLOCK_MARGIN_NS)
+    always = graph.attributes.get("kind") == lil.KIND_ALWAYS
+    problem = LongnailProblem()
+
+    for op in graph.operations:
+        if op.name == "lil.sink":
+            continue
+        delay = min(delay_model(op), cycle_time)
+        if lil.is_interface_op(op):
+            lot = _interface_operator_type(op, datasheet, delay, always)
+        else:
+            earliest, latest = (0, 0) if always else (0, INFINITY)
+            lot = OperatorType(
+                name=f"{op.name}_{op.results[0].width if op.results else 0}"
+                     f"_d{delay:g}",
+                latency=0,
+                incoming_delay=delay,
+                outgoing_delay=delay,
+                earliest=earliest,
+                latest=latest,
+            )
+        problem.add_operator_type(lot)
+        problem.add_operation(op, lot.name)
+
+    registered = set(problem.operations)
+    for op in graph.operations:
+        if op not in registered:
+            continue
+        for operand in op.operands:
+            producer = operand.owner
+            if producer is not None and producer in registered:
+                problem.add_dependence(producer, op)
+
+    # Serialize a load before a store to the same address space.
+    reads = [op for op in graph.operations if op.name == "lil.read_mem"]
+    writes = [op for op in graph.operations if op.name == "lil.write_mem"]
+    for read in reads:
+        for write in writes:
+            problem.add_dependence(read, write)
+
+    problem.check()
+
+    breakers = compute_chain_breakers(problem, cycle_time)
+    if always:
+        # Always-blocks must execute within a single clock cycle; a chain
+        # breaker means the combinational path exceeds the cycle time
+        # (Section 4.4: solving "merely checks that the behavior can be
+        # executed in a single clock cycle").
+        if breakers:
+            raise ScheduleError(
+                f"always-block '{graph.name}': combinational path exceeds "
+                f"the cycle time of {cycle_time:g} ns"
+            )
+    else:
+        for src, dst in breakers:
+            problem.add_dependence(src, dst, is_chain_breaker=True)
+    return problem
+
+
+class LongnailScheduler:
+    """Schedules lil graphs against a core's virtual datasheet."""
+
+    def __init__(self, datasheet: VirtualDatasheet,
+                 delay_model: Optional[DelayModel] = None,
+                 cycle_time_ns: Optional[float] = None,
+                 engine: str = "auto"):
+        self.datasheet = datasheet
+        self.delay_model = delay_model or default_delay_model()
+        self.cycle_time_ns = cycle_time_ns or datasheet.cycle_time_ns
+        self.engine = engine
+
+    def schedule(self, graph: Graph) -> ScheduleResult:
+        problem = build_problem(
+            graph, self.datasheet, self.delay_model, self.cycle_time_ns
+        )
+        try:
+            engine = ilp.solve(problem, self.engine)
+        except ScheduleError as err:
+            if graph.attributes.get("kind") == lil.KIND_ALWAYS:
+                raise ScheduleError(
+                    f"always-block '{graph.name}' cannot execute in a single "
+                    f"clock cycle of {self.cycle_time_ns:.2f} ns: {err}"
+                ) from err
+            raise
+        compute_start_times_in_cycle(problem)
+        problem.verify()
+        breakers = sum(1 for d in problem.dependences if d.is_chain_breaker)
+        return ScheduleResult(
+            graph=graph,
+            problem=problem,
+            engine=engine,
+            cycle_time_ns=self.cycle_time_ns,
+            chain_breakers=breakers,
+        )

@@ -1,0 +1,35 @@
+"""Simulation substrate used to verify the generated hardware.
+
+The paper verifies functional correctness "by performing RTL simulation of
+the execution of handwritten assembler programs" (Section 5.3).  This
+package provides the equivalents:
+
+* :mod:`repro.sim.rtl_sim` — a cycle-driven interpreter for generated hw
+  modules (the ISAX datapaths),
+* :mod:`repro.sim.coredsl_interp` — a golden-model interpreter executing
+  CoreDSL behaviors directly on an architectural state,
+* :mod:`repro.sim.riscv` — an RV32I assembler, a functional ISS, and
+  cycle-approximate timing models of the four host cores with SCAIE-V-style
+  ISAX integration (in-pipeline / tightly-coupled / decoupled / always).
+"""
+
+from repro.sim.rtl_sim import RTLSimulator
+from repro.sim.coredsl_interp import ArchState, CoreDSLInterpreter
+from repro.sim.cosim import (
+    CosimResult,
+    VerificationReport,
+    cosim_always,
+    cosim_instruction,
+    verify_artifact,
+)
+
+__all__ = [
+    "RTLSimulator",
+    "ArchState",
+    "CoreDSLInterpreter",
+    "CosimResult",
+    "VerificationReport",
+    "cosim_always",
+    "cosim_instruction",
+    "verify_artifact",
+]

@@ -1,0 +1,545 @@
+"""Golden-model interpreter for CoreDSL behaviors.
+
+Executes the decorated AST of an elaborated ISA directly against an
+architectural state, with the value semantics guaranteed by the type system
+(operators never overflow; casts truncate/reinterpret).  Serves as:
+
+* the reference model for co-simulation against the generated RTL,
+* the ISAX executor inside the RV32I instruction-set simulator,
+* the always-block evaluator of the core timing models.
+
+Every architectural-state update is also recorded as an :class:`Effect` so
+tests can compare "what the hardware did" against "what the language says".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.elaboration import ElaboratedISA
+from repro.frontend.typecheck import StateInfo, range_width
+from repro.frontend.types import IntType
+from repro.utils.bits import extract_bits, to_signed, to_unsigned
+from repro.utils.diagnostics import CoreDSLError
+
+
+@dataclasses.dataclass
+class Effect:
+    """One architectural-state update performed by a behavior."""
+
+    kind: str                  # "gpr" | "pc" | "mem" | "custom"
+    name: str
+    index: Optional[int]
+    value: int                 # unsigned bit-pattern
+    width: int
+    spawned: bool = False
+
+
+class ArchState:
+    """Architectural state visible to CoreDSL behaviors."""
+
+    def __init__(self, isa: Optional[ElaboratedISA] = None):
+        self.xregs: List[int] = [0] * 32
+        self.pc: int = 0
+        self.memory: Dict[int, int] = {}
+        self.custom: Dict[str, List[int]] = {}
+        self.custom_widths: Dict[str, int] = {}
+        if isa is not None:
+            self.add_custom_state(isa)
+
+    def add_custom_state(self, isa: ElaboratedISA) -> None:
+        """Instantiate the custom registers of (another) ISAX; registers
+        with the same name are shared (paper Section 6: shared state between
+        ISAXes is supported)."""
+        for info in isa.custom_state():
+            if info.name in self.custom:
+                continue
+            size = info.size or 1
+            values = [0] * size
+            if info.init_values:
+                for i, value in enumerate(info.init_values[:size]):
+                    values[i] = value
+            self.custom[info.name] = values
+            self.custom_widths[info.name] = info.element.width
+
+    # -- general-purpose registers ------------------------------------------
+    def read_x(self, index: int) -> int:
+        return 0 if index == 0 else self.xregs[index % 32]
+
+    def write_x(self, index: int, value: int) -> None:
+        if index % 32 != 0:
+            self.xregs[index % 32] = to_unsigned(value, 32)
+
+    # -- memory ---------------------------------------------------------------
+    def read_mem_byte(self, address: int) -> int:
+        return self.memory.get(to_unsigned(address, 32), 0)
+
+    def write_mem_byte(self, address: int, value: int) -> None:
+        self.memory[to_unsigned(address, 32)] = to_unsigned(value, 8)
+
+    def read_mem(self, address: int, num_bytes: int) -> int:
+        value = 0
+        for i in range(num_bytes - 1, -1, -1):
+            value = (value << 8) | self.read_mem_byte(address + i)
+        return value
+
+    def write_mem(self, address: int, value: int, num_bytes: int) -> None:
+        for i in range(num_bytes):
+            self.write_mem_byte(address + i, (value >> (8 * i)) & 0xFF)
+
+    # -- custom registers --------------------------------------------------------
+    def read_custom(self, name: str, index: int = 0) -> int:
+        values = self.custom[name]
+        return values[index] if 0 <= index < len(values) else 0
+
+    def write_custom(self, name: str, value: int, index: int = 0) -> None:
+        values = self.custom[name]
+        if 0 <= index < len(values):
+            values[index] = to_unsigned(value, self.custom_widths[name])
+
+    def snapshot(self) -> dict:
+        return {
+            "xregs": list(self.xregs),
+            "pc": self.pc,
+            "memory": dict(self.memory),
+            "custom": {k: list(v) for k, v in self.custom.items()},
+        }
+
+
+class _Return(Exception):
+    def __init__(self, value: Optional[int]):
+        self.value = value
+
+
+def _typed(value: int, type_: IntType) -> int:
+    """Normalize a mathematical value into ``type_``'s range (wrapping)."""
+    raw = to_unsigned(value, type_.width)
+    return to_signed(raw, type_.width) if type_.is_signed else raw
+
+
+class CoreDSLInterpreter:
+    """Executes instruction behaviors and always-blocks of one ISA."""
+
+    def __init__(self, isa: ElaboratedISA):
+        self.isa = isa
+        self.effects: List[Effect] = []
+        self._in_spawn = False
+
+    # ------------------------------------------------------------- entries
+    def execute_instruction(self, state: ArchState, name: str,
+                            word: int) -> List[Effect]:
+        instr = self.isa.instructions[name]
+        fields = instr.encoding.decode(word)
+        self.effects = []
+        self._in_spawn = False
+        env = _Env(self.isa, state, fields)
+        self._exec_block(env, instr.behavior)
+        return self.effects
+
+    def execute_always(self, state: ArchState, name: str) -> List[Effect]:
+        block = self.isa.always_blocks[name]
+        self.effects = []
+        self._in_spawn = False
+        env = _Env(self.isa, state, {})
+        self._exec_block(env, block.body)
+        return self.effects
+
+    def match_instruction(self, word: int) -> Optional[str]:
+        for name, instr in self.isa.instructions.items():
+            if instr.encoding.matches(word):
+                return name
+        return None
+
+    # ------------------------------------------------------------ statements
+    def _exec_block(self, env: "_Env", block: ast.Stmt) -> None:
+        if isinstance(block, ast.BlockStmt):
+            env.push()
+            for stmt in block.statements:
+                self._exec_stmt(env, stmt)
+            env.pop()
+        else:
+            self._exec_stmt(env, block)
+
+    def _exec_stmt(self, env: "_Env", stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.BlockStmt):
+            self._exec_block(env, stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            assert isinstance(stmt.decl_type, IntType)
+            value = 0
+            if stmt.init is not None:
+                value = _typed(self._eval(env, stmt.init), stmt.decl_type)
+            env.declare(stmt.name, value, stmt.decl_type)
+        elif isinstance(stmt, ast.Assign):
+            self._exec_assign(env, stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.FunctionCall):
+                self._call(env, stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            if self._eval(env, stmt.cond):
+                self._exec_block(env, stmt.then_body)
+            elif stmt.else_body is not None:
+                self._exec_block(env, stmt.else_body)
+        elif isinstance(stmt, ast.ForStmt):
+            env.push()
+            if stmt.init is not None:
+                self._exec_stmt(env, stmt.init)
+            guard = 0
+            while stmt.cond is None or self._eval(env, stmt.cond):
+                self._exec_block(env, stmt.body)
+                if stmt.step is not None:
+                    self._exec_stmt(env, stmt.step)
+                guard += 1
+                if guard > 10_000_000:
+                    raise CoreDSLError("runaway loop in interpreter")
+            env.pop()
+        elif isinstance(stmt, ast.WhileStmt):
+            env.push()
+            guard = 0
+            if stmt.is_do_while:
+                self._exec_block(env, stmt.body)
+                guard += 1
+            while self._eval(env, stmt.cond):
+                self._exec_block(env, stmt.body)
+                guard += 1
+                if guard > 10_000_000:
+                    raise CoreDSLError("runaway loop in interpreter")
+            env.pop()
+        elif isinstance(stmt, ast.SwitchStmt):
+            value = self._eval(env, stmt.value)
+            default = None
+            for case in stmt.cases:
+                if case.label is None:
+                    default = case
+                elif self._eval(env, case.label) == value:
+                    self._exec_block(env, case.body)
+                    return
+            if default is not None:
+                self._exec_block(env, default.body)
+        elif isinstance(stmt, ast.SpawnStmt):
+            was = self._in_spawn
+            self._in_spawn = True
+            self._exec_block(env, stmt.body)
+            self._in_spawn = was
+        elif isinstance(stmt, ast.ReturnStmt):
+            value = None if stmt.value is None else self._eval(env, stmt.value)
+            raise _Return(value)
+        else:
+            raise CoreDSLError(f"cannot interpret {type(stmt).__name__}")
+
+    def _exec_assign(self, env: "_Env", stmt: ast.Assign) -> None:
+        if stmt.op == "=":
+            value = self._eval(env, stmt.value)
+        else:
+            lhs = self._eval(env, stmt.target)
+            rhs = self._eval(env, stmt.value)
+            value = _apply_binop(stmt.op[:-1], lhs, rhs)
+        target = stmt.target
+        if isinstance(target, ast.Identifier):
+            if env.is_local(target.name):
+                env.assign(target.name, value)
+                return
+            info = self._state_of(env, target.name)
+            if info is not None and info.kind == "scalar_reg":
+                self._write_state(env, info, value, None)
+                return
+            raise CoreDSLError(f"cannot assign '{target.name}'")
+        if isinstance(target, ast.IndexExpr):
+            assert isinstance(target.base, ast.Identifier)
+            info = self._state_of(env, target.base.name)
+            if info is None:
+                raise CoreDSLError("unsupported assignment target")
+            index = self._eval(env, target.index)
+            self._write_state(env, info, value, index)
+            return
+        if isinstance(target, ast.RangeExpr):
+            assert isinstance(target.base, ast.Identifier)
+            info = self._state_of(env, target.base.name)
+            if info is None or info.kind != "mem":
+                raise CoreDSLError("unsupported range assignment")
+            low = self._eval(env, target.lo)
+            count = range_width(target.hi, target.lo, env.const_view())
+            env.state.write_mem(low, to_unsigned(value, count * 8), count)
+            self.effects.append(Effect(
+                "mem", info.name, to_unsigned(low, 32),
+                to_unsigned(value, count * 8), count * 8, self._in_spawn,
+            ))
+            return
+        raise CoreDSLError("unsupported assignment target")
+
+    def _write_state(self, env: "_Env", info: StateInfo, value: int,
+                     index: Optional[int]) -> None:
+        state = env.state
+        width = info.element.width
+        raw = to_unsigned(value, width)
+        if info.is_pc:
+            state.pc = raw
+            self.effects.append(Effect("pc", "PC", None, raw, 32,
+                                       self._in_spawn))
+        elif info.is_main_reg:
+            assert index is not None
+            state.write_x(index, raw)
+            self.effects.append(Effect("gpr", "X", index, raw, 32,
+                                       self._in_spawn))
+        elif info.is_main_mem:
+            assert index is not None
+            state.write_mem_byte(index, raw)
+            self.effects.append(Effect("mem", info.name,
+                                       to_unsigned(index, 32), raw, 8,
+                                       self._in_spawn))
+        elif info.kind == "rom":
+            raise CoreDSLError(f"cannot write constant register '{info.name}'")
+        else:
+            state.write_custom(info.name, raw, index or 0)
+            self.effects.append(Effect("custom", info.name, index or 0, raw,
+                                       width, self._in_spawn))
+
+    # ----------------------------------------------------------- expressions
+    def _state_of(self, env: "_Env", name: str) -> Optional[StateInfo]:
+        if env.is_local(name) or name in env.fields:
+            return None
+        return self.isa.state.get(name)
+
+    def _eval(self, env: "_Env", expr: ast.Expr) -> int:
+        if isinstance(expr, ast.IntLiteral):
+            if expr.explicit_type is not None and expr.explicit_type.is_signed:
+                return to_signed(expr.value, expr.explicit_type.width)
+            return expr.value
+        if isinstance(expr, ast.BoolLiteral):
+            return int(expr.value)
+        if isinstance(expr, ast.Identifier):
+            return self._eval_identifier(env, expr)
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op == "&&":
+                return int(bool(self._eval(env, expr.lhs))
+                           and bool(self._eval(env, expr.rhs)))
+            if expr.op == "||":
+                return int(bool(self._eval(env, expr.lhs))
+                           or bool(self._eval(env, expr.rhs)))
+            if expr.op == "::":
+                lhs = self._eval(env, expr.lhs)
+                rhs = self._eval(env, expr.rhs)
+                lw = expr.lhs.ctype.width
+                rw = expr.rhs.ctype.width
+                return (to_unsigned(lhs, lw) << rw) | to_unsigned(rhs, rw)
+            lhs = self._eval(env, expr.lhs)
+            rhs = self._eval(env, expr.rhs)
+            return _apply_binop(expr.op, lhs, rhs)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._eval(env, expr.operand)
+            if expr.op == "-":
+                return -operand
+            if expr.op == "!":
+                return int(not operand)
+            if expr.op == "~":
+                # Bit-pattern complement within the operand's type.
+                type_ = expr.operand.ctype
+                raw = to_unsigned(operand, type_.width)
+                return _typed(~raw, type_)
+            raise CoreDSLError(f"cannot interpret unary '{expr.op}'")
+        if isinstance(expr, ast.Conditional):
+            if self._eval(env, expr.cond):
+                return self._eval(env, expr.true_value)
+            return self._eval(env, expr.false_value)
+        if isinstance(expr, ast.Cast):
+            value = self._eval(env, expr.operand)
+            width = expr.target_width or expr.operand.ctype.width
+            return _typed(value, IntType(width, expr.target_signed))
+        if isinstance(expr, ast.FunctionCall):
+            result = self._call(env, expr)
+            if result is None:
+                raise CoreDSLError(
+                    f"void function '{expr.callee}' used as value"
+                )
+            return result
+        if isinstance(expr, ast.IndexExpr):
+            return self._eval_index(env, expr)
+        if isinstance(expr, ast.RangeExpr):
+            return self._eval_range(env, expr)
+        raise CoreDSLError(f"cannot interpret {type(expr).__name__}")
+
+    def _eval_identifier(self, env: "_Env", expr: ast.Identifier) -> int:
+        if env.is_local(expr.name):
+            return env.read(expr.name)
+        if expr.name in env.fields:
+            return env.fields[expr.name]
+        if expr.name in self.isa.parameters:
+            return self.isa.parameters[expr.name]
+        info = self.isa.state.get(expr.name)
+        if info is not None and info.kind == "scalar_reg":
+            raw = self._read_state(env, info, None)
+            return _typed(raw, info.element)
+        raise CoreDSLError(f"cannot interpret identifier '{expr.name}'")
+
+    def _read_state(self, env: "_Env", info: StateInfo,
+                    index: Optional[int]) -> int:
+        state = env.state
+        if info.is_pc:
+            return state.pc
+        if info.is_main_reg:
+            assert index is not None
+            return state.read_x(index)
+        if info.is_main_mem:
+            assert index is not None
+            return state.read_mem_byte(index)
+        if info.kind == "rom":
+            values = info.init_values or []
+            idx = index or 0
+            return values[idx] if 0 <= idx < len(values) else 0
+        return state.read_custom(info.name, index or 0)
+
+    def _eval_index(self, env: "_Env", expr: ast.IndexExpr) -> int:
+        if isinstance(expr.base, ast.Identifier):
+            info = self._state_of(env, expr.base.name)
+            if info is not None and info.kind in ("array_reg", "mem", "rom"):
+                index = self._eval(env, expr.index)
+                raw = self._read_state(env, info, to_unsigned(index, 32))
+                return _typed(raw, info.element)
+            if info is not None and info.kind == "scalar_reg":
+                raw = self._read_state(env, info, None)
+                bit = self._eval(env, expr.index)
+                return extract_bits(to_unsigned(raw, info.element.width),
+                                    bit, bit)
+        base = self._eval(env, expr.base)
+        base_type = expr.base.ctype
+        bit = self._eval(env, expr.index)
+        if not 0 <= bit < base_type.width:
+            return 0
+        return extract_bits(to_unsigned(base, base_type.width), bit, bit)
+
+    def _eval_range(self, env: "_Env", expr: ast.RangeExpr) -> int:
+        count = range_width(expr.hi, expr.lo, env.const_view())
+        if isinstance(expr.base, ast.Identifier):
+            info = self._state_of(env, expr.base.name)
+            if info is not None and info.kind == "mem":
+                low = self._eval(env, expr.lo)
+                return env.state.read_mem(low, count)
+            if info is not None and info.kind in ("array_reg", "rom"):
+                low = self._eval(env, expr.lo)
+                value = 0
+                for i in range(count - 1, -1, -1):
+                    piece = self._read_state(env, info, low + i)
+                    value = (value << info.element.width) | to_unsigned(
+                        piece, info.element.width
+                    )
+                return value
+            if info is not None and info.kind == "scalar_reg":
+                raw = to_unsigned(self._read_state(env, info, None),
+                                  info.element.width)
+                low = self._eval(env, expr.lo)
+                return extract_bits(raw, low + count - 1, low)
+        base = self._eval(env, expr.base)
+        base_type = expr.base.ctype
+        low = self._eval(env, expr.lo)
+        raw = to_unsigned(base, base_type.width)
+        hi = min(low + count - 1, base_type.width - 1)
+        if low > hi:
+            return 0
+        return extract_bits(raw, hi, low)
+
+    # ------------------------------------------------------------- functions
+    def _call(self, env: "_Env", call: ast.FunctionCall) -> Optional[int]:
+        sig = self.isa.functions.get(call.callee)
+        if sig is None:
+            raise CoreDSLError(f"unknown function '{call.callee}'")
+        frame = _Env(self.isa, env.state, {})
+        frame.push()
+        for arg, (param_name, param_type) in zip(call.args, sig.params):
+            value = _typed(self._eval(env, arg), param_type)
+            frame.declare(param_name, value, param_type)
+        try:
+            assert sig.definition.body is not None
+            for stmt in sig.definition.body.statements:
+                self._exec_stmt(frame, stmt)
+        except _Return as ret:
+            if ret.value is None or sig.return_type is None:
+                return None
+            return _typed(ret.value, sig.return_type)
+        return None
+
+
+def _apply_binop(op: str, lhs: int, rhs: int) -> int:
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if rhs == 0:
+            raise CoreDSLError("division by zero")
+        quotient = abs(lhs) // abs(rhs)
+        return -quotient if (lhs < 0) != (rhs < 0) else quotient
+    if op == "%":
+        if rhs == 0:
+            raise CoreDSLError("modulo by zero")
+        return lhs - _apply_binop("/", lhs, rhs) * rhs
+    if op == "&":
+        return lhs & rhs
+    if op == "|":
+        return lhs | rhs
+    if op == "^":
+        return lhs ^ rhs
+    if op == "<<":
+        return lhs << rhs
+    if op == ">>":
+        return lhs >> rhs
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    if op == "<":
+        return int(lhs < rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    raise CoreDSLError(f"cannot interpret operator '{op}'")
+
+
+class _Env:
+    """Lexical environment: locals + encoding fields + the machine state."""
+
+    def __init__(self, isa: ElaboratedISA, state: ArchState,
+                 fields: Dict[str, int]):
+        self.isa = isa
+        self.state = state
+        self.fields = fields
+        self.scopes: List[Dict[str, Tuple[int, IntType]]] = []
+
+    def push(self) -> None:
+        self.scopes.append({})
+
+    def pop(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, value: int, type_: IntType) -> None:
+        self.scopes[-1][name] = (value, type_)
+
+    def is_local(self, name: str) -> bool:
+        return any(name in scope for scope in self.scopes)
+
+    def read(self, name: str) -> int:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name][0]
+        raise CoreDSLError(f"unbound local '{name}'")
+
+    def assign(self, name: str, value: int) -> None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                _old, type_ = scope[name]
+                scope[name] = (_typed(value, type_), type_)
+                return
+        raise CoreDSLError(f"unbound local '{name}'")
+
+    def const_view(self) -> Dict[str, int]:
+        env = dict(self.isa.parameters)
+        env.update(self.fields)
+        for scope in self.scopes:
+            for name, (value, _type) in scope.items():
+                env[name] = value
+        return env

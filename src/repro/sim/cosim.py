@@ -1,0 +1,298 @@
+"""Co-simulation harness: generated RTL vs the CoreDSL golden model.
+
+The paper verifies extended cores by RTL simulation (Section 5.3).  This
+module packages that methodology as a library feature: given a compiled
+:class:`~repro.hls.longnail.IsaxArtifact`, it executes each instruction (or
+always-block) once through the CoreDSL interpreter and once through the
+cycle-level RTL simulation of the generated module, and compares every
+architectural effect — GPR result, PC redirect, memory request, custom
+register writes — including the valid bits.
+
+Memory reads are resolved with a fixpoint loop: the module's address
+outputs are observed, the corresponding data is fed back on the
+``mem_rdata``/``rd<REG>_data`` inputs, and simulation repeats until the
+requests stabilize (one round suffices unless an address depends on loaded
+data).
+
+``verify_artifact`` runs randomized trials over all functionalities; it is
+what a downstream ISAX author would call before handing the SystemVerilog
+to a real flow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional
+
+from repro.hls.longnail import FunctionalityArtifact, IsaxArtifact
+from repro.sim.coredsl_interp import ArchState, CoreDSLInterpreter, Effect
+from repro.sim.rtl_sim import RTLSimulator
+from repro.utils.bits import to_unsigned
+
+
+@dataclasses.dataclass
+class Mismatch:
+    kind: str
+    detail: str
+
+
+@dataclasses.dataclass
+class CosimResult:
+    """Outcome of co-simulating one functionality on one stimulus."""
+
+    functionality: str
+    matches: bool
+    mismatches: List[Mismatch]
+    golden_effects: List[Effect]
+    rtl_outputs: Dict[str, int]
+
+    def __bool__(self) -> bool:
+        return self.matches
+
+
+def _port_groups(module) -> Dict[str, List[str]]:
+    groups: Dict[str, List[str]] = {}
+    for port in module.ports:
+        base = port.name.rsplit("_", 1)[0]
+        groups.setdefault(base, []).append(port.name)
+    return groups
+
+
+def _find_output(outputs: Dict[str, int], prefix: str) -> Optional[int]:
+    for name, value in outputs.items():
+        if name.startswith(prefix):
+            return value
+    return None
+
+
+def _steady_outputs(functionality: FunctionalityArtifact,
+                    inputs: Dict[str, int]) -> Dict[str, int]:
+    sim = RTLSimulator(functionality.module)
+    depth = functionality.schedule.makespan + 2
+    outputs: Dict[str, int] = {}
+    for _ in range(depth):
+        outputs = sim.step(inputs)
+    return outputs
+
+
+def cosim_instruction(artifact: IsaxArtifact, name: str, state: ArchState,
+                      field_values: Dict[str, int]) -> CosimResult:
+    """Co-simulate one instruction against a *copy* of ``state``."""
+    functionality = artifact.artifact(name)
+    isa = artifact.isa
+    encoding = isa.instructions[name].encoding
+    word = encoding.encode(field_values)
+
+    # --- golden execution on a snapshot -------------------------------------
+    golden_state = ArchState()
+    golden_state.xregs = list(state.xregs)
+    golden_state.pc = state.pc
+    golden_state.memory = dict(state.memory)
+    golden_state.custom = {k: list(v) for k, v in state.custom.items()}
+    golden_state.custom_widths = dict(state.custom_widths)
+    interp = CoreDSLInterpreter(isa)
+    effects = interp.execute_instruction(golden_state, name, word)
+
+    # --- RTL execution with memory/register read feedback -------------------
+    module = functionality.module
+    rs1 = field_values.get("rs1", 0)
+    rs2 = field_values.get("rs2", 0)
+    inputs: Dict[str, int] = {}
+    for port in module.inputs:
+        if port.name.startswith("rs1_data"):
+            inputs[port.name] = state.read_x(rs1)
+        elif port.name.startswith("rs2_data"):
+            inputs[port.name] = state.read_x(rs2)
+        elif port.name.startswith("pc_data"):
+            inputs[port.name] = state.pc
+        elif port.name.startswith("instr_word"):
+            inputs[port.name] = word
+        elif port.name.startswith("rd") and "_data_" in port.name:
+            # Custom-register read data: scalar reads have no address port,
+            # so resolve them immediately from the pre-state.
+            reg = port.name[2:port.name.index("_data_")]
+            if reg in state.custom:
+                inputs[port.name] = state.read_custom(reg)
+
+    outputs = _steady_outputs(functionality, inputs)
+    for _round in range(3):
+        changed = False
+        read_addr = _find_output(outputs, "mem_raddr")
+        if read_addr is not None:
+            size = next(
+                (p.width for p in module.inputs
+                 if p.name.startswith("mem_rdata")), 32
+            )
+            data = state.read_mem(read_addr, size // 8)
+            for port in module.inputs:
+                if port.name.startswith("mem_rdata"):
+                    if inputs.get(port.name) != data:
+                        inputs[port.name] = data
+                        changed = True
+        for port in module.outputs:
+            # Indexed custom-register reads: feed data for the index.
+            if port.name.startswith("rd") and "_addr_" in port.name:
+                reg = port.name[2:port.name.index("_addr_")]
+                if reg in state.custom:
+                    index = outputs[port.name]
+                    data = state.read_custom(reg, index)
+                    for in_port in module.inputs:
+                        if in_port.name.startswith(f"rd{reg}_data"):
+                            if inputs.get(in_port.name) != data:
+                                inputs[in_port.name] = data
+                                changed = True
+        if not changed:
+            break
+        outputs = _steady_outputs(functionality, inputs)
+
+    return _compare(functionality, effects, outputs, state, golden_state)
+
+
+def cosim_always(artifact: IsaxArtifact, name: str,
+                 state: ArchState) -> CosimResult:
+    """Co-simulate one always-block evaluation (single combinational
+    cycle)."""
+    functionality = artifact.artifact(name)
+    isa = artifact.isa
+    golden_state = ArchState()
+    golden_state.xregs = list(state.xregs)
+    golden_state.pc = state.pc
+    golden_state.memory = dict(state.memory)
+    golden_state.custom = {k: list(v) for k, v in state.custom.items()}
+    golden_state.custom_widths = dict(state.custom_widths)
+    interp = CoreDSLInterpreter(isa)
+    effects = interp.execute_always(golden_state, name)
+
+    module = functionality.module
+    inputs: Dict[str, int] = {}
+    for port in module.inputs:
+        if port.name.startswith("pc_data"):
+            inputs[port.name] = state.pc
+        elif port.name.startswith("rd") and "_data_" in port.name:
+            reg = port.name[2:port.name.index("_data_")]
+            if reg in state.custom:
+                inputs[port.name] = state.read_custom(reg)
+    outputs = RTLSimulator(module).step(inputs)
+    return _compare(functionality, effects, outputs, state, golden_state)
+
+
+def _compare(functionality: FunctionalityArtifact, effects: List[Effect],
+             outputs: Dict[str, int], pre: ArchState,
+             post: ArchState) -> CosimResult:
+    mismatches: List[Mismatch] = []
+
+    def check(kind: str, expect_value: Optional[int], data_prefix: str,
+              valid_prefix: str, width: int = 32) -> None:
+        valid = _find_output(outputs, valid_prefix)
+        data = _find_output(outputs, data_prefix)
+        if expect_value is None:
+            if valid not in (None, 0):
+                mismatches.append(Mismatch(
+                    kind, f"RTL asserts {valid_prefix}* but the golden "
+                          "model performs no such write"))
+            return
+        if data is None:
+            mismatches.append(Mismatch(
+                kind, f"module has no {data_prefix}* output"))
+            return
+        if valid == 0:
+            mismatches.append(Mismatch(
+                kind, f"golden model writes {expect_value:#x} but the RTL "
+                      f"valid bit is low"))
+            return
+        if to_unsigned(data, width) != to_unsigned(expect_value, width):
+            mismatches.append(Mismatch(
+                kind, f"value mismatch: rtl={data:#x} "
+                      f"golden={to_unsigned(expect_value, width):#x}"))
+
+    gpr = next((e for e in effects if e.kind == "gpr"), None)
+    check("gpr", gpr.value if gpr else None, "wrrd_data", "wrrd_valid")
+
+    pc = next((e for e in effects if e.kind == "pc"), None)
+    check("pc", pc.value if pc else None, "wrpc_data", "wrpc_valid")
+
+    mem = next((e for e in effects if e.kind == "mem"), None)
+    if mem is not None:
+        check("mem.data", mem.value, "mem_wdata", "mem_wvalid",
+              width=mem.width)
+        waddr = _find_output(outputs, "mem_waddr")
+        if waddr is not None and waddr != mem.index:
+            mismatches.append(Mismatch(
+                "mem.addr", f"rtl={waddr:#x} golden={mem.index:#x}"))
+    else:
+        check("mem", None, "mem_wdata", "mem_wvalid")
+
+    for effect in effects:
+        if effect.kind != "custom":
+            continue
+        check(f"custom.{effect.name}", effect.value,
+              f"wr{effect.name}_data", f"wr{effect.name}_valid",
+              width=effect.width)
+
+    return CosimResult(
+        functionality=functionality.name,
+        matches=not mismatches,
+        mismatches=mismatches,
+        golden_effects=effects,
+        rtl_outputs=outputs,
+    )
+
+
+@dataclasses.dataclass
+class VerificationReport:
+    """Aggregate outcome of :func:`verify_artifact`."""
+
+    artifact: str
+    core: str
+    trials: int
+    failures: List[CosimResult]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else f"FAIL ({len(self.failures)})"
+        return (f"co-simulation of '{self.artifact}' on {self.core}: "
+                f"{self.trials} trials, {status}")
+
+
+def verify_artifact(artifact: IsaxArtifact, trials: int = 25,
+                    seed: int = 0) -> VerificationReport:
+    """Randomized co-simulation of every functionality in an artifact."""
+    rng = random.Random(seed)
+    failures: List[CosimResult] = []
+    total = 0
+    for name, functionality in artifact.functionalities.items():
+        for _ in range(trials):
+            state = ArchState(artifact.isa)
+            for index in range(1, 32):
+                state.write_x(index, rng.getrandbits(32))
+            state.pc = rng.getrandbits(32) & ~3
+            for reg in state.custom:
+                for element in range(len(state.custom[reg])):
+                    state.write_custom(reg, rng.getrandbits(32), element)
+            for _ in range(64):
+                state.write_mem_byte(rng.getrandbits(32), rng.getrandbits(8))
+            total += 1
+            if functionality.kind == "instruction":
+                encoding = artifact.isa.instructions[name].encoding
+                fields = {
+                    fname: rng.getrandbits(field.width)
+                    for fname, field in encoding.fields.items()
+                }
+                for reg_field in ("rs1", "rs2", "rd"):
+                    if reg_field in fields:
+                        fields[reg_field] = rng.randrange(32)
+                result = cosim_instruction(artifact, name, state, fields)
+            else:
+                result = cosim_always(artifact, name, state)
+            if not result.matches:
+                failures.append(result)
+    return VerificationReport(
+        artifact=artifact.name,
+        core=artifact.core_name,
+        trials=total,
+        failures=failures,
+    )

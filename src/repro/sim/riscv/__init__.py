@@ -1,0 +1,16 @@
+"""RV32I simulation: assembler, functional ISS, and cycle-approximate
+timing models of the four host cores with SCAIE-V-style ISAX integration."""
+
+from repro.sim.riscv.assembler import assemble, AssemblerError
+from repro.sim.riscv.isa import ExecutedInstr, RV32ISimulator
+from repro.sim.riscv.core_model import CoreTimingModel, TimingParams, TimingReport
+
+__all__ = [
+    "assemble",
+    "AssemblerError",
+    "ExecutedInstr",
+    "RV32ISimulator",
+    "CoreTimingModel",
+    "TimingParams",
+    "TimingReport",
+]

@@ -1,0 +1,31 @@
+"""Shared low-level utilities: bit manipulation, YAML subset, diagnostics."""
+
+from repro.utils.bits import (
+    bit_length_unsigned,
+    bit_length_signed,
+    mask,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    truncate,
+    extract_bits,
+    replicate_bits,
+    concat_bits,
+)
+from repro.utils.diagnostics import SourceLocation, CoreDSLError, DiagnosticEngine
+
+__all__ = [
+    "bit_length_unsigned",
+    "bit_length_signed",
+    "mask",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "truncate",
+    "extract_bits",
+    "replicate_bits",
+    "concat_bits",
+    "SourceLocation",
+    "CoreDSLError",
+    "DiagnosticEngine",
+]

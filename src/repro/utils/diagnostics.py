@@ -1,0 +1,48 @@
+"""Source locations and error reporting for the CoreDSL frontend."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceLocation:
+    """A position in a CoreDSL source file (1-based line/column)."""
+
+    filename: str = "<input>"
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class CoreDSLError(Exception):
+    """An error raised by any stage of the CoreDSL → RTL flow.
+
+    Carries an optional :class:`SourceLocation` so frontends can point the
+    user at the offending source construct.
+    """
+
+    def __init__(self, message: str, loc: Optional[SourceLocation] = None):
+        self.message = message
+        self.loc = loc
+        super().__init__(f"{loc}: {message}" if loc else message)
+
+
+class DiagnosticEngine:
+    """Collects non-fatal diagnostics (warnings, notes) during compilation."""
+
+    def __init__(self) -> None:
+        self.warnings: List[str] = []
+        self.notes: List[str] = []
+
+    def warn(self, message: str, loc: Optional[SourceLocation] = None) -> None:
+        self.warnings.append(f"{loc}: {message}" if loc else message)
+
+    def note(self, message: str, loc: Optional[SourceLocation] = None) -> None:
+        self.notes.append(f"{loc}: {message}" if loc else message)
+
+    def error(self, message: str, loc: Optional[SourceLocation] = None) -> None:
+        raise CoreDSLError(message, loc)

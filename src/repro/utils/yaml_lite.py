@@ -1,0 +1,285 @@
+"""A small YAML subset used for the Longnail <-> SCAIE-V metadata exchange.
+
+The paper (Section 4.6, Figures 8 and 9) exchanges two kinds of YAML files
+between Longnail and SCAIE-V: the core's *virtual datasheet* and the ISAX
+*configuration file*.  PyYAML is not a dependency of this reproduction, so we
+implement the subset actually needed:
+
+* block mappings (``key: value``) with nesting by 2-space indentation,
+* block sequences (``- item``),
+* flow mappings (``{interface: RdPC, stage: 1}``) and flow sequences,
+* scalars: integers, floats, booleans, ``null`` and plain/quoted strings.
+
+``dumps``/``loads`` round-trip every structure this project produces.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Tuple
+
+#: Strings that would be re-parsed as numbers must be quoted on emission, and
+#: only strings matching this shape are *parsed* as numbers.
+_NUMERIC_RE = re.compile(
+    r"[+-]?(\d[\d_]*|0[xX][0-9a-fA-F]+|0[bB][01]+|\d*\.\d+([eE][+-]?\d+)?"
+    r"|\d+\.?([eE][+-]?\d+)?)$"
+)
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+def _scalar(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and value == float("inf"):
+            return ".inf"
+        return repr(value)
+    text = str(value)
+    specials = set(":{}[],#&*!|>'\"%@`")
+    if (
+        text == ""
+        or text.strip() != text
+        or any(c in specials for c in text)
+        or text.lower() in {"true", "false", "null", "yes", "no", ".inf"}
+        or _NUMERIC_RE.match(text)
+        or text == "-"
+        or text.startswith("- ")
+    ):
+        return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    return text
+
+
+def _flow(value: Any) -> str:
+    if isinstance(value, dict):
+        items = ", ".join(f"{_scalar(k)}: {_flow(v)}" for k, v in value.items())
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_flow(v) for v in value) + "]"
+    return _scalar(value)
+
+
+def _is_flat(value: Any) -> bool:
+    """Mappings whose values are all scalars are emitted in flow style, which
+    matches the ``{interface: RdPC, stage: 1}`` entries of Figure 8."""
+    if isinstance(value, dict):
+        return all(not isinstance(v, (dict, list, tuple)) for v in value.values())
+    return not isinstance(value, (dict, list, tuple))
+
+
+def _dump(value: Any, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    if isinstance(value, dict):
+        if not value:
+            lines.append(pad + "{}")
+            return
+        for key, val in value.items():
+            if isinstance(val, dict) and val and not _is_flat(val):
+                lines.append(f"{pad}{_scalar(key)}:")
+                _dump(val, indent + 1, lines)
+            elif isinstance(val, dict) and val:
+                lines.append(f"{pad}{_scalar(key)}: {_flow(val)}")
+            elif isinstance(val, (list, tuple)) and len(val) > 0:
+                lines.append(f"{pad}{_scalar(key)}:")
+                _dump(list(val), indent + 1, lines)
+            else:
+                lines.append(f"{pad}{_scalar(key)}: {_flow(val)}")
+    elif isinstance(value, list):
+        if not value:
+            lines.append(pad + "[]")
+            return
+        for item in value:
+            if isinstance(item, (dict, list, tuple)) and not _is_flat(item):
+                lines.append(pad + "-")
+                _dump(item, indent + 1, lines)
+            else:
+                lines.append(f"{pad}- {_flow(item)}")
+    else:
+        lines.append(pad + _scalar(value))
+
+
+def dumps(value: Any) -> str:
+    """Serialize ``value`` (dict/list/scalars) to a YAML string."""
+    lines: List[str] = []
+    _dump(value, 0, lines)
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+def _parse_scalar(text: str) -> Any:
+    text = text.strip()
+    if text in ("null", "~", ""):
+        return None
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text == ".inf":
+        return float("inf")
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        body = text[1:-1]
+        return body.replace('\\"', '"').replace("\\\\", "\\")
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return text[1:-1]
+    if _NUMERIC_RE.match(text):
+        try:
+            return int(text, 0)
+        except ValueError:
+            return float(text)
+    return text
+
+
+def _split_flow(text: str) -> List[str]:
+    """Split a flow body on commas at depth 0."""
+    parts, depth, start, in_str = [], 0, 0, False
+    for i, ch in enumerate(text):
+        if in_str:
+            if ch == '"' and text[i - 1] != "\\":
+                in_str = False
+            continue
+        if ch == '"':
+            in_str = True
+        elif ch in "[{":
+            depth += 1
+        elif ch in "]}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    tail = text[start:]
+    if tail.strip():
+        parts.append(tail)
+    return parts
+
+
+def _split_key(text: str) -> Tuple[str, str]:
+    """Split ``key: value`` at the first depth-0 colon."""
+    depth, in_str = 0, False
+    for i, ch in enumerate(text):
+        if in_str:
+            if ch == '"' and text[i - 1] != "\\":
+                in_str = False
+            continue
+        if ch == '"':
+            in_str = True
+        elif ch in "[{":
+            depth += 1
+        elif ch in "]}":
+            depth -= 1
+        elif ch == ":" and depth == 0:
+            if i + 1 >= len(text) or text[i + 1] in " \t" or i + 1 == len(text.rstrip()):
+                return text[:i], text[i + 1:]
+    raise ValueError(f"not a mapping entry: {text!r}")
+
+
+def _parse_value(text: str) -> Any:
+    text = text.strip()
+    if text.startswith("{"):
+        if not text.endswith("}"):
+            raise ValueError(f"unterminated flow mapping: {text!r}")
+        body = text[1:-1].strip()
+        out = {}
+        if body:
+            for part in _split_flow(body):
+                key, val = _split_key(part.strip())
+                out[_parse_scalar(key)] = _parse_value(val)
+        return out
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise ValueError(f"unterminated flow sequence: {text!r}")
+        body = text[1:-1].strip()
+        if not body:
+            return []
+        return [_parse_value(p.strip()) for p in _split_flow(body)]
+    return _parse_scalar(text)
+
+
+class _Parser:
+    def __init__(self, lines: List[Tuple[int, str]]):
+        self.lines = lines
+        self.pos = 0
+
+    def peek(self) -> Tuple[int, str]:
+        return self.lines[self.pos]
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.lines)
+
+    def parse_block(self, indent: int) -> Any:
+        if self.at_end():
+            return None
+        ind, text = self.peek()
+        if text.startswith("- ") or text == "-":
+            return self.parse_sequence(ind)
+        try:
+            _split_key(text)
+        except ValueError:
+            # A bare scalar document.
+            self.pos += 1
+            return _parse_value(text)
+        return self.parse_mapping(ind)
+
+    def parse_sequence(self, indent: int) -> List[Any]:
+        items: List[Any] = []
+        while not self.at_end():
+            ind, text = self.peek()
+            if ind != indent or not (text.startswith("- ") or text == "-"):
+                break
+            self.pos += 1
+            rest = text[1:].strip()
+            if rest:
+                items.append(_parse_value(rest))
+            else:
+                if not self.at_end() and self.peek()[0] > indent:
+                    items.append(self.parse_block(self.peek()[0]))
+                else:
+                    items.append(None)
+        return items
+
+    def parse_mapping(self, indent: int) -> dict:
+        out: dict = {}
+        while not self.at_end():
+            ind, text = self.peek()
+            if ind != indent:
+                break
+            key_text, val_text = _split_key(text)
+            self.pos += 1
+            key = _parse_scalar(key_text)
+            val_text = val_text.strip()
+            if val_text:
+                out[key] = _parse_value(val_text)
+            else:
+                if not self.at_end() and self.peek()[0] > indent:
+                    out[key] = self.parse_block(self.peek()[0])
+                elif not self.at_end() and self.peek()[0] == indent and (
+                    self.peek()[1].startswith("- ") or self.peek()[1] == "-"
+                ):
+                    out[key] = self.parse_sequence(indent)
+                else:
+                    out[key] = None
+        return out
+
+
+def loads(text: str) -> Any:
+    """Parse the YAML subset produced by :func:`dumps`."""
+    lines: List[Tuple[int, str]] = []
+    for raw in text.splitlines():
+        stripped = raw.split("#", 1)[0] if not raw.lstrip().startswith('"') else raw
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip())
+        lines.append((indent, stripped.strip()))
+    if not lines:
+        return None
+    parser = _Parser(lines)
+    result = parser.parse_block(lines[0][0])
+    if not parser.at_end():
+        raise ValueError(f"trailing content at line {parser.pos}")
+    return result

@@ -1,0 +1,321 @@
+"""Evaluation workloads: the Section 5.5 array-sum kernel and the
+Section 5.6 audio-ML case study.
+
+Section 5.5 measures a simple kernel — summing the elements of an n-element
+integer array held in memory — on the baseline VexRiscv and on the same core
+extended with the ``autoinc`` and ``zol`` ISAXes (paper: 18n+50 cycles ->
+11n+50 cycles, a >60 % speed-up for 16 % additional chip area).
+
+Section 5.6 reports an ML-inference-on-audio-signals application where four
+ISAXes including ``zol`` yield 2.15x wall-clock gains and 30 % power savings.
+The original application is proprietary (it was taped out in the Scale4Edge
+SoC); we substitute a synthetic fixed-point audio-inference pipeline with
+the same structure — a sliding-window dot-product feature extractor (FIR /
+first MLP layer) with a table-based nonlinearity — accelerated by the
+``dotprod``, ``autoinc``, ``zol`` and ``sbox`` ISAXes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.eval.asic import evaluate_combination
+from repro.hls.longnail import IsaxArtifact, compile_isax
+from repro.isaxes import AUTOINC, DOTPROD, SBOX, ZOL
+from repro.scaiev.cores import core_datasheet
+from repro.sim.riscv.assembler import assemble
+from repro.sim.riscv.core_model import CoreTimingModel
+from repro.utils.bits import to_signed, to_unsigned
+
+ARRAY_BASE = 0x1000
+SAMPLES_BASE = 0x2000
+COEFFS_BASE = 0x3000
+ACT_TABLE_BASE = 0x3800
+OUT_BASE = 0x4000
+
+
+# ---------------------------------------------------------------------------
+# Section 5.5: array sum
+# ---------------------------------------------------------------------------
+
+def array_sum_baseline(n: int) -> str:
+    """Plain RV32I loop: load, bump pointer, accumulate, count, branch."""
+    return f"""
+      li   t0, {ARRAY_BASE}
+      li   t1, {n}
+      li   t2, 0
+    loop:
+      lw   t3, 0(t0)
+      addi t0, t0, 4
+      add  t2, t2, t3
+      addi t1, t1, -1
+      bne  t1, zero, loop
+      ecall
+    """
+
+
+def array_sum_isax(n: int) -> str:
+    """The same kernel with autoinc (pointer bump folded into the load) and
+    zol (loop control folded into the always-block): the loop body is just
+    ``lw_ai`` + ``add``."""
+    return f"""
+      li   t0, {ARRAY_BASE}
+      li   t2, 0
+      setup_ai t0
+      setup_zol uimmS=6, uimmL={n - 1}
+      lw_ai t3
+      add  t2, t2, t3
+      ecall
+    """
+
+
+@dataclasses.dataclass
+class ArraySumResult:
+    n: int
+    baseline_cycles: int
+    isax_cycles: int
+    checksum: int
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_cycles / self.isax_cycles
+
+
+def run_array_sum(n: int, core: str = "VexRiscv",
+                  artifacts: Optional[List[IsaxArtifact]] = None) -> ArraySumResult:
+    """Run the Section 5.5 experiment for one array size."""
+    if artifacts is None:
+        artifacts = [compile_isax(AUTOINC, core), compile_isax(ZOL, core)]
+    data = [(i * 2654435761) & 0xFFFFFFFF for i in range(1, n + 1)]
+    expected = sum(data) & 0xFFFFFFFF
+
+    baseline = CoreTimingModel(core_datasheet(core))
+    baseline.load_program(assemble(array_sum_baseline(n)))
+    baseline.load_data(data, ARRAY_BASE)
+    base_report = baseline.run()
+    assert base_report.state.read_x(7) == expected
+
+    extended = CoreTimingModel(core_datasheet(core), artifacts=artifacts)
+    extended.load_program(assemble(
+        array_sum_isax(n), isaxes=[a.isa for a in artifacts]
+    ))
+    extended.load_data(data, ARRAY_BASE)
+    ext_report = extended.run()
+    assert ext_report.state.read_x(7) == expected
+
+    return ArraySumResult(
+        n=n,
+        baseline_cycles=base_report.cycles,
+        isax_cycles=ext_report.cycles,
+        checksum=expected,
+    )
+
+
+def fit_linear(ns: List[int], cycles: List[int]) -> Tuple[float, float]:
+    """Least-squares fit cycles ~= a*n + b."""
+    count = len(ns)
+    mean_n = sum(ns) / count
+    mean_c = sum(cycles) / count
+    numerator = sum((n - mean_n) * (c - mean_c) for n, c in zip(ns, cycles))
+    denominator = sum((n - mean_n) ** 2 for n in ns)
+    slope = numerator / denominator
+    return slope, mean_c - slope * mean_n
+
+
+# ---------------------------------------------------------------------------
+# Section 5.6: audio-ML case study
+# ---------------------------------------------------------------------------
+
+#: Inner dot-product length in 4-lane words and number of output frames.
+AUDIO_WORDS = 8
+AUDIO_FRAMES = 16
+
+
+def _audio_data(words: int, frames: int) -> Tuple[List[int], List[int]]:
+    """Synthetic int8 audio samples and filter coefficients, packed four
+    lanes per 32-bit word."""
+    def pack(byte_at):
+        packed = []
+        for word_index in range(words + frames):
+            value = 0
+            for lane in range(4):
+                value |= (byte_at(word_index, lane) & 0xFF) << (8 * lane)
+            packed.append(value)
+        return packed
+
+    samples = pack(lambda w, l: to_unsigned(
+        ((w * 37 + l * 11) % 201) - 100, 8))
+    coeffs = pack(lambda w, l: to_unsigned(
+        ((w * 13 + l * 7) % 31) - 15, 8))
+    return samples, coeffs[:words]
+
+
+def audio_baseline(frames: int = AUDIO_FRAMES, words: int = AUDIO_WORDS) -> str:
+    """RV32IM baseline, compiled the way a decent compiler would: word
+    loads, shift-based lane extraction, mul + accumulate, software loop
+    control, activation through an in-memory lookup table."""
+    lanes = "\n".join(
+        f"""
+      slli t4, s4, {24 - 8 * lane}
+      srai t4, t4, 24
+      slli t5, s5, {24 - 8 * lane}
+      srai t5, t5, 24
+      mul  t6, t4, t5
+      add  t2, t2, t6"""
+        for lane in range(4)
+    )
+    return f"""
+      li   s0, {SAMPLES_BASE}
+      li   s2, {OUT_BASE}
+      li   s3, {frames}
+    frame:
+      mv   t0, s0
+      li   t1, {COEFFS_BASE}
+      li   t2, 0
+      li   t3, {words}
+    word:
+      lw   s4, 0(t0)
+      lw   s5, 0(t1)
+      {lanes}
+      addi t0, t0, 4
+      addi t1, t1, 4
+      addi t3, t3, -1
+      bne  t3, zero, word
+      andi t6, t2, 255
+      li   t4, {ACT_TABLE_BASE}
+      add  t4, t4, t6
+      lbu  t5, 0(t4)
+      sw   t5, 0(s2)
+      addi s2, s2, 4
+      addi s0, s0, 4
+      addi s3, s3, -1
+      bne  s3, zero, frame
+      ecall
+    """
+
+
+def audio_isax(frames: int = AUDIO_FRAMES, words: int = AUDIO_WORDS) -> str:
+    """Accelerated version: dotp for the 4-lane MACs, autoinc for the sample
+    stream, zol for the inner loop, and the sbox ISAX as the table-based
+    nonlinearity (four ISAXes including zol, as in the paper)."""
+    return f"""
+      li   s0, {SAMPLES_BASE}
+      li   s2, {OUT_BASE}
+      li   s3, {frames}
+    frame:
+      setup_ai s0
+      li   t1, {COEFFS_BASE}
+      li   t2, 0
+      setup_zol uimmS=12, uimmL={words - 1}
+      lw_ai t4
+      lw   t5, 0(t1)
+      dotp t6, t4, t5
+      add  t2, t2, t6
+      addi t1, t1, 4
+      sbox t5, t2
+      sw   t5, 0(s2)
+      addi s2, s2, 4
+      addi s0, s0, 4
+      addi s3, s3, -1
+      bne  s3, zero, frame
+      ecall
+    """
+
+
+@dataclasses.dataclass
+class AudioMLResult:
+    baseline_cycles: int
+    isax_cycles: int
+    outputs: List[int]
+    area_overhead_pct: float
+    energy_ratio: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_cycles / self.isax_cycles
+
+    @property
+    def power_savings_pct(self) -> float:
+        """Energy-per-inference savings of the extended core."""
+        return 100.0 * (1.0 - self.energy_ratio)
+
+
+def _expected_audio_outputs(samples, coeffs, frames, words,
+                            table) -> List[int]:
+    outputs = []
+    for frame in range(frames):
+        acc = 0
+        for w in range(words):
+            sample = samples[frame + w]
+            coeff = coeffs[w]
+            for lane in range(4):
+                sb = to_signed((sample >> (8 * lane)) & 0xFF, 8)
+                cb = to_signed((coeff >> (8 * lane)) & 0xFF, 8)
+                acc += sb * cb
+        outputs.append(table[to_unsigned(acc, 32) & 0xFF])
+    return outputs
+
+
+def run_audio_ml(core: str = "VexRiscv", frames: int = AUDIO_FRAMES,
+                 words: int = AUDIO_WORDS) -> AudioMLResult:
+    """Run the Section 5.6 case study on one core."""
+    from repro.frontend import elaborate
+
+    sources = [DOTPROD, AUTOINC, ZOL, SBOX]
+    artifacts = [compile_isax(src, core) for src in sources]
+    sbox_isa = elaborate(SBOX)
+    table = sbox_isa.state["SBOX"].init_values or []
+
+    samples, coeffs = _audio_data(words, frames)
+    table_words = []
+    for i in range(0, 256, 4):
+        word = 0
+        for lane in range(4):
+            word |= table[i + lane] << (8 * lane)
+        table_words.append(word)
+    expected = _expected_audio_outputs(samples, coeffs, frames, words, table)
+
+    def load_all(model: CoreTimingModel) -> None:
+        model.load_data(samples, SAMPLES_BASE)
+        model.load_data(coeffs, COEFFS_BASE)
+        model.load_data(table_words, ACT_TABLE_BASE)
+
+    baseline = CoreTimingModel(core_datasheet(core))
+    baseline.load_program(assemble(audio_baseline(frames, words)))
+    load_all(baseline)
+    base_report = baseline.run()
+
+    extended = CoreTimingModel(core_datasheet(core), artifacts=artifacts)
+    extended.load_program(assemble(
+        audio_isax(frames, words), isaxes=[a.isa for a in artifacts]
+    ))
+    load_all(extended)
+    ext_report = extended.run()
+
+    outputs = [ext_report.state.read_mem(OUT_BASE + 4 * i, 4)
+               for i in range(frames)]
+    base_outputs = [base_report.state.read_mem(OUT_BASE + 4 * i, 4)
+                    for i in range(frames)]
+    assert outputs == base_outputs == expected, "functional mismatch"
+
+    asic = evaluate_combination(core, sources)
+    # Power/energy via the 22 nm-class model (repro.eval.power): the base
+    # core switches continuously, the ISAX blocks only while in flight.
+    from repro.eval.power import compare, estimate_workload
+
+    base_power = estimate_workload(
+        asic.base_area_um2, 0.0, base_report.cycles, asic.base_freq_mhz
+    )
+    ext_power = estimate_workload(
+        asic.base_area_um2, asic.extension_area_um2, ext_report.cycles,
+        asic.freq_mhz, isax_cycles=ext_report.isax_busy_cycles,
+    )
+    energy_ratio = compare(base_power, ext_power)["energy_ratio"]
+    return AudioMLResult(
+        baseline_cycles=base_report.cycles,
+        isax_cycles=ext_report.cycles,
+        outputs=outputs,
+        area_overhead_pct=asic.area_overhead_pct,
+        energy_ratio=energy_ratio,
+    )

@@ -1,0 +1,91 @@
+"""Tests for the design-space exploration (paper Section 7 outlook)."""
+
+import pytest
+
+from repro.eval.dse import (
+    DesignPoint,
+    explore,
+    pareto_frontier,
+    render_design_space,
+)
+from repro.isaxes import DOTPROD, SQRT_TIGHTLY
+
+
+def point(area, latency, **kwargs):
+    defaults = dict(instruction="i", cycle_time_ns=1.0,
+                    initiation_interval=1, pipeline_stages=1)
+    defaults.update(kwargs)
+    return DesignPoint(area_um2=area, latency_ns=latency, **defaults)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert point(10, 10).dominates(point(20, 20))
+
+    def test_tradeoff_does_not_dominate(self):
+        a, b = point(10, 20), point(20, 10)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_does_not_dominate(self):
+        assert not point(10, 10).dominates(point(10, 10))
+
+    def test_frontier_is_non_dominated(self):
+        points = [point(10, 30), point(20, 20), point(30, 10),
+                  point(25, 25), point(40, 40)]
+        frontier = pareto_frontier(points)
+        assert {(p.area_um2, p.latency_ns) for p in frontier} == \
+            {(10, 30), (20, 20), (30, 10)}
+
+    def test_frontier_sorted_by_area(self):
+        frontier = pareto_frontier([point(30, 10), point(10, 30)])
+        assert [p.area_um2 for p in frontier] == [10, 30]
+
+
+class TestExploration:
+    @pytest.fixture(scope="class")
+    def sqrt_points(self):
+        return explore(SQRT_TIGHTLY, "VexRiscv",
+                       cycle_scales=(1.0, 2.0, 4.0),
+                       initiation_intervals=(1, 2))
+
+    def test_sweep_size(self, sqrt_points):
+        assert len(sqrt_points) == 6
+
+    def test_slower_clock_fewer_stages(self, sqrt_points):
+        by_cycle = {}
+        for p in sqrt_points:
+            by_cycle.setdefault(round(p.cycle_time_ns, 2),
+                                p.pipeline_stages)
+        cycles = sorted(by_cycle)
+        assert by_cycle[cycles[0]] > by_cycle[cycles[-1]]
+
+    def test_latency_is_stages_times_cycle(self, sqrt_points):
+        for p in sqrt_points:
+            assert p.latency_ns == pytest.approx(
+                p.pipeline_stages * p.cycle_time_ns
+            )
+
+    def test_frontier_contains_tradeoffs(self, sqrt_points):
+        frontier = pareto_frontier(sqrt_points)
+        assert frontier
+        # The deep sqrt pipeline always has an area/latency conflict, so the
+        # cheapest point is not also the fastest unless it dominates all.
+        cheapest = frontier[0]
+        fastest = min(sqrt_points, key=lambda p: p.latency_ns)
+        assert cheapest.area_um2 <= fastest.area_um2
+
+    def test_throughput_property(self):
+        p = point(1, 1, cycle_time_ns=2.0, initiation_interval=4)
+        assert p.throughput_per_us == pytest.approx(125.0)
+
+    def test_render(self, sqrt_points):
+        text = render_design_space(sqrt_points)
+        assert "pareto" in text
+        assert "*" in text
+
+    def test_dotprod_explores_too(self):
+        points = explore(DOTPROD, "Piccolo", cycle_scales=(1.0, 2.0),
+                         initiation_intervals=(1,))
+        assert len(points) == 2
+        assert all(p.instruction == "dotp" for p in points)

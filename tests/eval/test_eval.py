@@ -1,0 +1,202 @@
+"""Tests for the ASIC evaluation model: technology library, area, timing,
+and the Table 4 shape assertions."""
+
+import pytest
+
+from repro.eval import (
+    AsicResult,
+    TechLibrary,
+    evaluate_combination,
+    glue_area,
+    module_area,
+    module_critical_path,
+)
+from repro.eval.timing import forwarding_path_cycle, output_arrival_times
+from repro.hls import compile_isax
+from repro.ir.core import Operation
+from repro.isaxes import ALL_ISAXES, DOTPROD, SBOX, SQRT_TIGHTLY
+from repro.scaiev import core_datasheet
+from repro.scaiev.integrate import GlueItem
+
+
+def make_op(name, operand_widths, result_width, attrs=None):
+    operands = []
+    for width in operand_widths:
+        const = Operation("comb.constant", [], [(width, None)], {"value": 0})
+        operands.append(const.result)
+    return Operation(name, operands, [(result_width, None)], attrs or {})
+
+
+class TestTechLibrary:
+    def setup_method(self):
+        self.tech = TechLibrary()
+
+    def test_multiplier_dwarfs_adder(self):
+        mul = make_op("comb.mul", [32, 32], 64)
+        add = make_op("comb.add", [32, 32], 32)
+        assert self.tech.area_um2(mul) > 10 * self.tech.area_um2(add)
+        assert self.tech.delay_ns(mul) > self.tech.delay_ns(add)
+
+    def test_mul_uses_pre_extension_widths(self):
+        narrow = make_op("comb.mul", [16, 16], 16,
+                         {"op_widths": [8, 8]})
+        wide = make_op("comb.mul", [16, 16], 16)
+        assert self.tech.area_um2(narrow) < self.tech.area_um2(wide)
+
+    def test_wiring_is_free(self):
+        for name in ("comb.extract", "comb.concat", "comb.replicate"):
+            op = make_op(name, [32], 16, {"low": 0})
+            assert self.tech.area_um2(op) == 0.0
+            assert self.tech.delay_ns(op) == 0.0
+
+    def test_adder_delay_grows_with_width(self):
+        add8 = make_op("comb.add", [8, 8], 8)
+        add64 = make_op("comb.add", [64, 64], 64)
+        assert self.tech.delay_ns(add64) > self.tech.delay_ns(add8)
+
+    def test_sbox_rom_area_plausible(self):
+        rom = make_op("comb.rom", [8], 8, {"values": list(range(256))})
+        area = self.tech.area_um2(rom)
+        assert 50 < area < 400  # an AES S-box is a few hundred GE
+
+    def test_flipflop_area(self):
+        reg = make_op("seq.compreg", [32, 1], 32, {"name": "r"})
+        assert self.tech.area_um2(reg) == pytest.approx(64.0)
+
+
+class TestAreaModel:
+    def test_module_area_positive(self):
+        artifact = compile_isax(DOTPROD, "VexRiscv")
+        area = module_area(artifact.artifact("dotp").module)
+        assert 200 < area < 5000
+
+    def test_glue_area(self):
+        items = [GlueItem("storage", 96, "regs"), GlueItem("decode", 15, "d")]
+        area = glue_area(items)
+        assert area == pytest.approx((96 * 2.0 + 15 * 0.3) * 1.25)
+
+    def test_sqrt_dominated_by_pipeline(self):
+        artifact = compile_isax(SQRT_TIGHTLY, "VexRiscv")
+        module = artifact.artifact("fsqrt").module
+        tech = TechLibrary()
+        reg_area = sum(tech.area_um2(op) for op in module.body.operations
+                       if op.name == "seq.compreg")
+        assert reg_area > 0.1 * module_area(module)
+
+
+class TestTimingModel:
+    def test_critical_path_positive(self):
+        artifact = compile_isax(DOTPROD, "VexRiscv")
+        path = module_critical_path(artifact.artifact("dotp").module)
+        assert 0.0 < path < 5.0
+
+    def test_scheduled_modules_meet_cycle_time(self):
+        """With technology delays in the scheduler, chain breaking keeps
+        every stage within the core's cycle time (plus clocking margin)."""
+        for name in ("dotprod", "sqrt_tightly", "sparkle"):
+            artifact = compile_isax(ALL_ISAXES[name], "VexRiscv")
+            ds = core_datasheet("VexRiscv")
+            for functionality in artifact.functionalities.values():
+                path = module_critical_path(functionality.module)
+                assert path <= ds.cycle_time_ns + 0.15
+
+    def test_output_arrivals(self):
+        artifact = compile_isax(SBOX, "VexRiscv")
+        arrivals = output_arrival_times(artifact.artifact("sbox").module)
+        assert any(name.startswith("wrrd_data") for name in arrivals)
+
+    def test_forwarding_only_on_forwarding_cores(self):
+        artifact_orca = compile_isax(DOTPROD, "ORCA")
+        artifact_vex = compile_isax(DOTPROD, "VexRiscv")
+        assert forwarding_path_cycle(core_datasheet("ORCA"),
+                                     [artifact_orca]) > 0
+        assert forwarding_path_cycle(core_datasheet("VexRiscv"),
+                                     [artifact_vex]) == 0.0
+
+
+class TestAsicEvaluation:
+    def test_result_properties(self):
+        result = evaluate_combination("VexRiscv", [SBOX])
+        assert isinstance(result, AsicResult)
+        assert result.base_area_um2 == 9052.0
+        assert result.area_overhead_pct > 0
+        assert abs(result.freq_delta_pct) < 15
+
+    def test_deterministic(self):
+        a = evaluate_combination("VexRiscv", [DOTPROD])
+        b = evaluate_combination("VexRiscv", [DOTPROD])
+        assert a.extension_area_um2 == b.extension_area_um2
+        assert a.freq_mhz == b.freq_mhz
+
+
+class TestTable4Shape:
+    """The qualitative claims of Table 4 that must hold in the model."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        names = ("sbox", "ijmp", "dotprod", "sqrt_tightly", "sqrt_decoupled")
+        table = {}
+        for name in names:
+            table[name] = {
+                core: evaluate_combination(core, [ALL_ISAXES[name]])
+                for core in ("ORCA", "Piccolo", "PicoRV32", "VexRiscv")
+            }
+        return table
+
+    def test_piccolo_has_smallest_relative_overhead(self, rows):
+        """Piccolo is by far the largest base core, so relative overheads
+        are smallest there (visible throughout Table 4)."""
+        for name, row in rows.items():
+            for core in ("ORCA", "PicoRV32", "VexRiscv"):
+                assert (row["Piccolo"].area_overhead_pct
+                        <= row[core].area_overhead_pct)
+
+    def test_sqrt_is_largest_extension(self, rows):
+        for core in ("ORCA", "Piccolo", "PicoRV32", "VexRiscv"):
+            for name in ("sbox", "ijmp", "dotprod"):
+                assert (rows["sqrt_tightly"][core].extension_area_um2
+                        > rows[name][core].extension_area_um2)
+
+    def test_sbox_and_ijmp_are_small(self, rows):
+        for core in ("ORCA", "Piccolo", "PicoRV32", "VexRiscv"):
+            assert rows["sbox"][core].area_overhead_pct < 10
+            assert rows["ijmp"][core].area_overhead_pct < 10
+
+    def test_orca_frequency_regression_on_dotprod(self, rows):
+        """Section 5.4: dotprod regresses on ORCA due to the forwarding
+        path, but not (much) on the non-forwarding cores."""
+        assert rows["dotprod"]["ORCA"].freq_delta_pct < -8
+        assert rows["dotprod"]["VexRiscv"].freq_delta_pct > -5
+        assert rows["dotprod"]["Piccolo"].freq_delta_pct > -5
+
+    def test_hazard_ablation_saves_area(self):
+        src = ALL_ISAXES["sqrt_decoupled"]
+        with_h = evaluate_combination("ORCA", [src], hazard_handling=True)
+        without = evaluate_combination("ORCA", [src], hazard_handling=False)
+        assert without.extension_area_um2 < with_h.extension_area_um2
+
+    def test_combination_close_to_sum(self):
+        a = evaluate_combination("VexRiscv", [ALL_ISAXES["autoinc"]])
+        z = evaluate_combination("VexRiscv", [ALL_ISAXES["zol"]])
+        both = evaluate_combination(
+            "VexRiscv", [ALL_ISAXES["autoinc"], ALL_ISAXES["zol"]]
+        )
+        total = a.extension_area_um2 + z.extension_area_um2
+        assert both.extension_area_um2 == pytest.approx(total, rel=0.2)
+
+
+class TestUniformDelayAblation:
+    """Scheduling with the paper's uniform delays produces stages that
+    violate real timing — the Section 5.4 timing-closure story."""
+
+    def test_uniform_schedules_break_timing_on_fast_cores(self):
+        tech_result = evaluate_combination(
+            "ORCA", [SQRT_TIGHTLY], schedule_delays="tech"
+        )
+        uniform_result = evaluate_combination(
+            "ORCA", [SQRT_TIGHTLY], schedule_delays="uniform"
+        )
+        # The uniform-delay schedule needs more stages or misses frequency.
+        assert (uniform_result.freq_mhz <= tech_result.freq_mhz
+                or uniform_result.extension_area_um2
+                > tech_result.extension_area_um2)

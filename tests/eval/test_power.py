@@ -1,0 +1,73 @@
+"""Tests for the power/energy model behind the Section 5.6 claim."""
+
+import pytest
+
+from repro.eval.power import PowerEstimate, compare, estimate_workload
+
+
+def make(area=10000.0, isax=0.0, cycles=1000, freq=700.0, activity=0.0):
+    return PowerEstimate(
+        area_um2=area, isax_area_um2=isax, cycles=cycles, freq_mhz=freq,
+        isax_activity=activity,
+    )
+
+
+class TestPowerEstimate:
+    def test_components_positive(self):
+        estimate = make()
+        assert estimate.dynamic_uw > 0
+        assert estimate.leakage_uw > 0
+        assert estimate.power_uw == pytest.approx(
+            estimate.dynamic_uw + estimate.leakage_uw
+        )
+
+    def test_runtime_and_energy(self):
+        estimate = make(cycles=700, freq=700.0)
+        assert estimate.runtime_us == pytest.approx(1.0)
+        assert estimate.energy_nj == pytest.approx(
+            estimate.power_uw / 1000.0
+        )
+
+    def test_idle_isax_adds_leakage_only(self):
+        base = make(area=10000.0)
+        extended = make(area=12000.0, isax=2000.0, activity=0.0)
+        assert extended.dynamic_uw == pytest.approx(base.dynamic_uw)
+        assert extended.leakage_uw > base.leakage_uw
+
+    def test_active_isax_adds_dynamic_power(self):
+        idle = make(area=12000.0, isax=2000.0, activity=0.0)
+        busy = make(area=12000.0, isax=2000.0, activity=1.0)
+        assert busy.dynamic_uw > idle.dynamic_uw
+
+    def test_dynamic_scales_with_frequency(self):
+        slow = make(freq=350.0)
+        fast = make(freq=700.0)
+        assert fast.dynamic_uw == pytest.approx(2 * slow.dynamic_uw)
+
+
+class TestCompare:
+    def test_faster_smaller_energy(self):
+        baseline = make(cycles=2000)
+        extended = estimate_workload(10000.0, 1600.0, 1000, 700.0,
+                                     isax_cycles=500)
+        result = compare(baseline, extended)
+        assert result["speedup"] == pytest.approx(2.0)
+        # Twice as fast with +16 % area: energy clearly drops.
+        assert result["energy_savings_pct"] > 25
+        assert result["energy_ratio"] == pytest.approx(
+            1 - result["energy_savings_pct"] / 100
+        )
+
+    def test_activity_clamped(self):
+        estimate = estimate_workload(1000.0, 100.0, 10, 700.0,
+                                     isax_cycles=50)
+        assert estimate.isax_activity == 1.0
+
+    def test_section56_shape(self):
+        """A 2.15x-faster run with ~28 % more area saves on the order of
+        the paper's 30 % (power x shorter runtime = energy)."""
+        baseline = make(area=9052.0, cycles=8600)
+        extended = estimate_workload(9052.0, 2500.0, 4000, 700.0,
+                                     isax_cycles=2000)
+        result = compare(baseline, extended)
+        assert 25 < result["energy_savings_pct"] < 70

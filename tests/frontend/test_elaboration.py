@@ -1,0 +1,322 @@
+"""Elaboration tests: imports, inheritance, parameters, encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frontend import elaborate
+from repro.frontend.elaboration import Encoding
+from repro.frontend.parser import parse_description
+from repro.frontend.types import unsigned
+from repro.utils.diagnostics import CoreDSLError
+
+DOTPROD = '''
+import "RV32I.core_desc"
+InstructionSet X_DOTP extends RV32I {
+  instructions {
+    dotp {
+        encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+        behavior: {
+          signed<32> res = 0;
+          for (int i = 0; i < 32; i += 8) {
+            signed<16> prod = (signed) X[rs1][i+7:i] * (signed) X[rs2][i+7:i];
+            res += prod;
+          }
+          X[rd] = (unsigned) res;
+        }
+    }
+  }
+}
+'''
+
+
+class TestBuiltinImport:
+    def test_rv32i_state(self):
+        isa = elaborate(DOTPROD)
+        assert isa.main_reg is not None and isa.main_reg.name == "X"
+        assert isa.main_reg.size == 32
+        assert isa.main_reg.element == unsigned(32)
+        assert isa.pc is not None and isa.pc.name == "PC"
+        assert isa.main_mem is not None and isa.main_mem.name == "MEM"
+
+    def test_xlen_parameter(self):
+        isa = elaborate(DOTPROD)
+        assert isa.parameters["XLEN"] == 32
+
+    def test_unresolvable_import(self):
+        with pytest.raises(CoreDSLError, match="cannot resolve import"):
+            elaborate('import "nothere.core_desc"\nInstructionSet A {}')
+
+    def test_extra_sources(self):
+        extra = {"my.core_desc": "InstructionSet Base { }"}
+        isa = elaborate(
+            'import "my.core_desc"\nInstructionSet A extends Base {}',
+            extra_sources=extra,
+        )
+        assert isa.name == "A"
+
+
+class TestInheritance:
+    THREE_LEVEL = """
+    InstructionSet A {
+      architectural_state { register unsigned<8> RA; }
+    }
+    InstructionSet B extends A {
+      architectural_state { register unsigned<8> RB; }
+    }
+    InstructionSet C extends B {
+      architectural_state { register unsigned<8> RC; }
+    }
+    """
+
+    def test_state_merged_along_chain(self):
+        isa = elaborate(self.THREE_LEVEL, top="C")
+        assert set(isa.state) >= {"RA", "RB", "RC"}
+
+    def test_top_defaults_to_last_set(self):
+        isa = elaborate(self.THREE_LEVEL)
+        assert isa.name == "C"
+
+    def test_intermediate_top(self):
+        isa = elaborate(self.THREE_LEVEL, top="B")
+        assert "RB" in isa.state and "RC" not in isa.state
+
+    def test_unknown_parent(self):
+        with pytest.raises(CoreDSLError, match="unknown instruction set"):
+            elaborate("InstructionSet A extends Nope {}")
+
+    def test_cyclic_extends(self):
+        text = """
+        InstructionSet A extends B {}
+        InstructionSet B extends A {}
+        """
+        with pytest.raises(CoreDSLError, match="cyclic"):
+            elaborate(text, top="A")
+
+
+class TestCores:
+    def test_core_provides_multiple_sets(self):
+        text = """
+        InstructionSet A { architectural_state { register unsigned<8> RA; } }
+        InstructionSet B { architectural_state { register unsigned<8> RB; } }
+        Core MyCore provides A, B { }
+        """
+        isa = elaborate(text)
+        assert isa.name == "MyCore"
+        assert "RA" in isa.state and "RB" in isa.state
+
+    def test_core_parameter_override(self):
+        text = """
+        InstructionSet A {
+          architectural_state {
+            unsigned int SIZE = 4;
+            register unsigned<8> BUF[SIZE];
+          }
+        }
+        Core Big provides A {
+          architectural_state { unsigned int SIZE = 16; }
+        }
+        """
+        # Parameter assignment in the core is evaluated before storage
+        # declarations are resolved (elaboration phase, paper Section 2.2).
+        isa = elaborate(text, top="Big")
+        assert isa.parameters["SIZE"] == 16
+        assert isa.state["BUF"].size == 16
+
+    def test_shared_parent_not_duplicated(self):
+        text = """
+        InstructionSet Base { architectural_state { register unsigned<8> R0; } }
+        InstructionSet A extends Base { }
+        InstructionSet B extends Base { }
+        Core C provides A, B { }
+        """
+        isa = elaborate(text)
+        assert isa.name == "C"
+
+
+class TestParameters:
+    def test_parameter_in_width(self):
+        text = """
+        InstructionSet A {
+          architectural_state {
+            unsigned int W = 16;
+            register unsigned<W> R;
+          }
+        }
+        """
+        isa = elaborate(text)
+        assert isa.state["R"].element == unsigned(16)
+
+    def test_parameter_expression(self):
+        text = """
+        InstructionSet A {
+          architectural_state {
+            unsigned int W = 8;
+            unsigned int W2 = W * 2 + 1;
+            register unsigned<W2> R;
+          }
+        }
+        """
+        isa = elaborate(text)
+        assert isa.state["R"].element.width == 17
+
+    def test_non_constant_parameter(self):
+        with pytest.raises(CoreDSLError, match="compile-time constant"):
+            elaborate(
+                "InstructionSet A { architectural_state {"
+                " unsigned int W = Q; } }"
+            )
+
+
+class TestStateElaboration:
+    def test_rom_initializers(self):
+        text = """
+        InstructionSet A {
+          architectural_state {
+            const unsigned<8> SBOX[4] = {0x63, 0x7c, 0x77, 0x7b};
+          }
+        }
+        """
+        isa = elaborate(text)
+        info = isa.state["SBOX"]
+        assert info.kind == "rom"
+        assert info.init_values == [0x63, 0x7C, 0x77, 0x7B]
+
+    def test_rom_size_inferred(self):
+        text = (
+            "InstructionSet A { architectural_state {"
+            " const unsigned<8> T[] = {1, 2, 3}; } }"
+        )
+        # Size comes from the initializer list when omitted... the grammar
+        # requires a size expression, so provide one and check the mismatch.
+        with pytest.raises(CoreDSLError):
+            elaborate(
+                "InstructionSet A { architectural_state {"
+                " const unsigned<8> T[4] = {1, 2}; } }"
+            )
+
+    def test_rom_without_initializer_rejected(self):
+        with pytest.raises(CoreDSLError, match="initializer"):
+            elaborate(
+                "InstructionSet A { architectural_state {"
+                " const unsigned<8> T[4]; } }"
+            )
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(CoreDSLError, match="redefinition"):
+            elaborate(
+                "InstructionSet A { architectural_state {"
+                " register unsigned<8> R; register unsigned<8> R; } }"
+            )
+
+    def test_custom_state_excludes_base(self):
+        isa = elaborate(DOTPROD)
+        assert isa.custom_state() == []
+
+
+class TestEncodingResolution:
+    def test_dotprod_pattern(self):
+        isa = elaborate(DOTPROD)
+        enc = isa.instructions["dotp"].encoding
+        assert enc.pattern == "0000000----------000-----0001011"
+
+    def test_encode_decode_roundtrip(self):
+        isa = elaborate(DOTPROD)
+        enc = isa.instructions["dotp"].encoding
+        word = enc.encode({"rs1": 7, "rs2": 13, "rd": 21})
+        assert enc.matches(word)
+        assert enc.decode(word) == {"rs1": 7, "rs2": 13, "rd": 21}
+
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+    )
+    def test_encode_decode_property(self, rs1, rs2, rd):
+        isa = elaborate(DOTPROD)
+        enc = isa.instructions["dotp"].encoding
+        word = enc.encode({"rs1": rs1, "rs2": rs2, "rd": rd})
+        assert enc.decode(word) == {"rs1": rs1, "rs2": rs2, "rd": rd}
+
+    def test_wrong_total_width_rejected(self):
+        text = """
+        InstructionSet A {
+          instructions { bad { encoding: 7'd0 :: 7'b0001011; behavior: {} } }
+        }
+        """
+        with pytest.raises(CoreDSLError, match="bits"):
+            elaborate(text)
+
+    def test_split_immediate_field(self):
+        """A field split across two placements (like RISC-V S-type imm)."""
+        text = """
+        InstructionSet A {
+          instructions {
+            s {
+              encoding: imm[11:5] :: 10'd0 :: imm[4:0] :: 3'd0 :: 7'b0100011;
+              behavior: { unsigned<12> v = imm; }
+            }
+          }
+        }
+        """
+        isa = elaborate(text)
+        enc = isa.instructions["s"].encoding
+        assert enc.fields["imm"].width == 12
+        word = enc.encode({"imm": 0xABC})
+        assert enc.decode(word)["imm"] == 0xABC
+
+    def test_overlap_detection(self):
+        pattern_a = parse_description(
+            "InstructionSet A { instructions {"
+            " x { encoding: 25'd0 :: 7'b0001011; behavior: {} }"
+            " y { encoding: 25'd0 :: 7'b0001011; behavior: {} }"
+            " } }"
+        )
+        isa = elaborate(
+            "InstructionSet A { instructions {"
+            " x { encoding: 25'd0 :: 7'b0001011; behavior: {} }"
+            " y { encoding: 25'd0 :: 7'b0001011; behavior: {} }"
+            " } }"
+        )
+        assert isa.check_encoding_conflicts() == [("x", "y")]
+
+    def test_distinct_encodings_no_conflict(self):
+        isa = elaborate(
+            "InstructionSet A { instructions {"
+            " x { encoding: 22'd0 :: 3'd0 :: 7'b0001011; behavior: {} }"
+            " y { encoding: 22'd0 :: 3'd1 :: 7'b0001011; behavior: {} }"
+            " } }"
+        )
+        assert isa.check_encoding_conflicts() == []
+
+    def test_field_shadowing_state_rejected(self):
+        text = """
+        import "RV32I.core_desc"
+        InstructionSet A extends RV32I {
+          instructions {
+            bad { encoding: PC[24:0] :: 7'b0001011; behavior: {} }
+          }
+        }
+        """
+        with pytest.raises(CoreDSLError, match="shadows"):
+            elaborate(text)
+
+
+class TestSpawnDetection:
+    def test_has_spawn_flag(self):
+        text = """
+        import "RV32I.core_desc"
+        InstructionSet A extends RV32I {
+          instructions {
+            sqrt {
+              encoding: 15'd0 :: rs1[4:0] :: rd[4:0] :: 7'b0001011;
+              behavior: {
+                unsigned<32> v = X[rs1];
+                spawn { X[rd] = v; }
+              }
+            }
+          }
+        }
+        """
+        isa = elaborate(text)
+        assert isa.instructions["sqrt"].has_spawn

@@ -1,0 +1,86 @@
+"""Property-based tests of the encoding machinery over random layouts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.elaboration import Encoding
+
+
+@st.composite
+def random_encoding_layout(draw):
+    """A random legal 32-bit layout: constant runs and field slices."""
+    components = []
+    remaining = 32
+    field_counter = 0
+    while remaining > 0:
+        width = draw(st.integers(1, min(remaining, 12)))
+        if draw(st.booleans()) or field_counter >= 6:
+            value = draw(st.integers(0, (1 << width) - 1))
+            components.append(ast.EncBits(width=width, value=value))
+        else:
+            name = f"f{field_counter}"
+            field_counter += 1
+            lo = draw(st.integers(0, 4))
+            components.append(
+                ast.EncField(name=name, hi=lo + width - 1, lo=lo)
+            )
+        remaining -= width
+    return components
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_encoding_layout(), st.data())
+def test_encode_decode_roundtrip(components, data):
+    encoding = Encoding(components)
+    values = {
+        name: data.draw(st.integers(0, (1 << field.width) - 1),
+                        label=f"field {name}")
+        for name, field in encoding.fields.items()
+    }
+    # Mask out bits not covered by any placement (a field declared at
+    # [lo+w-1:lo] with lo>0 never encodes its low bits).
+    covered = {}
+    for name, field in encoding.fields.items():
+        mask = 0
+        for placement in field.placements:
+            for bit in range(placement.field_lo, placement.field_hi + 1):
+                mask |= 1 << bit
+        covered[name] = mask
+    word = encoding.encode(values)
+    decoded = encoding.decode(word)
+    for name in values:
+        assert decoded[name] == values[name] & covered[name]
+    assert encoding.matches(word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_encoding_layout())
+def test_pattern_matches_mask(components):
+    encoding = Encoding(components)
+    pattern = encoding.pattern
+    assert len(pattern) == 32
+    for index, char in enumerate(pattern):
+        bit = 31 - index
+        if char == "-":
+            assert not (encoding.mask >> bit) & 1
+        else:
+            assert (encoding.mask >> bit) & 1
+            assert int(char) == (encoding.match >> bit) & 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_encoding_layout(), st.integers(0, 2 ** 32 - 1))
+def test_matches_iff_fixed_bits_agree(components, word):
+    encoding = Encoding(components)
+    expected = (word & encoding.mask) == encoding.match
+    assert encoding.matches(word) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_encoding_layout(), random_encoding_layout())
+def test_overlap_is_symmetric(a_components, b_components):
+    a = Encoding(a_components)
+    b = Encoding(b_components)
+    assert a.overlaps(b) == b.overlaps(a)
+    assert a.overlaps(a)

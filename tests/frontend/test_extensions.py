@@ -1,0 +1,170 @@
+"""Tests for the language extensions the paper lists as planned work
+(Section 2.4): while / do-while loops and switch statements."""
+
+import pytest
+
+from repro.frontend import elaborate
+from repro.lowering import convert_to_lil, lower_isa
+from repro.sim import ArchState, CoreDSLInterpreter
+from repro.utils.diagnostics import CoreDSLError
+
+
+def build(behavior, state=""):
+    source = f"""
+    import "RV32I.core_desc"
+    InstructionSet T extends RV32I {{
+      architectural_state {{ {state} }}
+      instructions {{
+        t {{
+          encoding: 10'd0 :: rs2[4:0] :: rs1[4:0] :: rd[4:0] :: 7'b0001011;
+          behavior: {{ {behavior} }}
+        }}
+      }}
+    }}
+    """
+    return elaborate(source)
+
+
+def run(isa, rs1=0, rs2=0, rd=6):
+    interp = CoreDSLInterpreter(isa)
+    state = ArchState(isa)
+    state.write_x(3, rs1)
+    state.write_x(4, rs2)
+    enc = isa.instructions["t"].encoding
+    interp.execute_instruction(
+        state, "t", enc.encode({"rs1": 3, "rs2": 4, "rd": rd})
+    )
+    return state.read_x(rd)
+
+
+def lower(isa):
+    lowered = lower_isa(isa)
+    return convert_to_lil(isa, lowered.instructions["t"])
+
+
+class TestWhile:
+    def test_while_loop_unrolls(self):
+        isa = build(
+            "unsigned<32> acc = 0; int i = 0;"
+            "while (i < 5) { acc = (unsigned<32>) (acc + X[rs1]); i += 1; }"
+            "X[rd] = acc;"
+        )
+        graph = lower(isa)
+        assert sum(1 for op in graph.operations
+                   if op.name == "comb.add") >= 4
+        assert run(isa, rs1=3) == 15
+
+    def test_do_while_executes_at_least_once(self):
+        isa = build(
+            "unsigned<32> acc = 0; int i = 10;"
+            "do { acc = (unsigned<32>) (acc + 1); i += 1; } while (i < 5);"
+            "X[rd] = acc;"
+        )
+        assert run(isa) == 1
+        lower(isa)  # synthesizable: one unrolled body
+
+    def test_while_false_never_runs(self):
+        isa = build(
+            "unsigned<32> acc = 7;"
+            "while (0) { acc = 0; }"
+            "X[rd] = acc;"
+        )
+        assert run(isa) == 7
+
+    def test_dynamic_while_rejected_for_synthesis(self):
+        isa = build(
+            "unsigned<32> v = X[rs1];"
+            "while (v != 0) { v = (unsigned<32>) (v >> 1); }"
+            "X[rd] = v;"
+        )
+        with pytest.raises(CoreDSLError, match="trip count"):
+            lower(isa)
+
+
+class TestSwitch:
+    SWITCH = (
+        "unsigned<2> sel = X[rs2][1:0];"
+        "unsigned<32> out = 0;"
+        "switch (sel) {"
+        "  case 0: out = 10; break;"
+        "  case 1: out = (unsigned<32>) (X[rs1] + 1); break;"
+        "  default: out = 99; break;"
+        "}"
+        "X[rd] = out;"
+    )
+
+    def test_interpreted_semantics(self):
+        isa = build(self.SWITCH)
+        assert run(isa, rs2=0) == 10
+        assert run(isa, rs1=41, rs2=1) == 42
+        assert run(isa, rs2=2) == 99
+        assert run(isa, rs2=3) == 99
+
+    def test_lowers_to_mux_chain(self):
+        isa = build(self.SWITCH)
+        graph = lower(isa)
+        assert any(op.name == "comb.mux" for op in graph.operations)
+        assert any(op.name == "comb.icmp" for op in graph.operations)
+
+    def test_switch_without_default(self):
+        isa = build(
+            "unsigned<32> out = 5;"
+            "switch (X[rs2][0]) { case 1: out = 6; break; }"
+            "X[rd] = out;"
+        )
+        assert run(isa, rs2=0) == 5
+        assert run(isa, rs2=1) == 6
+
+    def test_constant_selector_folds(self):
+        isa = build(
+            "unsigned<32> out = 0;"
+            "switch (2'd1) { case 0: out = 1; break; case 1: out = 2; break; }"
+            "X[rd] = out;"
+        )
+        graph = lower(isa)
+        # The whole switch folds to the selected arm: no comparison left.
+        assert not any(op.name == "comb.icmp" for op in graph.operations)
+        assert run(isa) == 2
+
+    def test_fallthrough_rejected(self):
+        with pytest.raises(CoreDSLError, match="break"):
+            build(
+                "unsigned<32> out = 0;"
+                "switch (X[rs1][0]) { case 0: out = 1; case 1: out = 2; break; }"
+            )
+
+    def test_non_constant_label_rejected(self):
+        with pytest.raises(CoreDSLError, match="compile-time constants"):
+            build(
+                "unsigned<32> out = 0;"
+                "switch (X[rs1][0]) { case X[rs2][0]: out = 1; break; }"
+            )
+
+    def test_unrepresentable_label_rejected(self):
+        with pytest.raises(CoreDSLError, match="representable"):
+            build(
+                "unsigned<1> sel = X[rs1][0];"
+                "unsigned<32> out = 0;"
+                "switch (sel) { case 5: out = 1; break; }"
+            )
+
+    def test_duplicate_default_rejected(self):
+        with pytest.raises(CoreDSLError, match="default"):
+            build(
+                "switch (X[rs1][0]) { default: break; default: break; }"
+            )
+
+    def test_switch_arm_writing_state(self):
+        isa = build(
+            "switch (X[rs2][0]) {"
+            "  case 0: ADDR = 1; break;"
+            "  case 1: ADDR = 2; break;"
+            "}"
+            "X[rd] = ADDR;",
+            state="register unsigned<32> ADDR;",
+        )
+        graph = lower(isa)
+        writes = [op for op in graph.operations
+                  if op.name == "lil.write_custreg"]
+        assert len(writes) == 1  # merged into one predicated write
+        assert run(isa, rs2=1) == 2

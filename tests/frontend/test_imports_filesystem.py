@@ -1,0 +1,86 @@
+"""Import resolution from the filesystem and the builtin library."""
+
+import pytest
+
+from repro.frontend import elaborate
+from repro.frontend.stdlib import BUILTIN_SOURCES
+from repro.utils.diagnostics import CoreDSLError
+
+
+class TestBuiltinLibrary:
+    def test_rv32i_registered(self):
+        assert "RV32I.core_desc" in BUILTIN_SOURCES
+
+    def test_base_state_attributes(self):
+        isa = elaborate('import "RV32I.core_desc"\n'
+                        "InstructionSet A extends RV32I {}")
+        assert isa.main_reg.attributes == ["is_main_reg"]
+        assert isa.pc.attributes == ["is_pc"]
+        assert isa.main_mem.attributes == ["is_main_mem"]
+        assert isa.main_mem.element.width == 8
+
+
+class TestFilesystemImports:
+    def test_import_from_directory(self, tmp_path):
+        (tmp_path / "lib.core_desc").write_text(
+            "InstructionSet Lib { architectural_state {"
+            " register unsigned<8> R; } }",
+            encoding="utf-8",
+        )
+        isa = elaborate(
+            'import "lib.core_desc"\nInstructionSet A extends Lib {}',
+            import_dirs=[str(tmp_path)],
+        )
+        assert "R" in isa.state
+
+    def test_transitive_imports(self, tmp_path):
+        (tmp_path / "base.core_desc").write_text(
+            "InstructionSet Base { architectural_state {"
+            " register unsigned<8> B; } }",
+            encoding="utf-8",
+        )
+        (tmp_path / "mid.core_desc").write_text(
+            'import "base.core_desc"\n'
+            "InstructionSet Mid extends Base { architectural_state {"
+            " register unsigned<8> M; } }",
+            encoding="utf-8",
+        )
+        isa = elaborate(
+            'import "mid.core_desc"\nInstructionSet A extends Mid {}',
+            import_dirs=[str(tmp_path)],
+        )
+        assert {"B", "M"} <= set(isa.state)
+
+    def test_repeated_import_loaded_once(self, tmp_path):
+        (tmp_path / "once.core_desc").write_text(
+            "InstructionSet Once { architectural_state {"
+            " register unsigned<8> O; } }",
+            encoding="utf-8",
+        )
+        source = (
+            'import "once.core_desc"\n'
+            'import "once.core_desc"\n'
+            "InstructionSet A extends Once {}"
+        )
+        isa = elaborate(source, import_dirs=[str(tmp_path)])
+        assert "O" in isa.state
+
+    def test_extra_sources_take_precedence(self, tmp_path):
+        (tmp_path / "dup.core_desc").write_text(
+            "InstructionSet D { architectural_state {"
+            " register unsigned<8> FROM_FILE; } }",
+            encoding="utf-8",
+        )
+        extra = {"dup.core_desc":
+                 "InstructionSet D { architectural_state {"
+                 " register unsigned<8> FROM_EXTRA; } }"}
+        isa = elaborate(
+            'import "dup.core_desc"\nInstructionSet A extends D {}',
+            extra_sources=extra, import_dirs=[str(tmp_path)],
+        )
+        assert "FROM_EXTRA" in isa.state
+        assert "FROM_FILE" not in isa.state
+
+    def test_missing_import(self):
+        with pytest.raises(CoreDSLError, match="cannot resolve"):
+            elaborate('import "ghost.core_desc"\nInstructionSet A {}')

@@ -1,0 +1,230 @@
+"""Type-checking tests: the no-implicit-information-loss rules of Section 2.3
+applied to whole behaviors."""
+
+import pytest
+
+from repro.frontend import elaborate
+from repro.frontend.types import signed, unsigned
+from repro.utils.diagnostics import CoreDSLError
+
+
+def isax(state="", behavior="x0 = 0;", functions="", encoding=None):
+    encoding = encoding or "25'd0 :: 7'b0001011"
+    return f"""
+    import "RV32I.core_desc"
+    InstructionSet T extends RV32I {{
+      architectural_state {{ {state} }}
+      functions {{ {functions} }}
+      instructions {{
+        t {{
+          encoding: {encoding};
+          behavior: {{ {behavior} }}
+        }}
+      }}
+    }}
+    """
+
+
+def check(behavior, **kwargs):
+    return elaborate(isax(behavior=behavior, **kwargs))
+
+
+class TestImplicitConversionRules:
+    def test_u4_from_u5_rejected(self):
+        with pytest.raises(CoreDSLError, match="implicit conversion"):
+            check("unsigned<5> u5 = 0; unsigned<4> u4 = u5;")
+
+    def test_u4_from_s4_rejected(self):
+        with pytest.raises(CoreDSLError, match="implicit conversion"):
+            check("signed<4> s4 = 0; unsigned<4> u4 = s4;")
+
+    def test_explicit_cast_accepted(self):
+        check(
+            "unsigned<5> u5 = 0; signed<4> s4 = 0;"
+            "unsigned<4> u4 = (unsigned<4>) (u5 + s4);"
+        )
+
+    def test_widening_accepted(self):
+        check("unsigned<4> u4 = 0; unsigned<5> u5 = u4;")
+
+    def test_literal_fitting_signed_target(self):
+        # 0 has type unsigned<1> but fits any signed type.
+        check("signed<32> res = 0;")
+
+    def test_large_literal_rejected_for_narrow_target(self):
+        with pytest.raises(CoreDSLError):
+            check("unsigned<4> u4 = 300;")
+
+    def test_compound_assignment_truncates_back(self):
+        # res += prod is legal despite res + prod being wider (Figure 1).
+        check("signed<32> res = 0; signed<16> prod = 0; res += prod;")
+
+
+class TestExpressionTyping:
+    def get_type(self, init_stmts, expr):
+        isa = check(f"{init_stmts} unsigned<64> sink = (unsigned<64>) ({expr});")
+        behavior = isa.instructions["t"].behavior
+        cast = behavior.statements[-1].init
+        return cast.operand.ctype
+
+    def test_paper_addition_type(self):
+        t = self.get_type("unsigned<5> u5 = 0; signed<4> s4 = 0;", "u5 + s4")
+        assert t == signed(7)
+
+    def test_concat_type(self):
+        t = self.get_type("unsigned<5> a = 0;", "a :: 1'b0")
+        assert t == unsigned(6)
+
+    def test_gpr_read_type(self):
+        isa = check("unsigned<32> v = X[rs1];",
+                    encoding="20'd0 :: rs1[4:0] :: 7'b0001011")
+        stmt = isa.instructions["t"].behavior.statements[0]
+        assert stmt.init.ctype == unsigned(32)
+
+    def test_slice_of_gpr(self):
+        isa = check("unsigned<8> b = X[rs1][7:0];",
+                    encoding="20'd0 :: rs1[4:0] :: 7'b0001011")
+        stmt = isa.instructions["t"].behavior.statements[0]
+        assert stmt.init.ctype == unsigned(8)
+
+    def test_memory_range_is_32_bits(self):
+        isa = check(
+            "unsigned<32> a = X[rs1]; unsigned<32> w = MEM[a+3:a];",
+            encoding="20'd0 :: rs1[4:0] :: 7'b0001011",
+        )
+        stmt = isa.instructions["t"].behavior.statements[1]
+        assert stmt.init.ctype == unsigned(32)
+
+    def test_comparison_is_bool(self):
+        isa = check("unsigned<1> c = PC == 0;")
+        stmt = isa.instructions["t"].behavior.statements[0]
+        assert stmt.init.ctype == unsigned(1)
+
+    def test_field_type_from_encoding(self):
+        isa = check("unsigned<12> v = uimmL;",
+                    encoding="uimmL[11:0] :: 13'd0 :: 7'b0001011")
+        assert isa.instructions["t"].fields["uimmL"] == unsigned(12)
+
+
+class TestRangeRules:
+    def test_same_variable_offset_ok(self):
+        check(
+            "unsigned<32> v = X[rs1];"
+            "for (int i = 0; i < 32; i += 8) { unsigned<8> b = v[i+7:i]; }",
+            encoding="20'd0 :: rs1[4:0] :: 7'b0001011",
+        )
+
+    def test_different_variables_rejected(self):
+        with pytest.raises(CoreDSLError, match="range bounds"):
+            check(
+                "unsigned<32> v = 0;"
+                "for (int i = 0; i < 8; i += 1) {"
+                " for (int j = 0; j < 8; j += 1) {"
+                " unsigned<1> b = v[i:j]; } }"
+            )
+
+    def test_reversed_constant_range_rejected(self):
+        with pytest.raises(CoreDSLError):
+            check("unsigned<32> v = 0; unsigned<4> b = v[0:3];")
+
+    def test_out_of_range_bit_rejected(self):
+        with pytest.raises(CoreDSLError):
+            check("unsigned<8> v = 0; unsigned<1> b = v[9];")
+
+
+class TestStateAccess:
+    def test_unknown_identifier(self):
+        with pytest.raises(CoreDSLError, match="unknown identifier"):
+            check("unsigned<8> v = bogus;")
+
+    def test_register_file_needs_index(self):
+        with pytest.raises(CoreDSLError, match="must be indexed"):
+            check("unsigned<32> v = X;")
+
+    def test_write_to_rom_rejected(self):
+        with pytest.raises(CoreDSLError, match="constant register"):
+            check(
+                "SBOX[0] = 1;",
+                state="const unsigned<8> SBOX[2] = {1, 2};",
+            )
+
+    def test_write_to_encoding_field_rejected(self):
+        with pytest.raises(CoreDSLError, match="encoding field"):
+            check("rs1 = 3;", encoding="20'd0 :: rs1[4:0] :: 7'b0001011")
+
+    def test_custom_scalar_register_readwrite(self):
+        check("ADDR = (unsigned<32>) (ADDR + 4);",
+              state="register unsigned<32> ADDR;")
+
+    def test_pc_readwrite(self):
+        check("PC = (unsigned<32>) (PC + 4);")
+
+
+class TestFunctionChecks:
+    ROTR = """
+    unsigned<32> rotr(unsigned<32> x, unsigned<5> amount) {
+      return (unsigned<32>) ((x >> amount) | (x << (unsigned<6>) (32 - amount)));
+    }
+    """
+
+    def test_valid_call(self):
+        check("unsigned<32> v = rotr(X[rs1], 31);",
+              functions=self.ROTR,
+              encoding="20'd0 :: rs1[4:0] :: 7'b0001011")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CoreDSLError, match="expects 2 arguments"):
+            check("unsigned<32> v = rotr(PC);", functions=self.ROTR)
+
+    def test_argument_narrowing_rejected(self):
+        with pytest.raises(CoreDSLError, match="argument"):
+            check("unsigned<33> wide = 0; unsigned<32> v = rotr(wide, 1);",
+                  functions=self.ROTR)
+
+    def test_unknown_function(self):
+        with pytest.raises(CoreDSLError, match="unknown function"):
+            check("unsigned<32> v = nothere(1);")
+
+    def test_void_function_as_value_rejected(self):
+        with pytest.raises(CoreDSLError, match="void function"):
+            check("unsigned<32> v = donothing();",
+                  functions="void donothing() { }")
+
+    def test_return_type_checked(self):
+        with pytest.raises(CoreDSLError):
+            check("unsigned<8> v = bad(1);",
+                  functions="unsigned<8> bad(unsigned<8> x) { return 300; }")
+
+
+class TestSpawnPlacement:
+    def test_spawn_in_instruction_ok(self):
+        isa = check("unsigned<32> v = X[rs1]; spawn { X[rd] = v; }",
+                    encoding="15'd0 :: rs1[4:0] :: rd[4:0] :: 7'b0001011")
+        assert isa.instructions["t"].has_spawn
+
+    def test_spawn_in_always_rejected(self):
+        text = """
+        import "RV32I.core_desc"
+        InstructionSet T extends RV32I {
+          always { a { spawn { PC = 0; } } }
+        }
+        """
+        with pytest.raises(CoreDSLError, match="spawn"):
+            elaborate(text)
+
+    def test_spawn_in_function_rejected(self):
+        with pytest.raises(CoreDSLError, match="spawn"):
+            check("unsigned<8> v = 0;",
+                  functions="void f() { spawn { } }")
+
+
+class TestLocals:
+    def test_redeclaration_rejected(self):
+        with pytest.raises(CoreDSLError, match="redeclaration"):
+            check("unsigned<8> v = 0; unsigned<8> v = 1;")
+
+    def test_scoping_in_blocks(self):
+        check("if (1) { unsigned<8> v = 0; } if (1) { unsigned<8> v = 1; }")
+
+    def test_for_scope(self):
+        check("for (int i = 0; i < 4; i += 1) { } for (int i = 0; i < 4; i += 1) { }")

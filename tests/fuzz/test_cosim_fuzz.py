@@ -1,0 +1,222 @@
+"""Differential fuzzing of the whole flow.
+
+Hypothesis generates random CoreDSL instruction behaviors (expression trees
+over the register operands with the full operator set, conditionals, local
+variables); each generated ISAX is compiled through the complete Longnail
+pipeline for a random host core, and the generated RTL is co-simulated
+against the CoreDSL golden interpreter on random operand values.  Any
+divergence between "what the language says" and "what the hardware does"
+fails the test — this is the strongest end-to-end check in the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import elaborate
+from repro.hls import compile_isax
+from repro.scaiev import CORES
+from repro.sim import ArchState, CoreDSLInterpreter, RTLSimulator
+
+# ---------------------------------------------------------------------------
+# Random-behavior generation: expressions are built as (text, width, signed)
+# so every generated program type-checks by construction.
+# ---------------------------------------------------------------------------
+
+
+class _Gen:
+    """Bundles a hypothesis `draw` with a fresh-name counter."""
+
+    def __init__(self, draw):
+        self.draw = draw
+        self.counter = 0
+
+    def fresh(self) -> str:
+        self.counter += 1
+        return f"v{self.counter}"
+
+
+def _literal(gen: _Gen):
+    width = gen.draw(st.integers(1, 16))
+    value = gen.draw(st.integers(0, (1 << width) - 1))
+    return f"{width}'d{value}", width, False
+
+
+def _leaf(gen: _Gen, depth: int):
+    choice = gen.draw(st.integers(0, 3))
+    if choice == 0:
+        return "X[rs1]", 32, False
+    if choice == 1:
+        return "X[rs2]", 32, False
+    if choice == 2:
+        hi = gen.draw(st.integers(0, 31))
+        lo = gen.draw(st.integers(0, hi))
+        source = gen.draw(st.sampled_from(["X[rs1]", "X[rs2]"]))
+        return f"{source}[{hi}:{lo}]", hi - lo + 1, False
+    return _literal(gen)
+
+
+def _expr(gen: _Gen, depth: int):
+    if depth <= 0:
+        return _leaf(gen, depth)
+    kind = gen.draw(st.integers(0, 7))
+    if kind == 0:
+        return _leaf(gen, depth)
+    if kind == 1:  # arithmetic
+        op = gen.draw(st.sampled_from(["+", "-", "*"]))
+        lhs, lw, ls = _expr(gen, depth - 1)
+        rhs, rw, rs = _expr(gen, depth - 1)
+        if op == "*" and lw + rw > 40:  # keep multipliers reasonable
+            op = "+"
+        from repro.frontend import types as ty
+
+        result = {"+": ty.add_result, "-": ty.sub_result,
+                  "*": ty.mul_result}[op](ty.IntType(lw, ls),
+                                          ty.IntType(rw, rs))
+        return f"({lhs} {op} {rhs})", result.width, result.is_signed
+    if kind == 2:  # bitwise
+        op = gen.draw(st.sampled_from(["&", "|", "^"]))
+        lhs, lw, ls = _expr(gen, depth - 1)
+        rhs, rw, rs = _expr(gen, depth - 1)
+        from repro.frontend import types as ty
+
+        result = ty.bitwise_result(ty.IntType(lw, ls), ty.IntType(rw, rs))
+        return f"({lhs} {op} {rhs})", result.width, result.is_signed
+    if kind == 3:  # constant shift
+        lhs, lw, ls = _expr(gen, depth - 1)
+        amount = gen.draw(st.integers(0, 7))
+        direction = gen.draw(st.sampled_from(["<<", ">>"]))
+        if direction == "<<":
+            return f"({lhs} << {amount})", lw + amount, ls
+        return f"({lhs} >> {amount})", lw, ls
+    if kind == 4:  # explicit cast
+        lhs, lw, ls = _expr(gen, depth - 1)
+        width = gen.draw(st.integers(1, 33))
+        signed = gen.draw(st.booleans())
+        keyword = "signed" if signed else "unsigned"
+        return f"(({keyword}<{width}>) {lhs})", width, signed
+    if kind == 5:  # conditional
+        cond, _cw, _cs = _expr(gen, depth - 1)
+        lhs, lw, ls = _expr(gen, depth - 1)
+        rhs, rw, rs = _expr(gen, depth - 1)
+        from repro.frontend import types as ty
+
+        result = ty.common_supertype(ty.IntType(lw, ls), ty.IntType(rw, rs))
+        return (f"(({cond} != 0) ? {lhs} : {rhs})",
+                result.width, result.is_signed)
+    if kind == 6:  # comparison
+        lhs, lw, ls = _expr(gen, depth - 1)
+        rhs, rw, rs = _expr(gen, depth - 1)
+        op = gen.draw(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
+        return f"({lhs} {op} {rhs})", 1, False
+    # concatenation
+    lhs, lw, ls = _expr(gen, depth - 1)
+    rhs, rw, rs = _expr(gen, depth - 1)
+    if lw + rw > 64:
+        return lhs, lw, ls
+    return f"({lhs} :: {rhs})", lw + rw, False
+
+
+@st.composite
+def random_isax(draw):
+    gen = _Gen(draw)
+    statements = []
+    names = []
+    for _ in range(draw(st.integers(1, 3))):
+        text, width, signed = _expr(gen, draw(st.integers(1, 3)))
+        if width > 64:
+            text, width, signed = f"(unsigned<32>) ({text})", 32, False
+        name = gen.fresh()
+        keyword = "signed" if signed else "unsigned"
+        statements.append(f"{keyword}<{width}> {name} = {text};")
+        names.append((name, width, signed))
+    # Combine all locals into the result.
+    parts = " + ".join(f"((unsigned<32>) {n})" for n, _w, _s in names)
+    statements.append(f"X[rd] = (unsigned<32>) ({parts});")
+    body = "\n          ".join(statements)
+    source = f"""
+    import "RV32I.core_desc"
+    InstructionSet fuzz extends RV32I {{
+      instructions {{
+        fz {{
+          encoding: 7'd3 :: rs2[4:0] :: rs1[4:0] :: 3'd2 :: rd[4:0] :: 7'b0001011;
+          behavior: {{
+          {body}
+          }}
+        }}
+      }}
+    }}
+    """
+    core = draw(st.sampled_from(CORES))
+    rs1 = draw(st.integers(0, 2 ** 32 - 1))
+    rs2 = draw(st.integers(0, 2 ** 32 - 1))
+    return source, core, rs1, rs2
+
+
+def _drive(module, word, rs1, rs2):
+    inputs = {}
+    for port in module.inputs:
+        if port.name.startswith("rs1_data"):
+            inputs[port.name] = rs1
+        elif port.name.startswith("rs2_data"):
+            inputs[port.name] = rs2
+        elif port.name.startswith("instr_word"):
+            inputs[port.name] = word
+    return inputs
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(random_isax())
+def test_random_isax_rtl_matches_golden_model(case):
+    source, core, rs1, rs2 = case
+    isa = elaborate(source)
+    artifact = compile_isax(isa, core)
+    functionality = artifact.artifact("fz")
+    module = functionality.module
+
+    enc = isa.instructions["fz"].encoding
+    word = enc.encode({"rs1": 3, "rs2": 4, "rd": 5})
+
+    state = ArchState(isa)
+    state.write_x(3, rs1)
+    state.write_x(4, rs2)
+    CoreDSLInterpreter(isa).execute_instruction(state, "fz", word)
+    golden = state.read_x(5)
+
+    sim = RTLSimulator(module)
+    inputs = _drive(module, word, rs1, rs2)
+    out = None
+    for _ in range(functionality.schedule.makespan + 2):
+        out = sim.step(inputs)
+    data_port = next(p.name for p in module.outputs
+                     if p.name.startswith("wrrd_data"))
+    assert out[data_port] == golden, (
+        f"RTL/golden divergence on {core}: rs1={rs1:#x} rs2={rs2:#x} "
+        f"rtl={out[data_port]:#x} golden={golden:#x}\n{source}"
+    )
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(random_isax(), st.integers(0, 2 ** 32 - 1),
+       st.integers(0, 2 ** 32 - 1))
+def test_random_isax_schedule_and_module_invariants(case, alt_rs1, alt_rs2):
+    """Structural invariants on every random ISAX: the schedule verifies,
+    the module verifies, ports carry stage suffixes, and the datasheet
+    windows are honored."""
+    source, core, _rs1, _rs2 = case
+    isa = elaborate(source)
+    artifact = compile_isax(isa, core)
+    functionality = artifact.artifact("fz")
+    functionality.schedule.problem.verify()
+    functionality.module.verify()
+    datasheet = artifact.datasheet
+    for entry in functionality.functionality.schedule:
+        if entry.interface in ("RdRS1", "RdRS2", "RdInstr"):
+            timing = datasheet.timing(entry.interface)
+            assert timing.earliest <= entry.stage <= timing.latest

@@ -1,0 +1,86 @@
+"""Tests for the resource-sharing analysis (paper Section 7 outlook)."""
+
+import pytest
+
+from repro.hls import analyze_functionality, analyze_isax, compile_isax
+from repro.hls.sharing import render_tradeoff
+from repro.isaxes import DOTPROD, SPARKLE, SQRT_TIGHTLY
+
+
+@pytest.fixture(scope="module")
+def sqrt_report():
+    artifact = compile_isax(SQRT_TIGHTLY, "VexRiscv")
+    return analyze_functionality(artifact.artifact("fsqrt"))
+
+
+@pytest.fixture(scope="module")
+def sparkle_report():
+    artifact = compile_isax(SPARKLE, "VexRiscv")
+    return analyze_isax(artifact)
+
+
+class TestWithinInstruction:
+    def test_sqrt_has_many_shareable_units(self, sqrt_report):
+        kinds = {group.kind for group in sqrt_report.groups}
+        assert "comb.sub" in kinds and "comb.icmp" in kinds
+        subs = next(g for g in sqrt_report.groups if g.kind == "comb.sub")
+        assert subs.instances > 20  # 32 unrolled iterations
+
+    def test_spatial_point_matches_generator(self, sqrt_report):
+        spatial = sqrt_report.spatial_point
+        assert spatial.initiation_interval == 1
+        assert spatial.controller_area_um2 == 0.0
+        subs = next(g for g in sqrt_report.groups if g.kind == "comb.sub")
+        assert spatial.units["comb.sub"] == subs.instances
+
+    def test_sharing_floor_is_max_concurrency(self, sqrt_report):
+        for group in sqrt_report.groups:
+            assert group.max_concurrent <= group.instances
+            assert group.units_needed(1) == group.max_concurrent
+
+    def test_sqrt_sharing_saves_area_at_low_ii(self, sqrt_report):
+        """Time-multiplexing the per-stage subtractors pays off a bit..."""
+        assert sqrt_report.saving_pct(2) > 5
+
+    def test_oversharing_costs_area(self, sqrt_report):
+        """...but collapsing to one unit makes the 34-bit input muxes cost
+        more than the subtractors they replace — the classic HLS result."""
+        assert sqrt_report.saving_pct(8) < sqrt_report.saving_pct(2)
+
+    def test_controller_charged_only_when_sharing(self, sqrt_report):
+        assert sqrt_report.point(1).controller_area_um2 == 0.0
+        assert sqrt_report.point(2).controller_area_um2 > 0.0
+
+
+class TestAcrossInstructions:
+    def test_sparkle_pools_adders(self, sparkle_report):
+        """alzette_x and alzette_y contain the same 4-round adder chain;
+        pooling across instruction boundaries shares them."""
+        adds = next(g for g in sparkle_report.groups
+                    if g.kind == "comb.add")
+        assert adds.instances == 8  # 4 per instruction
+        assert sparkle_report.saving_pct(4) > 10
+
+    def test_dotprod_multipliers_fully_parallel(self):
+        """dotprod's 4 multipliers run in the same time step: no sharing is
+        possible at II=1."""
+        artifact = compile_isax(DOTPROD, "VexRiscv")
+        report = analyze_functionality(artifact.artifact("dotp"))
+        muls = next(g for g in report.groups if g.kind == "comb.mul")
+        assert muls.instances == 4
+        assert muls.max_concurrent == 4
+        assert report.point(1).units["comb.mul"] == 4
+        # At II=4 one multiplier suffices (the paper's packed-SIMD economy).
+        assert report.point(4).units["comb.mul"] == 1
+
+
+class TestRendering:
+    def test_render(self, sqrt_report):
+        text = render_tradeoff(sqrt_report)
+        assert "II" in text and "saving" in text
+        assert "fsqrt" in text
+
+    def test_best_point(self, sparkle_report):
+        best = sparkle_report.best_point()
+        assert best.total_area_um2 <= \
+            sparkle_report.spatial_point.total_area_um2

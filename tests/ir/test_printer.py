@@ -1,0 +1,65 @@
+"""Tests for the generic IR printer."""
+
+import repro.dialects  # noqa: F401
+from repro.ir.builder import Builder
+from repro.ir.core import Block, Graph, Operation, Region
+from repro.ir.printer import print_graph, print_operation
+
+
+def make_graph():
+    graph = Graph("g", {"kind": "instruction"})
+    return graph, Builder.at(graph)
+
+
+class TestPrintGraph:
+    def test_values_numbered_in_order(self):
+        graph, builder = make_graph()
+        a = builder.constant(1, 8)
+        b = builder.constant(2, 8)
+        builder.create("comb.add", [a, b], [(8, None)])
+        text = print_graph(graph)
+        assert "%0 = comb.constant" in text
+        assert "%2 = comb.add(%0, %1)" in text
+
+    def test_types_printed(self):
+        graph, builder = make_graph()
+        builder.create("hwarith.constant", [], [(12, True)], {"value": 3})
+        builder.create("comb.constant", [], [(12, None)], {"value": 3})
+        text = print_graph(graph)
+        assert ": si12" in text
+        assert ": i12" in text
+
+    def test_attributes_sorted_and_typed(self):
+        graph, builder = make_graph()
+        a = builder.constant(1, 8)
+        builder.create("comb.extract", [a], [(4, None)], {"low": 2})
+        text = print_graph(graph)
+        assert "{low: 2}" in text
+
+    def test_graph_attributes_shown(self):
+        graph, _builder = make_graph()
+        assert 'kind: "instruction"' in print_graph(graph)
+
+    def test_string_and_list_attributes(self):
+        graph, builder = make_graph()
+        a = builder.constant(5, 4)
+        builder.create("lil.rom", [a], [(8, None)],
+                       {"reg": "T", "values": [1, 2]})
+        text = print_graph(graph)
+        assert 'reg: "T"' in text
+        assert "values: [1, 2]" in text
+
+
+class TestPrintOperation:
+    def test_nested_regions_indented(self):
+        inner = Block()
+        inner_builder = Builder(inner)
+        inner_builder.create("coredsl.end", [], [])
+        op = Operation("coredsl.instruction", [], [],
+                       {"name": "x"}, regions=[Region([inner])])
+        text = print_operation(op)
+        lines = text.splitlines()
+        assert lines[0].startswith("coredsl.instruction")
+        assert lines[1] == "{"
+        assert lines[2].strip() == "coredsl.end"
+        assert lines[3] == "}"

@@ -1,0 +1,67 @@
+"""Tests for execution-mode selection (paper Sections 3.2 / 4.3)."""
+
+import pytest
+
+from repro.ir.core import Graph, Operation
+from repro.ir.builder import Builder
+from repro.scaiev import core_datasheet
+from repro.scaiev.modes import ExecutionMode, select_mode
+
+
+def make_write_rd(spawn=False):
+    graph = Graph("g")
+    builder = Builder.at(graph)
+    value = builder.constant(0, 32)
+    pred = builder.constant(1, 1)
+    attrs = {"spawn": True} if spawn else {}
+    return builder.create("lil.write_rd", [value, pred], [], attrs)
+
+
+def make_read_pc():
+    graph = Graph("g")
+    builder = Builder.at(graph)
+    return builder.create("lil.read_pc", [], [(32, None)])
+
+
+class TestSelectMode:
+    """The Section 4.3 rule: in-window -> in-pipeline; later and inside a
+    spawn-block -> decoupled; later otherwise -> tightly-coupled."""
+
+    def setup_method(self):
+        self.datasheet = core_datasheet("VexRiscv")  # WrRD window [2, 4]
+
+    def test_within_window_is_in_pipeline(self):
+        op = make_write_rd()
+        for stage in (2, 3, 4):
+            assert select_mode(op, stage, self.datasheet) == \
+                ExecutionMode.IN_PIPELINE
+
+    def test_late_without_spawn_is_tightly_coupled(self):
+        op = make_write_rd()
+        assert select_mode(op, 9, self.datasheet) == \
+            ExecutionMode.TIGHTLY_COUPLED
+
+    def test_late_with_spawn_is_decoupled(self):
+        op = make_write_rd(spawn=True)
+        assert select_mode(op, 9, self.datasheet) == ExecutionMode.DECOUPLED
+
+    def test_always_mode_wins(self):
+        op = make_write_rd()
+        assert select_mode(op, 0, self.datasheet, in_always=True) == \
+            ExecutionMode.ALWAYS
+
+    def test_too_early_rejected(self):
+        op = make_write_rd()
+        with pytest.raises(ValueError, match="earliest"):
+            select_mode(op, 1, self.datasheet)
+
+    def test_non_decouplable_interface_rejected_when_late(self):
+        """Only WrRD/RdMem/WrMem (and custom-register writes) support the
+        tightly-coupled/decoupled mechanisms (Section 3.2)."""
+        op = make_read_pc()
+        with pytest.raises(ValueError, match="native window"):
+            select_mode(op, 9, self.datasheet)
+
+    def test_mode_string_roundtrip(self):
+        assert str(ExecutionMode.TIGHTLY_COUPLED) == "tightly_coupled"
+        assert ExecutionMode("decoupled") is ExecutionMode.DECOUPLED

@@ -1,0 +1,152 @@
+"""Tests for the CoreDSL golden interpreter and architectural state."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import elaborate
+from repro.isaxes import ALL_ISAXES, ZOL
+from repro.sim import ArchState, CoreDSLInterpreter
+
+
+def make(source, top=None):
+    isa = elaborate(source, top=top)
+    return isa, CoreDSLInterpreter(isa), ArchState(isa)
+
+
+class TestArchState:
+    def test_x0_is_hardwired_zero(self):
+        isa, _interp, state = make(ALL_ISAXES["dotprod"])
+        state.write_x(0, 123)
+        assert state.read_x(0) == 0
+
+    def test_memory_little_endian(self):
+        isa, _interp, state = make(ALL_ISAXES["dotprod"])
+        state.write_mem(0x100, 0xDEADBEEF, 4)
+        assert state.read_mem_byte(0x100) == 0xEF
+        assert state.read_mem_byte(0x103) == 0xDE
+        assert state.read_mem(0x100, 4) == 0xDEADBEEF
+
+    def test_custom_registers_initialized(self):
+        isa, _interp, state = make(ZOL)
+        assert state.read_custom("COUNT") == 0
+        state.write_custom("COUNT", 42)
+        assert state.read_custom("COUNT") == 42
+
+    def test_custom_register_width_truncation(self):
+        isa, _interp, state = make(ZOL)
+        state.write_custom("COUNT", 1 << 40)
+        assert state.read_custom("COUNT") == 0
+
+    def test_rom_values_visible(self):
+        isa, interp, state = make(ALL_ISAXES["sbox"])
+        info = isa.state["SBOX"]
+        assert info.init_values[0] == 0x63
+
+    @given(st.integers(0, 2 ** 32 - 1), st.integers(0, 2 ** 32 - 1))
+    def test_memory_roundtrip(self, address, value):
+        isa, _interp, state = make(ALL_ISAXES["dotprod"])
+        state.write_mem(address, value, 4)
+        assert state.read_mem(address, 4) == value
+
+
+class TestInstructionExecution:
+    def test_zol_setup(self):
+        isa, interp, state = make(ZOL)
+        enc = isa.instructions["setup_zol"].encoding
+        state.pc = 0x80
+        word = enc.encode({"uimmS": 6, "uimmL": 9})
+        effects = interp.execute_instruction(state, "setup_zol", word)
+        assert state.read_custom("START_PC") == 0x84
+        assert state.read_custom("END_PC") == 0x80 + 12
+        assert state.read_custom("COUNT") == 9
+        assert len(effects) == 3
+
+    def test_zol_always_redirects(self):
+        isa, interp, state = make(ZOL)
+        state.write_custom("START_PC", 0x84)
+        state.write_custom("END_PC", 0x8C)
+        state.write_custom("COUNT", 2)
+        state.pc = 0x8C
+        interp.execute_always(state, "zol")
+        assert state.pc == 0x84
+        assert state.read_custom("COUNT") == 1
+
+    def test_zol_always_no_redirect_when_done(self):
+        isa, interp, state = make(ZOL)
+        state.write_custom("END_PC", 0x8C)
+        state.write_custom("COUNT", 0)
+        state.pc = 0x8C
+        interp.execute_always(state, "zol")
+        assert state.pc == 0x8C
+
+    def test_autoinc_load(self):
+        isa, interp, state = make(ALL_ISAXES["autoinc"])
+        state.write_mem(0x200, 0xCAFEBABE, 4)
+        state.write_custom("ADDR", 0x200)
+        enc = isa.instructions["lw_ai"].encoding
+        interp.execute_instruction(state, "lw_ai", enc.encode({"rd": 7}))
+        assert state.read_x(7) == 0xCAFEBABE
+        assert state.read_custom("ADDR") == 0x204
+
+    def test_autoinc_store(self):
+        isa, interp, state = make(ALL_ISAXES["autoinc"])
+        state.write_custom("ADDR", 0x300)
+        state.write_x(9, 0x12345678)
+        enc = isa.instructions["sw_ai"].encoding
+        interp.execute_instruction(state, "sw_ai", enc.encode({"rs2": 9}))
+        assert state.read_mem(0x300, 4) == 0x12345678
+        assert state.read_custom("ADDR") == 0x304
+
+    def test_ijmp_reads_pc_from_memory(self):
+        isa, interp, state = make(ALL_ISAXES["ijmp"])
+        state.write_x(5, 0x400)
+        state.write_mem(0x400, 0x1234, 4)
+        enc = isa.instructions["ijmp"].encoding
+        interp.execute_instruction(state, "ijmp", enc.encode({"rs1": 5}))
+        assert state.pc == 0x1234
+
+    def test_sbox_lookup(self):
+        isa, interp, state = make(ALL_ISAXES["sbox"])
+        state.write_x(3, 0x00)  # SBOX[0] = 0x63
+        enc = isa.instructions["sbox"].encoding
+        interp.execute_instruction(state, "sbox",
+                                   enc.encode({"rs1": 3, "rd": 6}))
+        assert state.read_x(6) == 0x63
+
+    def test_spawn_effects_marked(self):
+        isa, interp, state = make(ALL_ISAXES["sqrt_decoupled"])
+        state.write_x(3, 16)
+        enc = isa.instructions["fsqrt"].encoding
+        effects = interp.execute_instruction(
+            state, "fsqrt", enc.encode({"rs1": 3, "rd": 4})
+        )
+        gpr_writes = [e for e in effects if e.kind == "gpr"]
+        assert gpr_writes and all(e.spawned for e in gpr_writes)
+
+    def test_match_instruction(self):
+        isa, interp, _state = make(ALL_ISAXES["dotprod"])
+        enc = isa.instructions["dotp"].encoding
+        assert interp.match_instruction(enc.encode({})) == "dotp"
+        assert interp.match_instruction(0xFFFFFFFF) is None
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(0, 2 ** 32 - 1))
+    def test_sqrt_interpreter_matches_isqrt(self, value):
+        import math
+
+        isa, interp, state = make(ALL_ISAXES["sqrt_tightly"])
+        state.write_x(3, value)
+        enc = isa.instructions["fsqrt"].encoding
+        interp.execute_instruction(state, "fsqrt",
+                                   enc.encode({"rs1": 3, "rd": 4}))
+        assert state.read_x(4) == math.isqrt(value << 32)
+
+
+class TestSharedState:
+    def test_add_custom_state_merges(self):
+        isa_a = elaborate(ALL_ISAXES["autoinc"])
+        isa_z = elaborate(ZOL)
+        state = ArchState(isa_a)
+        state.add_custom_state(isa_z)
+        assert set(state.custom) == {"ADDR", "START_PC", "END_PC", "COUNT"}

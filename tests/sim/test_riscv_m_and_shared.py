@@ -1,0 +1,131 @@
+"""RV32M extension tests and multi-ISAX shared-state scenarios."""
+
+import pytest
+
+from repro.frontend import elaborate
+from repro.hls import compile_isax
+from repro.scaiev import core_datasheet
+from repro.scaiev.integrate import integrate
+from repro.sim.riscv import CoreTimingModel, RV32ISimulator, assemble
+from repro.isaxes import DOTPROD
+from repro.utils.bits import to_unsigned
+
+
+def run(text, **kwargs):
+    sim = RV32ISimulator(elaborate(DOTPROD))
+    sim.load_words(assemble(text))
+    sim.run()
+    return sim
+
+
+class TestMExtension:
+    def test_mul(self):
+        sim = run("li t0, 7\nli t1, -3\nmul t2, t0, t1\necall")
+        assert sim.state.read_x(7) == to_unsigned(-21, 32)
+
+    def test_mulh_signed(self):
+        sim = run("li t0, -1\nli t1, -1\nmulh t2, t0, t1\necall")
+        assert sim.state.read_x(7) == 0  # (-1 * -1) >> 32
+
+    def test_mulhu(self):
+        sim = run("li t0, -1\nli t1, -1\nmulhu t2, t0, t1\necall")
+        assert sim.state.read_x(7) == 0xFFFFFFFE
+
+    def test_mulhsu(self):
+        sim = run("li t0, -1\nli t1, 2\nmulhsu t2, t0, t1\necall")
+        assert sim.state.read_x(7) == 0xFFFFFFFF  # (-1 * 2) >> 32
+
+    def test_div_rem(self):
+        sim = run("li t0, -7\nli t1, 2\ndiv t2, t0, t1\nrem t3, t0, t1\necall")
+        assert sim.state.read_x(7) == to_unsigned(-3, 32)
+        assert sim.state.read_x(28) == to_unsigned(-1, 32)
+
+    def test_divu_remu(self):
+        sim = run("li t0, 7\nli t1, 2\ndivu t2, t0, t1\nremu t3, t0, t1\necall")
+        assert sim.state.read_x(7) == 3
+        assert sim.state.read_x(28) == 1
+
+    def test_division_by_zero_riscv_semantics(self):
+        sim = run("li t0, 5\ndiv t1, t0, zero\nrem t2, t0, zero\n"
+                  "divu t3, t0, zero\necall")
+        assert sim.state.read_x(6) == 0xFFFFFFFF
+        assert sim.state.read_x(7) == 5
+        assert sim.state.read_x(28) == 0xFFFFFFFF
+
+    def test_signed_overflow_division(self):
+        sim = run("li t0, 0x80000000\nli t1, -1\ndiv t2, t0, t1\necall")
+        # -2^31 / -1 overflows; RISC-V: result = -2^31 (wrapped).
+        assert sim.state.read_x(7) == 0x80000000
+
+    def test_mul_costs_extra_cycles(self):
+        program = assemble("li t0, 3\nli t1, 4\nmul t2, t0, t1\necall")
+        with_mul = CoreTimingModel(core_datasheet("VexRiscv"))
+        with_mul.load_program(program)
+        add_prog = assemble("li t0, 3\nli t1, 4\nadd t2, t0, t1\necall")
+        with_add = CoreTimingModel(core_datasheet("VexRiscv"))
+        with_add.load_program(add_prog)
+        assert with_mul.run().cycles > with_add.run().cycles
+
+
+SHARED_WRITER = '''
+import "RV32I.core_desc"
+InstructionSet shared_writer extends RV32I {
+  architectural_state { register unsigned<32> SHARED; }
+  instructions {
+    put_shared {
+      encoding: 12'd0 :: rs1[4:0] :: 3'b000 :: 5'd0 :: 7'b1011011;
+      behavior: { SHARED = X[rs1]; }
+    }
+  }
+}
+'''
+
+SHARED_READER = '''
+import "RV32I.core_desc"
+InstructionSet shared_reader extends RV32I {
+  architectural_state { register unsigned<32> SHARED; }
+  instructions {
+    get_shared {
+      encoding: 17'd0 :: 3'b001 :: rd[4:0] :: 7'b1011011;
+      behavior: { X[rd] = SHARED; }
+    }
+  }
+}
+'''
+
+
+class TestSharedStateBetweenIsaxes:
+    """Paper Section 6: unlike the CX proposal, SCAIE-V supports shared
+    state between ISAXes."""
+
+    def test_integration_accepts_shared_register(self):
+        core = core_datasheet("VexRiscv")
+        writer = compile_isax(SHARED_WRITER, core)
+        reader = compile_isax(SHARED_READER, core)
+        result = integrate(core, [(writer.config, None),
+                                  (reader.config, None)])
+        assert list(result.register_files) == ["SHARED"]
+
+    def test_value_flows_between_isaxes(self):
+        core = core_datasheet("VexRiscv")
+        writer = compile_isax(SHARED_WRITER, core)
+        reader = compile_isax(SHARED_READER, core)
+        model = CoreTimingModel(core, artifacts=[writer, reader])
+        program = assemble(
+            "li t0, 0xBEEF\nput_shared t0\nget_shared t1\necall",
+            isaxes=[writer.isa, reader.isa],
+        )
+        model.load_program(program)
+        report = model.run()
+        assert report.state.read_x(6) == 0xBEEF
+        assert report.state.read_custom("SHARED") == 0xBEEF
+
+    def test_arbitration_plans_shared_write_mux(self):
+        core = core_datasheet("VexRiscv")
+        writer = compile_isax(SHARED_WRITER, core)
+        reader = compile_isax(SHARED_READER, core)
+        result = integrate(core, [(writer.config, None),
+                                  (reader.config, None)])
+        # Only one writer: no mux needed on WrSHARED.data.
+        with pytest.raises(KeyError):
+            result.arbitration.mux_for("WrSHARED.data")

@@ -1,0 +1,88 @@
+"""Tests for the VCD waveform tracer."""
+
+import re
+
+import pytest
+
+from repro import compile_isax
+from repro.isaxes import DOTPROD
+from repro.sim.vcd import VCDTracer, _identifier, trace_instruction
+
+
+class TestIdentifiers:
+    def test_unique_and_printable(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+        for identifier in ids:
+            assert all(33 <= ord(c) <= 126 for c in identifier)
+
+    def test_short_for_small_indices(self):
+        assert len(_identifier(0)) == 1
+        assert len(_identifier(93)) == 1
+
+
+@pytest.fixture(scope="module")
+def dotprod_artifact():
+    return compile_isax(DOTPROD, "VexRiscv")
+
+
+def drive(module, a, b, word):
+    inputs = {}
+    for port in module.inputs:
+        if port.name.startswith("rs1_data"):
+            inputs[port.name] = a
+        elif port.name.startswith("rs2_data"):
+            inputs[port.name] = b
+        elif port.name.startswith("instr_word"):
+            inputs[port.name] = word
+    return inputs
+
+
+class TestTracing:
+    def test_header_declares_all_ports_and_registers(self, dotprod_artifact):
+        functionality = dotprod_artifact.artifact("dotp")
+        tracer = VCDTracer(functionality.module)
+        tracer.step({})
+        text = tracer.dumps()
+        assert "$timescale 1ns $end" in text
+        assert "$scope module dotp $end" in text
+        for port in functionality.module.ports:
+            assert f" {port.name} $end" in text
+        for reg in functionality.module.registers():
+            assert f" {reg.attr('name')} $end" in text
+
+    def test_value_changes_recorded(self, dotprod_artifact):
+        functionality = dotprod_artifact.artifact("dotp")
+        module = functionality.module
+        enc = dotprod_artifact.isa.instructions["dotp"].encoding
+        word = enc.encode({"rs1": 3, "rs2": 4, "rd": 5})
+        tracer = VCDTracer(module)
+        for _ in range(functionality.schedule.makespan + 2):
+            tracer.step(drive(module, 0x01010101, 0x02020202, word))
+        text = tracer.dumps()
+        # Timestamps for every cycle plus the closing marker.
+        stamps = re.findall(r"^#\d+$", text, re.MULTILINE)
+        assert len(stamps) == functionality.schedule.makespan + 3
+        # The result (8 = 4 lanes of 1*2) appears as a binary change.
+        assert f"b{8:032b}" in text
+
+    def test_unchanged_signals_not_redumped(self, dotprod_artifact):
+        functionality = dotprod_artifact.artifact("dotp")
+        module = functionality.module
+        tracer = VCDTracer(module)
+        tracer.step({})
+        first = len(tracer._changes)
+        tracer.step({})  # identical inputs: steady state, few/no changes
+        second = len(tracer._changes) - first
+        assert second < first
+
+    def test_save(self, dotprod_artifact, tmp_path):
+        path = tmp_path / "dotp.vcd"
+        tracer = trace_instruction(
+            dotprod_artifact, "dotp",
+            drive(dotprod_artifact.artifact("dotp").module, 1, 2, 0),
+        )
+        tracer.save(str(path))
+        content = path.read_text()
+        assert content.startswith("$date")
+        assert "$enddefinitions $end" in content

@@ -1,0 +1,70 @@
+"""Tests for the evaluation workloads (Sections 5.5 and 5.6)."""
+
+import pytest
+
+from repro import compile_isax
+from repro.isaxes import AUTOINC, ZOL
+from repro.workloads import (
+    AudioMLResult,
+    fit_linear,
+    run_array_sum,
+    run_audio_ml,
+)
+
+
+class TestFitLinear:
+    def test_exact_line(self):
+        slope, const = fit_linear([1, 2, 3, 4], [12, 22, 32, 42])
+        assert slope == pytest.approx(10)
+        assert const == pytest.approx(2)
+
+    def test_two_points(self):
+        slope, const = fit_linear([10, 20], [100, 200])
+        assert slope == pytest.approx(10)
+        assert const == pytest.approx(0)
+
+
+class TestArraySum:
+    @pytest.fixture(scope="class")
+    def artifacts(self):
+        return [compile_isax(AUTOINC, "VexRiscv"),
+                compile_isax(ZOL, "VexRiscv")]
+
+    def test_checksum_verified_internally(self, artifacts):
+        result = run_array_sum(12, artifacts=artifacts)
+        assert result.baseline_cycles > result.isax_cycles
+        assert result.speedup > 1.3
+
+    def test_scales_linearly(self, artifacts):
+        small = run_array_sum(16, artifacts=artifacts)
+        large = run_array_sum(64, artifacts=artifacts)
+        # 4x the elements ~ 4x the loop cycles.
+        ratio = large.isax_cycles / small.isax_cycles
+        assert 3.0 < ratio < 4.5
+
+    def test_single_element(self, artifacts):
+        result = run_array_sum(1, artifacts=artifacts)
+        assert result.speedup > 0.5  # tiny n: overheads dominate, still runs
+
+
+class TestAudioML:
+    @pytest.fixture(scope="class")
+    def result(self) -> AudioMLResult:
+        return run_audio_ml(frames=6, words=4)
+
+    def test_outputs_are_bytes(self, result):
+        assert len(result.outputs) == 6
+        assert all(0 <= value <= 0xFF for value in result.outputs)
+
+    def test_isax_version_faster(self, result):
+        assert result.speedup > 1.5
+
+    def test_energy_model_consistent(self, result):
+        # energy ratio = (isax cycles x bigger area) / (baseline x base area)
+        assert 0.0 < result.energy_ratio < 1.0
+        assert result.power_savings_pct == pytest.approx(
+            100 * (1 - result.energy_ratio)
+        )
+
+    def test_area_overhead_reported(self, result):
+        assert 5 < result.area_overhead_pct < 60

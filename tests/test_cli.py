@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.isaxes import ZOL
+
+
+@pytest.fixture()
+def zol_file(tmp_path):
+    path = tmp_path / "zol.core_desc"
+    path.write_text(ZOL, encoding="utf-8")
+    return path
+
+
+class TestCompile:
+    def test_compile_writes_artifacts(self, zol_file, tmp_path, capsys):
+        rc = main(["compile", str(zol_file), "--core", "VexRiscv",
+                   "-o", str(tmp_path / "build")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "compiled for VexRiscv" in out
+        sv = (tmp_path / "build" / "zol.sv").read_text()
+        cfg = (tmp_path / "build" / "zol.scaiev.yaml").read_text()
+        assert "module setup_zol(" in sv
+        assert "always: zol" in cfg
+
+    def test_compile_with_cycle_time(self, zol_file, tmp_path, capsys):
+        rc = main(["compile", str(zol_file), "--cycle-time", "5.0",
+                   "-o", str(tmp_path)])
+        assert rc == 0
+
+    def test_compile_asap_engine(self, zol_file, tmp_path):
+        assert main(["compile", str(zol_file), "--engine", "asap",
+                     "-o", str(tmp_path)]) == 0
+
+    def test_missing_file_is_error(self, tmp_path, capsys):
+        rc = main(["compile", str(tmp_path / "nope.core_desc")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_coredsl_is_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.core_desc"
+        path.write_text("InstructionSet Broken {", encoding="utf-8")
+        rc = main(["compile", str(path), "-o", str(tmp_path)])
+        assert rc == 1
+
+
+class TestInfoCommands:
+    def test_datasheet(self, capsys):
+        assert main(["datasheet", "ORCA"]) == 0
+        out = capsys.readouterr().out
+        assert "core: ORCA" in out
+        assert "forwarding_from_last_stage: true" in out
+
+    def test_isaxes_list(self, capsys):
+        assert main(["isaxes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("autoinc", "dotprod", "zol"):
+            assert name in out
+
+    def test_isaxes_source(self, capsys):
+        assert main(["isaxes", "dotprod"]) == 0
+        assert "InstructionSet X_DOTP" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "RdCustReg" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "sqrt_decoupled" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate_program(self, tmp_path, capsys):
+        prog = tmp_path / "p.s"
+        prog.write_text("li t0, 21\nadd t1, t0, t0\necall\n")
+        rc = main(["simulate", str(prog), "--core", "VexRiscv"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "x6   = 0x0000002a" in out
+
+    def test_simulate_with_isax(self, tmp_path, capsys):
+        prog = tmp_path / "p.s"
+        prog.write_text(
+            "li t0, 0x01010101\nli t1, 0x03030303\ndotp t2, t0, t1\necall\n"
+        )
+        rc = main(["simulate", str(prog), "--isax", "dotprod"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "x7   = 0x0000000c" in out  # 4 lanes of 1*3

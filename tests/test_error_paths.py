@@ -1,0 +1,132 @@
+"""Error-path coverage across the flow: every stage reports malformed
+input with a diagnostic rather than failing deep inside."""
+
+import pytest
+
+from repro.frontend import elaborate
+from repro.frontend.parser import parse_description
+from repro.hls import compile_isax
+from repro.scaiev.datasheet import InterfaceTiming, VirtualDatasheet
+from repro.utils import yaml_lite
+from repro.utils.diagnostics import CoreDSLError
+
+
+def isax(behavior="", state="", encoding="25'd0 :: 7'b0001011"):
+    return f"""
+    import "RV32I.core_desc"
+    InstructionSet T extends RV32I {{
+      architectural_state {{ {state} }}
+      instructions {{
+        t {{ encoding: {encoding}; behavior: {{ {behavior} }} }}
+      }}
+    }}
+    """
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("source, fragment", [
+        ("InstructionSet {", "identifier"),
+        ("InstructionSet A extends {", "identifier"),
+        ("Core C provides {", "identifier"),
+        ("InstructionSet A { bogus_section { } }", "architectural_state"),
+        ("InstructionSet A { instructions { x { encoding: } } }",
+         "encoding component"),
+        ("import 42", "string"),
+    ])
+    def test_diagnostics(self, source, fragment):
+        with pytest.raises(CoreDSLError, match=fragment):
+            parse_description(source)
+
+    def test_location_reported(self):
+        with pytest.raises(CoreDSLError) as info:
+            parse_description("InstructionSet A {\n  junk!\n}")
+        assert info.value.loc is not None
+        assert info.value.loc.line == 2
+
+
+class TestTypeErrors:
+    def test_width_zero(self):
+        with pytest.raises(CoreDSLError, match="width"):
+            elaborate(isax("unsigned<0> v = 0;"))
+
+    def test_parameterized_width_unknown(self):
+        with pytest.raises(CoreDSLError, match="constant"):
+            elaborate(isax("unsigned<W> v = 0;"))
+
+    def test_shift_width_explosion(self):
+        with pytest.raises(CoreDSLError, match="explicit cast"):
+            elaborate(isax(
+                "unsigned<32> a = X[rs1]; unsigned<32> b = X[rs2];"
+                "unsigned<64> c = a << b;",
+                encoding="15'd0 :: rs2[4:0] :: rs1[4:0] :: 7'b0001011",
+            ))
+
+
+class TestLoweringErrors:
+    def test_spawn_in_branch_rejected(self):
+        from repro.lowering import lower_isa
+
+        isa = elaborate(isax(
+            "unsigned<32> v = X[rs1];"
+            "if (v != 0) { spawn { X[rd] = v; } }",
+            encoding="15'd0 :: rs1[4:0] :: rd[4:0] :: 7'b0001011",
+        ))
+        with pytest.raises(CoreDSLError, match="conditional"):
+            lower_isa(isa)
+
+    def test_two_mem_reads_rejected(self):
+        from repro.lowering import convert_to_lil, lower_isa
+
+        isa = elaborate(isax(
+            "unsigned<32> a = X[rs1]; unsigned<32> b = X[rs2];"
+            "X[rd] = (unsigned<32>) (MEM[a+3:a] + MEM[b+3:b]);",
+            encoding="10'd0 :: rs2[4:0] :: rs1[4:0] :: rd[4:0] :: 7'b0001011",
+        ))
+        lowered = lower_isa(isa)
+        with pytest.raises(CoreDSLError, match="RdMem"):
+            convert_to_lil(isa, lowered.instructions["t"])
+
+    def test_unsupported_memory_width(self):
+        from repro.lowering import convert_to_lil, lower_isa
+
+        isa = elaborate(isax(
+            "unsigned<32> a = X[rs1];"
+            "unsigned<24> v = MEM[a+2:a];"
+            "X[rd] = (unsigned<32>) v;",
+            encoding="15'd0 :: rs1[4:0] :: rd[4:0] :: 7'b0001011",
+        ))
+        lowered = lower_isa(isa)
+        with pytest.raises(CoreDSLError, match="24 bits"):
+            convert_to_lil(isa, lowered.instructions["t"])
+
+
+class TestDatasheetErrors:
+    def test_unknown_interface(self):
+        datasheet = VirtualDatasheet("X", 5, {"RdRS1": InterfaceTiming(2, 4)})
+        with pytest.raises(KeyError, match="sub-interface"):
+            datasheet.timing("RdQuantum")
+
+    def test_compile_against_incomplete_datasheet(self):
+        datasheet = VirtualDatasheet(
+            "Partial", 5,
+            {"RdRS1": InterfaceTiming(2, 4), "RdRS2": InterfaceTiming(2, 4)},
+            base_freq_mhz=500.0, base_area_um2=1000.0,
+        )
+        source = isax("X[rd] = X[rs1];",
+                      encoding="15'd0 :: rs1[4:0] :: rd[4:0] :: 7'b0001011")
+        with pytest.raises(KeyError, match="WrRD"):
+            compile_isax(source, datasheet)
+
+
+class TestYamlErrors:
+    def test_unterminated_flow(self):
+        with pytest.raises(ValueError):
+            yaml_lite.loads("x: {a: 1")
+
+    def test_unterminated_list(self):
+        with pytest.raises(ValueError):
+            yaml_lite.loads("x: [1, 2")
+
+    def test_empty_document(self):
+        assert yaml_lite.loads("") is None
+        assert yaml_lite.loads("# only a comment\n") is None

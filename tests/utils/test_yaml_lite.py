@@ -1,0 +1,131 @@
+"""Round-trip and conformance tests for the YAML subset used by the
+Longnail <-> SCAIE-V metadata exchange (paper Section 4.6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import yaml_lite
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value", [0, 1, -5, 3.5, True, False, None, "RdPC", "hello world"]
+    )
+    def test_roundtrip_scalar(self, value):
+        assert yaml_lite.loads(yaml_lite.dumps(value)) == value
+
+    def test_string_with_colon_quoted(self):
+        text = yaml_lite.dumps({"k": "a: b"})
+        assert yaml_lite.loads(text) == {"k": "a: b"}
+
+    def test_infinity(self):
+        assert yaml_lite.loads(yaml_lite.dumps(float("inf"))) == float("inf")
+
+    def test_keywordish_strings(self):
+        for s in ("true", "false", "null"):
+            assert yaml_lite.loads(yaml_lite.dumps({"k": s})) == {"k": s}
+
+
+class TestStructures:
+    def test_flat_mapping(self):
+        data = {"interface": "RdPC", "stage": 1}
+        assert yaml_lite.loads(yaml_lite.dumps(data)) == data
+
+    def test_nested_mapping(self):
+        data = {"core": {"name": "VexRiscv", "stages": 5}, "version": 2}
+        assert yaml_lite.loads(yaml_lite.dumps(data)) == data
+
+    def test_list_of_flat_dicts(self):
+        data = {
+            "schedule": [
+                {"interface": "RdPC", "stage": 1},
+                {"interface": "WrCOUNT.data", "stage": 1, "has_valid": 1},
+            ]
+        }
+        assert yaml_lite.loads(yaml_lite.dumps(data)) == data
+
+    def test_deeply_nested(self):
+        data = {
+            "isax": {
+                "instructions": [
+                    {"name": "setup_zol", "mask": "101000000001011"},
+                ],
+                "registers": [{"register": "COUNT", "width": 32, "elements": 1}],
+            }
+        }
+        assert yaml_lite.loads(yaml_lite.dumps(data)) == data
+
+    def test_empty_containers(self):
+        assert yaml_lite.loads(yaml_lite.dumps({"a": [], "b": {}})) == {
+            "a": [],
+            "b": {},
+        }
+
+    def test_list_of_scalars(self):
+        data = {"stages": [0, 1, 2, 3, 4]}
+        assert yaml_lite.loads(yaml_lite.dumps(data)) == data
+
+    def test_figure8_style_document(self):
+        """The ZOL configuration excerpt structure from paper Figure 8."""
+        doc = {
+            "registers": [{"register": "COUNT", "width": 32, "elements": 1}],
+            "functionalities": [
+                {
+                    "instruction": "setup_zol",
+                    "mask": "-----------------101000000001011",
+                    "schedule": [
+                        {"interface": "RdPC", "stage": 1},
+                        {"interface": "WrCOUNT.addr", "stage": 1},
+                        {"interface": "WrCOUNT.data", "stage": 1, "has_valid": 1},
+                    ],
+                },
+                {
+                    "always": "zol",
+                    "schedule": [
+                        {"interface": "RdPC", "stage": 0},
+                        {"interface": "WrPC", "stage": 0, "has_valid": 1},
+                    ],
+                },
+            ],
+        }
+        assert yaml_lite.loads(yaml_lite.dumps(doc)) == doc
+
+    def test_comments_are_ignored(self):
+        text = "a: 1  # trailing comment\n# full-line comment\nb: 2\n"
+        assert yaml_lite.loads(text) == {"a": 1, "b": 2}
+
+    def test_parse_hand_written_flow(self):
+        assert yaml_lite.loads("x: {a: 1, b: [1, 2]}") == {"x": {"a": 1, "b": [1, 2]}}
+
+
+_scalars = st.one_of(
+    st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+    st.booleans(),
+    st.none(),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"),
+                               whitelist_characters="_-. "),
+        max_size=12,
+    ),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Lu", "Ll")),
+                min_size=1, max_size=8,
+            ),
+            children,
+            max_size=4,
+        ),
+    ),
+    max_leaves=12,
+)
+
+
+@given(_values)
+def test_roundtrip_property(value):
+    assert yaml_lite.loads(yaml_lite.dumps(value)) == value
