@@ -4,22 +4,31 @@
 trade-off points" between conflicting area and latency goals.  This bench
 sweeps cycle time x initiation interval for the largest ISAXes and records
 the Pareto frontier a user would pick implementations from.
+
+The sweep runs through the batch service executor
+(:mod:`repro.service.executor`): candidates fan out over worker processes
+and land in a content-addressed artifact cache, so the repeat sweep is
+served entirely from cache — the property asserted at the bottom.
 """
 
 from benchmarks.conftest import write_artifact
 from repro.eval.dse import explore, pareto_frontier, render_design_space
 from repro.isaxes import ALL_ISAXES
+from repro.service import ArtifactCache, BatchExecutor
 
 
-def test_design_space_exploration(benchmark, artifact_dir):
+def test_design_space_exploration(benchmark, artifact_dir, tmp_path):
+    cache = ArtifactCache(tmp_path / "dse-cache")
+    executor = BatchExecutor(workers=2, cache=cache)
     points = benchmark.pedantic(
         explore, args=(ALL_ISAXES["sqrt_tightly"], "VexRiscv"),
-        kwargs={"cycle_scales": (1.0, 2.0), "initiation_intervals": (1, 2)},
+        kwargs={"cycle_scales": (1.0, 2.0), "initiation_intervals": (1, 2),
+                "executor": executor},
         rounds=1, iterations=1,
     )
     sections = []
     for name in ("sqrt_tightly", "sparkle", "dotprod"):
-        pts = explore(ALL_ISAXES[name], "VexRiscv")
+        pts = explore(ALL_ISAXES[name], "VexRiscv", executor=executor)
         frontier = pareto_frontier(pts)
         sections.append(f"=== {name} ===\n"
                         + render_design_space(pts, frontier))
@@ -31,13 +40,25 @@ def test_design_space_exploration(benchmark, artifact_dir):
     assert points
 
 
-def test_frontier_offers_cheaper_than_default():
+def test_frontier_offers_cheaper_than_default(tmp_path):
     """DSE finds implementations cheaper than the default spatial/full-speed
     point (at a latency cost)."""
-    points = explore(ALL_ISAXES["sqrt_tightly"], "VexRiscv")
+    cache = ArtifactCache(tmp_path / "dse-cache")
+    executor = BatchExecutor(workers=2, cache=cache)
+    points = explore(ALL_ISAXES["sqrt_tightly"], "VexRiscv",
+                     executor=executor)
     default = next(p for p in points
                    if p.initiation_interval == 1
                    and p.cycle_time_ns == min(q.cycle_time_ns
                                               for q in points))
     cheapest = min(points, key=lambda p: p.area_um2)
     assert cheapest.area_um2 < 0.7 * default.area_um2
+
+    # Warm sweep: identical spec, served 100% from the artifact cache.
+    warm = explore(ALL_ISAXES["sqrt_tightly"], "VexRiscv",
+                   executor=BatchExecutor(workers=2, cache=cache))
+    assert cache.stats.hits >= 5
+    assert [(p.cycle_time_ns, p.initiation_interval, round(p.area_um2, 3))
+            for p in warm] \
+        == [(p.cycle_time_ns, p.initiation_interval, round(p.area_um2, 3))
+            for p in points]

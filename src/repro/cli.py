@@ -3,6 +3,7 @@
 Usage (``python -m repro ...`` or the ``repro-longnail`` entry point):
 
     repro-longnail compile my_isax.core_desc --core VexRiscv -o build/
+    repro-longnail batch --workers 4 -o build/grid
     repro-longnail datasheet ORCA
     repro-longnail isaxes [name]
     repro-longnail table1 | table3 | table4
@@ -10,25 +11,48 @@ Usage (``python -m repro ...`` or the ``repro-longnail`` entry point):
 
 ``compile`` runs the full flow — CoreDSL in, SystemVerilog and the SCAIE-V
 configuration file out — exactly like the paper's Figure 9 tool invocation.
+``batch`` fans a whole (ISAX x core) grid out over the
+:mod:`repro.service` orchestrator with artifact caching and per-phase
+timing metrics.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from typing import List, Optional
 
 from repro.hls.longnail import compile_isax
 from repro.isaxes import ALL_ISAXES
-from repro.scaiev.cores import CORES, core_datasheet
+from repro.scaiev.cores import CORES, EXPERIMENTAL_CORES, core_datasheet
+from repro.scheduling.problem import ScheduleError
 from repro.utils.diagnostics import CoreDSLError
+
+#: Every targetable host core: the four Table 4 MCUs plus the Section 7
+#: application-class outlook core.
+ALL_CORES = CORES + EXPERIMENTAL_CORES
+
+
+def _read_source(path_str: str) -> str:
+    path = pathlib.Path(path_str)
+    if not path.is_file():
+        raise CoreDSLError(f"input file not found: {path}")
+    try:
+        return path.read_text(encoding="utf-8")
+    except OSError as err:
+        raise CoreDSLError(f"cannot read {path}: {err}") from err
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
-    source = pathlib.Path(args.file).read_text(encoding="utf-8")
+    source = _read_source(args.file)
+    try:
+        datasheet = core_datasheet(args.core)
+    except KeyError as err:
+        raise CoreDSLError(str(err.args[0]) if err.args else str(err)) from err
     artifact = compile_isax(
-        source, core=args.core, top=args.top, engine=args.engine,
+        source, core=datasheet, top=args.top, engine=args.engine,
         cycle_time_ns=args.cycle_time,
     )
     out_dir = pathlib.Path(args.output)
@@ -47,6 +71,80 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     print(f"wrote {sv_path}")
     print(f"wrote {cfg_path}")
     return 0
+
+
+def _default_cache_dir() -> pathlib.Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-longnail"
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service import (
+        ArtifactCache,
+        BatchExecutor,
+        job_grid,
+        load_manifest,
+    )
+
+    if args.manifest:
+        jobs = load_manifest(_read_source(args.manifest))
+    else:
+        isaxes = args.isax or sorted(ALL_ISAXES)
+        cores = args.core or list(ALL_CORES)
+        scales = args.cycle_scale or [None]
+        jobs = job_grid(isaxes, cores, cycle_scales=scales,
+                        engine=args.engine)
+
+    cache = None
+    if not args.no_cache:
+        cache = ArtifactCache(pathlib.Path(args.cache_dir).expanduser())
+    executor = BatchExecutor(
+        workers=args.workers, cache=cache, timeout_s=args.timeout,
+        retries=args.retries,
+    )
+    outcomes, metrics = executor.run_compile_jobs(jobs)
+
+    out_dir = pathlib.Path(args.output) if args.output else None
+    for job, outcome in zip(jobs, outcomes):
+        if outcome.ok:
+            origin = "cache" if outcome.cached else "compiled"
+            spans = ",".join(str(f["makespan"])
+                             for f in outcome.result["functionalities"])
+            print(f"  ok     {job.job_id:<28} {origin:<9} "
+                  f"{outcome.seconds:>8.3f}s  spans={spans}")
+            if out_dir is not None:
+                core_dir = out_dir / outcome.result["core"]
+                core_dir.mkdir(parents=True, exist_ok=True)
+                (core_dir / f"{job.isax}.sv").write_text(
+                    outcome.result["verilog"], encoding="utf-8")
+                (core_dir / f"{job.isax}.scaiev.yaml").write_text(
+                    outcome.result["config_yaml"], encoding="utf-8")
+        else:
+            reason = (outcome.error or "unknown error").splitlines()[0]
+            print(f"  FAILED {job.job_id:<28} "
+                  f"attempts={outcome.attempts}  {reason}")
+
+    if args.metrics:
+        metrics_path = pathlib.Path(args.metrics)
+    elif out_dir is not None:
+        metrics_path = out_dir / "batch_metrics.json"
+    else:
+        metrics_path = pathlib.Path("batch_metrics.json")
+    metrics.dump(metrics_path)
+
+    totals = metrics.phase_totals()
+    print(f"{metrics.ok}/{len(jobs)} jobs ok, {metrics.cached} from cache, "
+          f"{metrics.failed} failed ({args.workers} workers)")
+    print("phase totals: " + "  ".join(f"{k}={v:.3f}s"
+                                       for k, v in totals.items()))
+    if cache is not None:
+        stats = cache.stats
+        print(f"cache: {stats.hits} hits / {stats.misses} misses "
+              f"({stats.hit_rate:.0%}), dir {cache.root}")
+    print(f"wrote {metrics_path}")
+    return 0 if metrics.failed == 0 else 1
 
 
 def _cmd_datasheet(args: argparse.Namespace) -> int:
@@ -124,7 +222,8 @@ def build_parser() -> argparse.ArgumentParser:
         "compile", help="compile a CoreDSL file to SystemVerilog + config"
     )
     compile_p.add_argument("file", help="CoreDSL source file (.core_desc)")
-    compile_p.add_argument("--core", default="VexRiscv", choices=CORES)
+    compile_p.add_argument("--core", default="VexRiscv", metavar="CORE",
+                           help="host core: " + ", ".join(ALL_CORES))
     compile_p.add_argument("--top", default=None,
                            help="InstructionSet/Core to elaborate")
     compile_p.add_argument("--engine", default="auto",
@@ -136,6 +235,44 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument("-o", "--output", default=".",
                            help="output directory")
     compile_p.set_defaults(func=_cmd_compile)
+
+    batch_p = sub.add_parser(
+        "batch", help="compile an (ISAX x core) grid through the batch "
+                      "service with caching and per-phase metrics"
+    )
+    batch_p.add_argument("--isax", action="append", default=[],
+                         choices=sorted(ALL_ISAXES), metavar="ISAX",
+                         help="ISAX to include (repeatable; default: all "
+                              + str(len(ALL_ISAXES)) + ")")
+    batch_p.add_argument("--core", action="append", default=[],
+                         choices=ALL_CORES, metavar="CORE",
+                         help="host core to include (repeatable; default: "
+                              "all " + str(len(ALL_CORES)) + ")")
+    batch_p.add_argument("--manifest", default=None,
+                         help="YAML manifest describing the grid/job list "
+                              "(overrides --isax/--core)")
+    batch_p.add_argument("--cycle-scale", action="append", type=float,
+                         default=[], metavar="S",
+                         help="scale each core's cycle time by S "
+                              "(repeatable; default: native f_max)")
+    batch_p.add_argument("--engine", default="auto",
+                         choices=("auto", "milp", "asap"))
+    batch_p.add_argument("--workers", type=int, default=2,
+                         help="worker processes (<=1: in-process serial)")
+    batch_p.add_argument("--timeout", type=float, default=None,
+                         help="per-job timeout in seconds")
+    batch_p.add_argument("--retries", type=int, default=1,
+                         help="retries per failed job (default 1)")
+    batch_p.add_argument("--cache-dir", default=str(_default_cache_dir()),
+                         help="artifact cache directory")
+    batch_p.add_argument("--no-cache", action="store_true",
+                         help="disable the artifact cache")
+    batch_p.add_argument("-o", "--output", default=None,
+                         help="write <core>/<isax>.sv + .scaiev.yaml here")
+    batch_p.add_argument("--metrics", default=None,
+                         help="per-phase timing JSON path (default: "
+                              "<output>/batch_metrics.json)")
+    batch_p.set_defaults(func=_cmd_batch)
 
     datasheet_p = sub.add_parser(
         "datasheet", help="print a core's virtual datasheet (YAML)"
@@ -179,8 +316,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (CoreDSLError, FileNotFoundError, KeyError) as err:
-        print(f"error: {err}", file=sys.stderr)
+    except (CoreDSLError, ScheduleError, FileNotFoundError, KeyError) as err:
+        message = err.args[0] if isinstance(err, KeyError) and err.args \
+            else err
+        print(f"error: {message}", file=sys.stderr)
         return 1
 
 

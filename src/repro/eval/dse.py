@@ -16,6 +16,13 @@ This module implements that exploration over two axes Longnail controls:
 Every candidate is compiled through the real flow and measured with the
 technology library; :func:`pareto_frontier` filters the non-dominated
 (area, latency) points a user would choose from.
+
+The sweep runs through the batch service
+(:class:`repro.service.executor.BatchExecutor`): one task per cycle-time
+candidate, fanned out over worker processes and served from the
+content-addressed artifact cache on repeat sweeps.  The default executor
+is in-process and uncached, so `explore()` behaves exactly as before for
+casual callers.
 """
 
 from __future__ import annotations
@@ -29,6 +36,15 @@ from repro.hls.longnail import compile_isax
 from repro.hls.sharing import analyze_functionality
 from repro.scaiev.cores import core_datasheet
 from repro.scaiev.datasheet import VirtualDatasheet
+from repro.service.executor import BatchExecutor, TaskSpec
+from repro.service.jobs import digest
+
+#: Runner reference for one DSE cycle-time candidate.
+DSE_RUNNER = "repro.eval.dse:_evaluate_candidate"
+
+#: Part of every DSE cache key; bump when DesignPoint or the evaluation
+#: changes shape.
+_DSE_CACHE_VERSION = "dse-1"
 
 
 @dataclasses.dataclass
@@ -57,47 +73,112 @@ class DesignPoint:
         return no_worse and better
 
 
+def _measure_candidate(
+        source: str, datasheet: VirtualDatasheet, cycle: float,
+        initiation_intervals: Sequence[int], instruction: Optional[str],
+        tech: TechLibrary) -> List[DesignPoint]:
+    """Compile + measure one cycle-time candidate (all IIs)."""
+    artifact = compile_isax(source, datasheet, cycle_time_ns=cycle,
+                            delay_model=tech.delay_model())
+    names = [n for n, f in artifact.functionalities.items()
+             if f.kind == "instruction"]
+    name = instruction or names[0]
+    functionality = artifact.artifact(name)
+    spatial_area = module_area(functionality.module, tech)
+    report = analyze_functionality(
+        functionality, tech, max_ii=max(initiation_intervals)
+    )
+    stages = functionality.schedule.makespan
+    points: List[DesignPoint] = []
+    for ii in initiation_intervals:
+        shared_point = report.point(ii)
+        datapath_delta = (report.spatial_point.total_area_um2
+                          - shared_point.total_area_um2)
+        area = max(0.0, spatial_area - datapath_delta)
+        points.append(DesignPoint(
+            instruction=name,
+            cycle_time_ns=cycle,
+            initiation_interval=ii,
+            pipeline_stages=stages,
+            area_um2=area,
+            latency_ns=stages * cycle,
+        ))
+    return points
+
+
+def _evaluate_candidate(payload: dict) -> dict:
+    """Executor runner: one cycle-time candidate, JSON-able in and out so
+    the result can fan out to worker processes and live in the artifact
+    cache."""
+    points = _measure_candidate(
+        payload["source"],
+        VirtualDatasheet.from_yaml(payload["datasheet"]),
+        payload["cycle_time_ns"],
+        [int(ii) for ii in payload["initiation_intervals"]],
+        payload.get("instruction"),
+        TechLibrary(),
+    )
+    return {"points": [dataclasses.asdict(point) for point in points]}
+
+
 def explore(source: str,
             core: Union[str, VirtualDatasheet] = "VexRiscv",
             cycle_scales: Sequence[float] = (1.0, 1.5, 2.0, 3.0, 4.0),
             initiation_intervals: Sequence[int] = (1, 2, 4),
             instruction: Optional[str] = None,
-            tech: Optional[TechLibrary] = None) -> List[DesignPoint]:
+            tech: Optional[TechLibrary] = None,
+            executor: Optional[BatchExecutor] = None) -> List[DesignPoint]:
     """Sweep the design space of one ISAX instruction on one core.
 
     ``cycle_scales`` multiply the core's native cycle time (a scale > 1
     means the ISAX internally runs at a divided clock / relaxed constraint,
     trading latency for area).
+
+    Pass an ``executor`` (with workers and/or an artifact cache) to fan the
+    candidates out in parallel and reuse results across sweeps.  A custom
+    ``tech`` library cannot be shipped to workers, so it forces in-process
+    evaluation on the default executor.
     """
-    tech = tech or TechLibrary()
     datasheet = core_datasheet(core) if isinstance(core, str) else core
-    points: List[DesignPoint] = []
+    datasheet_yaml = datasheet.to_yaml()
+    if tech is not None:
+        # A custom library stays in-process: evaluate directly.
+        points: List[DesignPoint] = []
+        for scale in cycle_scales:
+            points.extend(_measure_candidate(
+                source, datasheet, datasheet.cycle_time_ns * scale,
+                initiation_intervals, instruction, tech,
+            ))
+        return points
+
+    executor = executor or BatchExecutor(workers=1)
+    specs = []
     for scale in cycle_scales:
         cycle = datasheet.cycle_time_ns * scale
-        artifact = compile_isax(source, datasheet, cycle_time_ns=cycle,
-                                delay_model=tech.delay_model())
-        names = [n for n, f in artifact.functionalities.items()
-                 if f.kind == "instruction"]
-        name = instruction or names[0]
-        functionality = artifact.artifact(name)
-        spatial_area = module_area(functionality.module, tech)
-        report = analyze_functionality(
-            functionality, tech, max_ii=max(initiation_intervals)
-        )
-        stages = functionality.schedule.makespan
-        for ii in initiation_intervals:
-            shared_point = report.point(ii)
-            datapath_delta = (report.spatial_point.total_area_um2
-                              - shared_point.total_area_um2)
-            area = max(0.0, spatial_area - datapath_delta)
-            points.append(DesignPoint(
-                instruction=name,
-                cycle_time_ns=cycle,
-                initiation_interval=ii,
-                pipeline_stages=stages,
-                area_um2=area,
-                latency_ns=stages * cycle,
-            ))
+        payload = {
+            "source": source,
+            "datasheet": datasheet_yaml,
+            "cycle_time_ns": cycle,
+            "initiation_intervals": [int(ii) for ii in initiation_intervals],
+            "instruction": instruction,
+        }
+        specs.append(TaskSpec(
+            runner=DSE_RUNNER,
+            payload=payload,
+            key=digest(_DSE_CACHE_VERSION, source, datasheet_yaml,
+                       repr(cycle), repr(tuple(initiation_intervals)),
+                       repr(instruction)),
+            label=f"dse@{cycle:g}ns",
+        ))
+    outcomes = executor.run_specs(specs)
+    points = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"DSE candidate {outcome.spec.label} failed: {outcome.error}"
+            )
+        points.extend(DesignPoint(**entry)
+                      for entry in outcome.result["points"])
     return points
 
 

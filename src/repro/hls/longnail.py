@@ -14,8 +14,10 @@ one host core:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
-from typing import Dict, List, Optional, Union
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.dialects import lil
 from repro.dialects.hw import HWModule
@@ -38,6 +40,27 @@ from repro.scheduling.scheduler import (
     LongnailScheduler,
     ScheduleResult,
 )
+
+
+#: Called with ``(phase, seconds)`` every time the driver finishes a chunk of
+#: work in one of the :data:`PHASES`; a phase may be reported several times
+#: (once per functionality) and observers are expected to accumulate.
+PhaseHook = Callable[[str, float], None]
+
+#: The compilation phases, in flow order (paper Figure 9 left-to-right).
+PHASES = ("parse", "lower", "schedule", "hwgen", "emit")
+
+
+@contextlib.contextmanager
+def _timed(phase: str, hook: Optional[PhaseHook]) -> Iterator[None]:
+    if hook is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        hook(phase, time.perf_counter() - start)
 
 
 @dataclasses.dataclass
@@ -141,15 +164,23 @@ def compile_isax(
     delay_model: Optional[DelayModel] = None,
     cycle_time_ns: Optional[float] = None,
     extra_sources: Optional[Dict[str, str]] = None,
+    phase_hook: Optional[PhaseHook] = None,
 ) -> IsaxArtifact:
-    """Compile a CoreDSL description (text or elaborated ISA) for a core."""
+    """Compile a CoreDSL description (text or elaborated ISA) for a core.
+
+    ``phase_hook`` (if given) receives ``(phase, seconds)`` wall-time
+    samples for the parse/lower/schedule/hwgen phases; the batch service
+    (:mod:`repro.service`) uses it for per-phase instrumentation.
+    """
     if isinstance(source, ElaboratedISA):
         isa = source
     else:
-        isa = elaborate(source, top=top, extra_sources=extra_sources)
+        with _timed("parse", phase_hook):
+            isa = elaborate(source, top=top, extra_sources=extra_sources)
     datasheet = core_datasheet(core) if isinstance(core, str) else core
 
-    lowered = lower_isa(isa)
+    with _timed("lower", phase_hook):
+        lowered = lower_isa(isa)
     scheduler = LongnailScheduler(
         datasheet, delay_model=delay_model, cycle_time_ns=cycle_time_ns,
         engine=engine,
@@ -159,9 +190,12 @@ def compile_isax(
     config_functionalities: List[Functionality] = []
 
     for name, container in lowered.instructions.items():
-        graph = convert_to_lil(isa, container)
-        schedule = scheduler.schedule(graph)
-        module = generate_module(graph, schedule)
+        with _timed("lower", phase_hook):
+            graph = convert_to_lil(isa, container)
+        with _timed("schedule", phase_hook):
+            schedule = scheduler.schedule(graph)
+        with _timed("hwgen", phase_hook):
+            module = generate_module(graph, schedule)
         functionality = Functionality(
             kind="instruction",
             name=name,
@@ -175,9 +209,12 @@ def compile_isax(
         )
 
     for name, container in lowered.always_blocks.items():
-        graph = convert_to_lil(isa, container)
-        schedule = scheduler.schedule(graph)
-        module = generate_module(graph, schedule)
+        with _timed("lower", phase_hook):
+            graph = convert_to_lil(isa, container)
+        with _timed("schedule", phase_hook):
+            schedule = scheduler.schedule(graph)
+        with _timed("hwgen", phase_hook):
+            module = generate_module(graph, schedule)
         functionality = Functionality(
             kind="always",
             name=name,

@@ -16,6 +16,9 @@ area/frequency anchors are the Table 4 baseline rows.
 
 from __future__ import annotations
 
+import dataclasses
+from typing import Dict
+
 from repro.scaiev.datasheet import InterfaceTiming, VirtualDatasheet
 
 
@@ -176,11 +179,33 @@ CORES = ("ORCA", "Piccolo", "PicoRV32", "VexRiscv")
 EXPERIMENTAL_CORES = ("CVA5",)
 
 
+#: Memoized factory results; grid runs (repro.service) request the same core
+#: once per job, so the factories only run once per process.
+_DATASHEET_CACHE: Dict[str, VirtualDatasheet] = {}
+
+
 def core_datasheet(name: str) -> VirtualDatasheet:
-    """Return a fresh virtual datasheet for one of the supported cores."""
-    factory = _FACTORIES.get(name)
-    if factory is None:
-        raise KeyError(
-            f"unknown core {name!r}; supported cores: {', '.join(CORES)}"
-        )
-    return factory()
+    """Return a fresh virtual datasheet for one of the supported cores.
+
+    The underlying factory is memoized, but every call still hands out an
+    independent copy (with its own ``timings`` dict, of immutable
+    :class:`InterfaceTiming` entries) so callers mutating one datasheet —
+    e.g. a DSE sweep overriding a window — cannot leak state into later
+    jobs.
+    """
+    cached = _DATASHEET_CACHE.get(name)
+    if cached is None:
+        factory = _FACTORIES.get(name)
+        if factory is None:
+            raise KeyError(
+                f"unknown core {name!r}; supported cores: "
+                f"{', '.join(CORES)} (experimental: "
+                f"{', '.join(EXPERIMENTAL_CORES)})"
+            )
+        cached = _DATASHEET_CACHE[name] = factory()
+    return dataclasses.replace(cached, timings=dict(cached.timings))
+
+
+def clear_datasheet_cache() -> None:
+    """Drop memoized datasheets (test hook)."""
+    _DATASHEET_CACHE.clear()

@@ -1,0 +1,39 @@
+"""Batch compilation service (scaling the one-shot driver).
+
+The paper's portability claim — one CoreDSL ISAX, many host cores — makes
+the real workload a *grid* of (ISAX, core, cycle-time) compilations.  This
+package turns :func:`repro.hls.longnail.compile_isax` into a batch engine:
+
+* :mod:`repro.service.jobs` — the job model and grid/manifest builders,
+* :mod:`repro.service.cache` — content-addressed on-disk artifact cache,
+* :mod:`repro.service.executor` — process-pool fan-out with per-job
+  timeout, retry and deterministic ordering,
+* :mod:`repro.service.metrics` — per-phase / per-job instrumentation.
+
+CLI entry point: ``repro-longnail batch``.
+"""
+
+from repro.service.cache import ArtifactCache, CacheStats
+from repro.service.executor import (
+    BatchExecutor,
+    JobOutcome,
+    TaskSpec,
+    run_compile_payload,
+)
+from repro.service.jobs import CompileJob, job_grid, load_manifest
+from repro.service.metrics import BatchMetrics, JobMetrics, PhaseRecorder
+
+__all__ = [
+    "ArtifactCache",
+    "BatchExecutor",
+    "BatchMetrics",
+    "CacheStats",
+    "CompileJob",
+    "JobMetrics",
+    "JobOutcome",
+    "PhaseRecorder",
+    "TaskSpec",
+    "job_grid",
+    "load_manifest",
+    "run_compile_payload",
+]

@@ -1,0 +1,139 @@
+"""Content-addressed on-disk artifact cache for batch compilation.
+
+Records are JSON documents keyed by the job's content digest
+(:meth:`repro.service.jobs.CompileJob.cache_key`): source text +
+virtual datasheet + scheduler options.  Layout::
+
+    <root>/ab/abcdef....json
+
+The two-character fan-out keeps directories small for large grids.
+Writes go through a temporary file in the same directory followed by
+``os.replace``, so concurrent writers (the executor's worker processes, or
+several batch invocations sharing one cache) can never expose a torn
+record; the worst case is both doing the same work and one rename winning.
+
+The cache keeps hit/miss/put/evict accounting and supports a bounded
+``max_entries`` with oldest-first (mtime) eviction.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import os
+import pathlib
+import tempfile
+from typing import List, Optional
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Running accounting for one :class:`ArtifactCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits, "misses": self.misses, "puts": self.puts,
+            "evictions": self.evictions, "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ArtifactCache:
+    """A content-addressed store of JSON artifact records."""
+
+    def __init__(self, root: os.PathLike,
+                 max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.root = pathlib.Path(root)
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- key/path mapping ---------------------------------------------------
+    def path_for(self, key: str) -> pathlib.Path:
+        if len(key) < 3:
+            raise ValueError(f"cache key too short: {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def _entries(self) -> List[pathlib.Path]:
+        return [p for p in self.root.glob("*/*.json")]
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    # -- lookup/store -------------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        """Return the cached record for ``key`` or None on a miss.
+
+        Unreadable/corrupt records (e.g. from a crashed writer on a
+        filesystem without atomic rename) count as misses and are removed.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> pathlib.Path:
+        """Atomically store ``record`` under ``key``; returns its path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = json.dumps(record, sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        self.stats.puts += 1
+        if self.max_entries is not None:
+            self._evict_to(self.max_entries)
+        return path
+
+    # -- maintenance --------------------------------------------------------
+    def _evict_to(self, limit: int) -> None:
+        entries = self._entries()
+        if len(entries) <= limit:
+            return
+        entries.sort(key=lambda p: (p.stat().st_mtime, p.name))
+        for victim in entries[:len(entries) - limit]:
+            victim.unlink(missing_ok=True)
+            self.stats.evictions += 1
+
+    def clear(self) -> int:
+        """Remove every record; returns how many were dropped."""
+        dropped = 0
+        for entry in self._entries():
+            entry.unlink(missing_ok=True)
+            dropped += 1
+        return dropped

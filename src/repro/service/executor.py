@@ -1,0 +1,300 @@
+"""Parallel (ISAX x core) fan-out over a process pool.
+
+The executor takes a list of :class:`TaskSpec` — a picklable unit of work
+naming a module-level *runner* function plus a JSON-able payload — and
+returns one :class:`JobOutcome` per spec **in input order**, regardless of
+completion order, so grid sweeps stay deterministic.
+
+Features:
+
+* **artifact cache short-circuit** — specs carrying a content digest are
+  served from :class:`repro.service.cache.ArtifactCache` without touching
+  a worker,
+* **per-job timeout** — a job blocking longer than ``timeout_s`` is marked
+  failed and the pool is torn down (a stuck solver cannot wedge the whole
+  batch),
+* **retry-once-on-failure** (configurable ``retries``) — transient
+  failures get a fresh round in a fresh pool,
+* ``workers <= 1`` degrades to in-process serial execution through the
+  *same* code path, which is what the unit tests and the default
+  :func:`repro.eval.dse.explore` use.
+
+The compile runner (:func:`run_compile_payload`) executes one
+:class:`repro.service.jobs.CompileJob` through the full Longnail flow with
+per-phase instrumentation and returns a JSON-able artifact record.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import importlib
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.hls.longnail import compile_isax
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import CompileJob
+from repro.service.metrics import BatchMetrics, JobMetrics, PhaseRecorder
+
+#: Runner reference for plain compile jobs.
+COMPILE_RUNNER = "repro.service.executor:run_compile_payload"
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit: runner reference + payload (+ cache key)."""
+
+    runner: str                 # "package.module:function"
+    payload: dict               # JSON-able; handed to the runner verbatim
+    key: Optional[str] = None   # content digest; None disables caching
+    label: str = ""             # display/diagnostic name
+
+
+@dataclasses.dataclass
+class JobOutcome:
+    """Result of one spec, cached or executed."""
+
+    spec: TaskSpec
+    status: str                 # "ok" | "failed"
+    cached: bool
+    attempts: int
+    seconds: float
+    result: Optional[dict] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _resolve_runner(runner: str):
+    module_name, _, func_name = runner.partition(":")
+    if not module_name or not func_name:
+        raise ValueError(f"runner must be 'module:function', got {runner!r}")
+    module = importlib.import_module(module_name)
+    return getattr(module, func_name)
+
+
+def _pool_call(runner: str, payload: dict) -> dict:
+    """Top-level (hence picklable) worker entry point."""
+    start = time.perf_counter()
+    value = _resolve_runner(runner)(payload)
+    return {"seconds": time.perf_counter() - start, "value": value}
+
+
+class BatchExecutor:
+    """Fans a job list out over ``concurrent.futures`` worker processes."""
+
+    def __init__(self, workers: int = 1,
+                 cache: Optional[ArtifactCache] = None,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 1) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = workers
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.retries = retries
+
+    # -- generic spec execution --------------------------------------------
+    def run_specs(self, specs: Sequence[TaskSpec]) -> List[JobOutcome]:
+        outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            if self.cache is not None and spec.key:
+                lookup_start = time.perf_counter()
+                record = self.cache.get(spec.key)
+                if record is not None:
+                    outcomes[index] = JobOutcome(
+                        spec=spec, status="ok", cached=True, attempts=0,
+                        seconds=time.perf_counter() - lookup_start,
+                        result=record,
+                    )
+                    continue
+            pending.append(index)
+
+        attempts: Dict[int, int] = {i: 0 for i in pending}
+        errors: Dict[int, str] = {}
+        timings: Dict[int, float] = {i: 0.0 for i in pending}
+        remaining = pending
+        while remaining and min(attempts[i] for i in remaining) <= self.retries:
+            round_results = self._run_round(
+                [(i, specs[i]) for i in remaining]
+            )
+            still_failing: List[int] = []
+            for index in remaining:
+                ok, value, seconds = round_results[index]
+                attempts[index] += 1
+                timings[index] += seconds
+                if ok:
+                    outcomes[index] = JobOutcome(
+                        spec=specs[index], status="ok", cached=False,
+                        attempts=attempts[index], seconds=timings[index],
+                        result=value,
+                    )
+                    if self.cache is not None and specs[index].key:
+                        self.cache.put(specs[index].key, value)
+                else:
+                    errors[index] = value
+                    if attempts[index] <= self.retries:
+                        still_failing.append(index)
+                    else:
+                        outcomes[index] = JobOutcome(
+                            spec=specs[index], status="failed", cached=False,
+                            attempts=attempts[index], seconds=timings[index],
+                            error=value,
+                        )
+            remaining = still_failing
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _run_round(self, items: List[Tuple[int, TaskSpec]]
+                   ) -> Dict[int, Tuple[bool, Any, float]]:
+        if self.workers <= 1 or len(items) == 1:
+            return self._run_round_inline(items)
+        return self._run_round_pool(items)
+
+    def _run_round_inline(self, items: List[Tuple[int, TaskSpec]]
+                          ) -> Dict[int, Tuple[bool, Any, float]]:
+        results: Dict[int, Tuple[bool, Any, float]] = {}
+        for index, spec in items:
+            start = time.perf_counter()
+            try:
+                value = _resolve_runner(spec.runner)(spec.payload)
+                results[index] = (True, value,
+                                  time.perf_counter() - start)
+            except Exception as err:  # noqa: BLE001 — reported per job
+                results[index] = (
+                    False,
+                    f"{type(err).__name__}: {err}\n"
+                    + traceback.format_exc(limit=4),
+                    time.perf_counter() - start,
+                )
+        return results
+
+    def _run_round_pool(self, items: List[Tuple[int, TaskSpec]]
+                        ) -> Dict[int, Tuple[bool, Any, float]]:
+        results: Dict[int, Tuple[bool, Any, float]] = {}
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, len(items))
+        )
+        timed_out = False
+        try:
+            futures = {
+                index: pool.submit(_pool_call, spec.runner, spec.payload)
+                for index, spec in items
+            }
+            # Iterating in submission order keeps the result list
+            # deterministic; `timeout_s` bounds the *additional* wait per
+            # job (later jobs have been running concurrently meanwhile).
+            for index, spec in items:
+                wait_start = time.perf_counter()
+                try:
+                    wrapped = futures[index].result(timeout=self.timeout_s)
+                    results[index] = (True, wrapped["value"],
+                                      wrapped["seconds"])
+                except concurrent.futures.TimeoutError:
+                    timed_out = True
+                    results[index] = (
+                        False,
+                        f"timed out after {self.timeout_s:g}s",
+                        time.perf_counter() - wait_start,
+                    )
+                except Exception as err:  # noqa: BLE001 — reported per job
+                    results[index] = (
+                        False,
+                        f"{type(err).__name__}: {err}",
+                        time.perf_counter() - wait_start,
+                    )
+        finally:
+            # After a timeout the stuck worker still holds the job; drop
+            # the whole pool rather than reuse a clogged one.
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+        return results
+
+    # -- compile-grid convenience ------------------------------------------
+    def run_compile_jobs(self, jobs: Sequence[CompileJob]
+                         ) -> Tuple[List[JobOutcome], BatchMetrics]:
+        """Run a compile grid; returns (outcomes, phase-level metrics)."""
+        specs = [
+            TaskSpec(runner=COMPILE_RUNNER, payload=job.to_payload(),
+                     key=job.cache_key(), label=job.job_id)
+            for job in jobs
+        ]
+        outcomes = self.run_specs(specs)
+        metrics = BatchMetrics(
+            workers=self.workers,
+            cache_stats=(self.cache.stats.to_dict()
+                         if self.cache is not None else None),
+        )
+        for job, outcome in zip(jobs, outcomes):
+            record = outcome.result or {}
+            metrics.add(JobMetrics(
+                job_id=job.job_id,
+                isax=job.isax,
+                core=job.core_label,
+                status=outcome.status,
+                cached=outcome.cached,
+                attempts=outcome.attempts,
+                seconds=outcome.seconds,
+                phases=record.get("phases", {}),
+                ilp=record.get("ilp", []),
+                error=outcome.error,
+            ))
+        return outcomes, metrics
+
+
+def run_compile_payload(payload: dict) -> dict:
+    """Execute one compile job end-to-end; returns the artifact record.
+
+    This is the runner the pool workers invoke; everything in and out is
+    plain JSON-able data.
+    """
+    job = CompileJob.from_payload(payload)
+    recorder = PhaseRecorder()
+    datasheet = job.resolve_datasheet()
+    artifact = compile_isax(
+        job.source, datasheet, top=job.top, engine=job.engine,
+        cycle_time_ns=job.cycle_time_ns, phase_hook=recorder,
+    )
+    emit_start = time.perf_counter()
+    verilog = artifact.verilog
+    config_yaml = artifact.config_yaml
+    recorder("emit", time.perf_counter() - emit_start)
+
+    ilp_stats = []
+    functionalities = []
+    for name, functionality in artifact.functionalities.items():
+        schedule = functionality.schedule
+        functionalities.append({
+            "name": name,
+            "kind": functionality.kind,
+            "mode": functionality.mode.value,
+            "makespan": schedule.makespan,
+        })
+        ilp_stats.append({
+            "functionality": name,
+            "engine": schedule.engine,
+            "operations": len(schedule.graph.operations),
+            "dependences": len(schedule.problem.dependences),
+            "makespan": schedule.makespan,
+            "objective": schedule.objective,
+            "chain_breakers": schedule.chain_breakers,
+        })
+
+    return {
+        "isax": artifact.name,
+        "job_isax": job.isax,
+        "core": artifact.core_name,
+        "engine": job.engine,
+        "cycle_time_ns": job.cycle_time_ns,
+        "source_digest": job.source_digest,
+        "verilog": verilog,
+        "config_yaml": config_yaml,
+        "functionalities": functionalities,
+        "phases": recorder.to_dict(),
+        "ilp": ilp_stats,
+    }

@@ -1,0 +1,118 @@
+"""Phase-level instrumentation for the batch compilation service.
+
+Every job records wall-clock seconds per compilation phase (the
+:data:`repro.hls.longnail.PHASES` boundaries) plus the ILP scheduling
+statistics of every functionality it produced — operation count, makespan,
+objective value, chain breakers, and which solver engine actually ran.
+:class:`BatchMetrics` aggregates one executor run and dumps it as JSON for
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+from typing import Dict, List, Optional
+
+from repro.hls.longnail import PHASES
+
+
+class PhaseRecorder:
+    """Accumulating ``(phase, seconds)`` observer for ``compile_isax``."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+
+    def __call__(self, phase: str, seconds: float) -> None:
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+
+    def to_dict(self) -> Dict[str, float]:
+        return {phase: round(self.seconds.get(phase, 0.0), 6)
+                for phase in PHASES}
+
+
+@dataclasses.dataclass
+class JobMetrics:
+    """Instrumentation for one executed (or cache-served) job."""
+
+    job_id: str
+    isax: str
+    core: str
+    status: str                        # "ok" | "failed"
+    cached: bool
+    attempts: int
+    seconds: float                     # end-to-end wall time for the job
+    phases: Dict[str, float]           # per-phase seconds (compile jobs)
+    ilp: List[dict]                    # per-functionality scheduler stats
+    error: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        doc = {
+            "job_id": self.job_id,
+            "isax": self.isax,
+            "core": self.core,
+            "status": self.status,
+            "cached": self.cached,
+            "attempts": self.attempts,
+            "seconds": round(self.seconds, 6),
+            "phases": {k: round(v, 6) for k, v in self.phases.items()},
+            "ilp": self.ilp,
+        }
+        if self.error:
+            doc["error"] = self.error
+        return doc
+
+
+@dataclasses.dataclass
+class BatchMetrics:
+    """All instrumentation produced by one executor run."""
+
+    jobs: List[JobMetrics] = dataclasses.field(default_factory=list)
+    cache_stats: Optional[dict] = None
+    workers: int = 1
+
+    def add(self, job: JobMetrics) -> None:
+        self.jobs.append(job)
+
+    # -- aggregates ---------------------------------------------------------
+    @property
+    def ok(self) -> int:
+        return sum(1 for j in self.jobs if j.status == "ok")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for j in self.jobs if j.status != "ok")
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for j in self.jobs if j.cached)
+
+    def phase_totals(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {phase: 0.0 for phase in PHASES}
+        for job in self.jobs:
+            for phase, seconds in job.phases.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return {k: round(v, 6) for k, v in totals.items()}
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "jobs_total": len(self.jobs),
+            "jobs_ok": self.ok,
+            "jobs_failed": self.failed,
+            "jobs_cached": self.cached,
+            "phase_totals_s": self.phase_totals(),
+            "cache": self.cache_stats,
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def dump(self, path: os.PathLike) -> pathlib.Path:
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target

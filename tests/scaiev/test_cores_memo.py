@@ -1,0 +1,52 @@
+"""core_datasheet() memoization: factories run once per process, yet no
+mutable state leaks between the datasheets handed to different jobs."""
+
+import pytest
+
+from repro.scaiev import cores
+from repro.scaiev.datasheet import InterfaceTiming
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    cores.clear_datasheet_cache()
+    yield
+    cores.clear_datasheet_cache()
+
+
+def test_factory_runs_once(monkeypatch):
+    calls = []
+    original = cores._FACTORIES["VexRiscv"]
+
+    def counting():
+        calls.append(1)
+        return original()
+
+    monkeypatch.setitem(cores._FACTORIES, "VexRiscv", counting)
+    first = cores.core_datasheet("VexRiscv")
+    second = cores.core_datasheet("VexRiscv")
+    assert len(calls) == 1
+    assert first is not second
+
+
+def test_timings_mutation_does_not_leak():
+    sheet = cores.core_datasheet("ORCA")
+    sheet.timings["RdRS1"] = InterfaceTiming(0, 0)
+    sheet.timings["Bogus"] = InterfaceTiming(0, 0)
+    fresh = cores.core_datasheet("ORCA")
+    assert fresh.timings["RdRS1"].earliest == 3
+    assert "Bogus" not in fresh.timings
+
+
+def test_scalar_mutation_does_not_leak():
+    sheet = cores.core_datasheet("Piccolo")
+    sheet.base_freq_mhz = 1.0
+    sheet.stages = 99
+    fresh = cores.core_datasheet("Piccolo")
+    assert fresh.base_freq_mhz == 420.0
+    assert fresh.stages == 3
+
+
+def test_unknown_core_still_raises():
+    with pytest.raises(KeyError, match="unknown core"):
+        cores.core_datasheet("Rocket")

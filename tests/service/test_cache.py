@@ -1,0 +1,115 @@
+"""Artifact cache: content addressing, accounting, eviction, atomicity."""
+
+import json
+
+import pytest
+
+from repro.isaxes import ALL_ISAXES
+from repro.scaiev.cores import core_datasheet
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import CompileJob, digest
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+class TestStore:
+    def test_miss_then_hit(self, cache):
+        key = digest("some", "content")
+        assert cache.get(key) is None
+        cache.put(key, {"answer": 42})
+        assert cache.get(key) == {"answer": 42}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.puts == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_len_and_contains(self, cache):
+        key = digest("x")
+        assert key not in cache
+        assert len(cache) == 0
+        cache.put(key, {})
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_corrupt_record_counts_as_miss_and_is_dropped(self, cache):
+        key = digest("y")
+        cache.put(key, {"v": 1})
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+        assert not cache.path_for(key).exists()
+
+    def test_put_is_atomic_no_temp_residue(self, cache):
+        key = digest("z")
+        cache.put(key, {"v": 1})
+        leftovers = [p for p in cache.root.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_record_on_disk_is_json(self, cache):
+        key = digest("j")
+        cache.put(key, {"nested": {"a": [1, 2]}})
+        on_disk = json.loads(cache.path_for(key).read_text())
+        assert on_disk == {"nested": {"a": [1, 2]}}
+
+
+class TestEviction:
+    def test_bounded_cache_evicts_oldest(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_entries=2)
+        keys = [digest(f"k{i}") for i in range(3)]
+        for index, key in enumerate(keys):
+            path = cache.put(key, {"i": index})
+            # Distinct mtimes even on coarse-grained filesystems.
+            import os
+            os.utime(path, (index, index))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert keys[0] not in cache
+        assert keys[1] in cache and keys[2] in cache
+
+    def test_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(3):
+            cache.put(digest(f"c{i}"), {})
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestKeyComposition:
+    """The cache key must change with *any* input that affects the
+    artifact: source text, datasheet, scheduler options."""
+
+    def _job(self, **overrides):
+        base = dict(isax="zol", source=ALL_ISAXES["zol"], core="VexRiscv")
+        base.update(overrides)
+        return CompileJob(**base)
+
+    def test_same_inputs_same_key(self):
+        assert self._job().cache_key() == self._job().cache_key()
+
+    def test_source_change_invalidates(self):
+        changed = self._job(source=ALL_ISAXES["zol"] + "\n// edited")
+        assert changed.cache_key() != self._job().cache_key()
+
+    def test_core_change_invalidates(self):
+        assert self._job(core="ORCA").cache_key() \
+            != self._job().cache_key()
+
+    def test_datasheet_change_invalidates(self):
+        """Same core name but an edited datasheet -> different key."""
+        sheet = core_datasheet("VexRiscv")
+        sheet.base_freq_mhz = 500.0
+        inline = self._job(core="", datasheet_yaml=sheet.to_yaml())
+        assert inline.cache_key() != self._job().cache_key()
+
+    def test_scheduler_options_invalidate(self):
+        assert self._job(engine="asap").cache_key() \
+            != self._job().cache_key()
+        assert self._job(cycle_time_ns=5.0).cache_key() \
+            != self._job().cache_key()
+
+    def test_digest_is_order_and_boundary_sensitive(self):
+        assert digest("ab", "c") != digest("a", "bc")
+        assert digest("a", "b") != digest("b", "a")

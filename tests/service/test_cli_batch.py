@@ -1,0 +1,118 @@
+"""CLI `batch` smoke tests: grid run, warm cache, manifest, metrics JSON."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def batch_env(tmp_path):
+    return {
+        "cache": str(tmp_path / "cache"),
+        "out": str(tmp_path / "out"),
+        "tmp": tmp_path,
+    }
+
+
+def _run_small_grid(env, workers="2"):
+    return main([
+        "batch",
+        "--isax", "zol", "--isax", "dotprod",
+        "--core", "VexRiscv", "--core", "Piccolo",
+        "--workers", workers,
+        "--cache-dir", env["cache"],
+        "-o", env["out"],
+    ])
+
+
+class TestBatchSmoke:
+    def test_cold_run_compiles_grid(self, batch_env, capsys):
+        assert _run_small_grid(batch_env) == 0
+        out = capsys.readouterr().out
+        assert "4/4 jobs ok" in out
+        assert "0 from cache" in out
+        for core in ("VexRiscv", "Piccolo"):
+            for isax in ("zol", "dotprod"):
+                base = batch_env["tmp"] / "out" / core / isax
+                assert base.with_suffix(".sv").is_file()
+                assert base.with_suffix(".scaiev.yaml").is_file()
+
+    def test_warm_run_hits_cache_for_all_jobs(self, batch_env, capsys):
+        assert _run_small_grid(batch_env) == 0
+        capsys.readouterr()
+        assert _run_small_grid(batch_env) == 0
+        out = capsys.readouterr().out
+        assert "4 from cache" in out
+        assert "4 hits / 0 misses (100%)" in out
+
+    def test_metrics_json_has_per_phase_timing_for_every_job(
+            self, batch_env, capsys):
+        assert _run_small_grid(batch_env, workers="1") == 0
+        doc = json.loads(
+            (batch_env["tmp"] / "out" / "batch_metrics.json").read_text()
+        )
+        assert doc["jobs_total"] == 4
+        assert doc["jobs_ok"] == 4
+        for job in doc["jobs"]:
+            for phase in ("parse", "lower", "schedule", "hwgen", "emit"):
+                assert phase in job["phases"]
+            assert job["ilp"], job["job_id"]
+            assert job["ilp"][0]["engine"] in ("milp", "asap")
+
+    def test_manifest_run(self, batch_env, capsys):
+        manifest = batch_env["tmp"] / "grid.yaml"
+        manifest.write_text(
+            "jobs:\n"
+            "  - {isax: zol, core: VexRiscv}\n"
+            "  - {isax: zol, core: ORCA, engine: asap}\n",
+            encoding="utf-8",
+        )
+        rc = main(["batch", "--manifest", str(manifest),
+                   "--workers", "1",
+                   "--cache-dir", batch_env["cache"],
+                   "-o", batch_env["out"]])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2/2 jobs ok" in out
+
+    def test_missing_manifest_is_one_line_error(self, batch_env, capsys):
+        rc = main(["batch", "--manifest", str(batch_env["tmp"] / "no.yaml"),
+                   "--cache-dir", batch_env["cache"]])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not found" in err
+
+
+class TestCompileHardening:
+    def test_unknown_core_is_one_line_error(self, tmp_path, capsys):
+        from repro.isaxes import ZOL
+
+        path = tmp_path / "zol.core_desc"
+        path.write_text(ZOL, encoding="utf-8")
+        rc = main(["compile", str(path), "--core", "Rocket",
+                   "-o", str(tmp_path)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unknown core" in err
+        assert "Traceback" not in err
+
+    def test_missing_file_is_one_line_error(self, tmp_path, capsys):
+        rc = main(["compile", str(tmp_path / "ghost.core_desc")])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not found" in err
+
+    def test_compile_for_experimental_core(self, tmp_path, capsys):
+        from repro.isaxes import ZOL
+
+        path = tmp_path / "zol.core_desc"
+        path.write_text(ZOL, encoding="utf-8")
+        rc = main(["compile", str(path), "--core", "CVA5",
+                   "-o", str(tmp_path)])
+        assert rc == 0
+        assert "compiled for CVA5" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Executor: determinism, caching, retry, timeout, failure reporting."""
+
+import pytest
+
+from repro.service import ArtifactCache, BatchExecutor, TaskSpec, job_grid
+from repro.service.jobs import digest
+
+ECHO = "tests.service.runners:echo"
+BOOM = "tests.service.runners:boom"
+FLAKY = "tests.service.runners:flaky"
+SLEEPY = "tests.service.runners:sleepy"
+
+
+def _echo_specs(count):
+    return [TaskSpec(runner=ECHO, payload={"value": i}, label=f"e{i}")
+            for i in range(count)]
+
+
+class TestOrderingAndParallelism:
+    def test_inline_results_in_input_order(self):
+        outcomes = BatchExecutor(workers=1).run_specs(_echo_specs(5))
+        assert [o.result["echo"] for o in outcomes] == list(range(5))
+
+    def test_pool_results_in_input_order(self):
+        outcomes = BatchExecutor(workers=2).run_specs(_echo_specs(6))
+        assert [o.result["echo"] for o in outcomes] == list(range(6))
+        assert all(o.ok and not o.cached for o in outcomes)
+
+    def test_pool_matches_serial_for_compile_grid(self, tmp_path):
+        """>1 workers must produce byte-identical artifacts in the same
+        order as a serial run (deterministic fan-out)."""
+        jobs = job_grid(["zol", "dotprod"], ["VexRiscv", "Piccolo"])
+        serial, _ = BatchExecutor(workers=1).run_compile_jobs(jobs)
+        pooled, _ = BatchExecutor(workers=2).run_compile_jobs(jobs)
+        assert [o.spec.label for o in serial] \
+            == [o.spec.label for o in pooled]
+        for left, right in zip(serial, pooled):
+            assert left.ok and right.ok
+            assert left.result["verilog"] == right.result["verilog"]
+            assert left.result["config_yaml"] == right.result["config_yaml"]
+
+
+class TestCachingPath:
+    def test_cache_short_circuits_second_run(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        spec = TaskSpec(runner=ECHO, payload={"value": 7}, key=digest("k7"))
+        first = BatchExecutor(workers=1, cache=cache).run_specs([spec])
+        assert first[0].ok and not first[0].cached
+        second = BatchExecutor(workers=1, cache=cache).run_specs([spec])
+        assert second[0].ok and second[0].cached
+        assert second[0].result == first[0].result
+        assert second[0].attempts == 0
+
+    def test_failed_jobs_are_not_cached(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        spec = TaskSpec(runner=BOOM, payload={}, key=digest("kb"))
+        executor = BatchExecutor(workers=1, cache=cache, retries=0)
+        (outcome,) = executor.run_specs([spec])
+        assert not outcome.ok
+        assert len(cache) == 0
+
+
+class TestRetryAndFailure:
+    def test_retry_once_recovers_transient_failure(self, tmp_path):
+        counter = tmp_path / "attempts"
+        spec = TaskSpec(runner=FLAKY, payload={
+            "counter_path": str(counter), "fail_times": 1,
+        })
+        (outcome,) = BatchExecutor(workers=1, retries=1).run_specs([spec])
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.result["succeeded_on_attempt"] == 2
+
+    def test_exhausted_retries_report_failure(self, tmp_path):
+        counter = tmp_path / "attempts"
+        spec = TaskSpec(runner=FLAKY, payload={
+            "counter_path": str(counter), "fail_times": 5,
+        })
+        (outcome,) = BatchExecutor(workers=1, retries=1).run_specs([spec])
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert "transient failure" in outcome.error
+
+    def test_one_failure_does_not_poison_the_batch(self):
+        specs = [
+            TaskSpec(runner=ECHO, payload={"value": 1}),
+            TaskSpec(runner=BOOM, payload={"message": "job 2 exploded"}),
+            TaskSpec(runner=ECHO, payload={"value": 3}),
+        ]
+        outcomes = BatchExecutor(workers=2, retries=0).run_specs(specs)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "job 2 exploded" in outcomes[1].error
+
+    def test_per_job_timeout(self):
+        specs = [
+            TaskSpec(runner=SLEEPY, payload={"seconds": 3.0}, label="slow"),
+            TaskSpec(runner=ECHO, payload={"value": 9}, label="fast"),
+        ]
+        executor = BatchExecutor(workers=2, timeout_s=0.5, retries=0)
+        outcomes = executor.run_specs(specs)
+        assert not outcomes[0].ok
+        assert "timed out" in outcomes[0].error
+        assert outcomes[1].ok
+
+
+class TestValidation:
+    def test_bad_runner_reference(self):
+        (outcome,) = BatchExecutor(workers=1, retries=0).run_specs(
+            [TaskSpec(runner="nonsense", payload={})]
+        )
+        assert not outcome.ok
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(workers=-1)
+        with pytest.raises(ValueError):
+            BatchExecutor(retries=-1)

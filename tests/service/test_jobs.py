@@ -1,0 +1,86 @@
+"""Job model: grids, manifests, payload round-trips."""
+
+import pytest
+
+from repro.isaxes import ALL_ISAXES
+from repro.service.jobs import CompileJob, job_grid, load_manifest
+from repro.utils.diagnostics import CoreDSLError
+
+
+class TestJobGrid:
+    def test_cross_product_is_deterministic(self):
+        jobs = job_grid(["dotprod", "zol"], ["VexRiscv", "ORCA"])
+        assert [j.job_id for j in jobs] == [
+            "dotprod/VexRiscv", "dotprod/ORCA",
+            "zol/VexRiscv", "zol/ORCA",
+        ]
+
+    def test_cycle_scales_multiply_core_cycle_time(self):
+        jobs = job_grid(["zol"], ["VexRiscv"], cycle_scales=(None, 2.0))
+        assert jobs[0].cycle_time_ns is None
+        native = jobs[0].resolve_datasheet().cycle_time_ns
+        assert jobs[1].cycle_time_ns == pytest.approx(2.0 * native)
+
+    def test_unknown_isax_rejected(self):
+        with pytest.raises(CoreDSLError, match="unknown ISAX"):
+            job_grid(["not_an_isax"], ["VexRiscv"])
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(KeyError, match="unknown core"):
+            job_grid(["zol"], ["Rocket"])
+
+    def test_custom_sources_override_builtins(self):
+        jobs = job_grid(["mine"], ["VexRiscv"],
+                        sources={"mine": ALL_ISAXES["zol"]})
+        assert jobs[0].source == ALL_ISAXES["zol"]
+
+
+class TestPayloadRoundTrip:
+    def test_round_trip_preserves_identity(self):
+        job = CompileJob(isax="zol", source=ALL_ISAXES["zol"],
+                         core="ORCA", engine="asap", cycle_time_ns=3.5)
+        again = CompileJob.from_payload(job.to_payload())
+        assert again == job
+        assert again.cache_key() == job.cache_key()
+
+
+class TestManifest:
+    def test_grid_style(self):
+        jobs = load_manifest(
+            "isaxes: [dotprod, zol]\n"
+            "cores: [VexRiscv, Piccolo]\n"
+        )
+        assert len(jobs) == 4
+        assert {j.core for j in jobs} == {"VexRiscv", "Piccolo"}
+
+    def test_explicit_jobs_style(self):
+        jobs = load_manifest(
+            "jobs:\n"
+            "  - {isax: zol, core: ORCA}\n"
+            "  - {isax: dotprod, core: VexRiscv, cycle_time: 4.0, "
+            "engine: asap}\n"
+        )
+        assert jobs[0].job_id == "zol/ORCA"
+        assert jobs[1].cycle_time_ns == pytest.approx(4.0)
+        assert jobs[1].engine == "asap"
+
+    def test_grid_and_jobs_combine(self):
+        jobs = load_manifest(
+            "isaxes: [zol]\n"
+            "cores: [VexRiscv]\n"
+            "jobs:\n"
+            "  - {isax: dotprod, core: ORCA}\n"
+        )
+        assert [j.job_id for j in jobs] == ["zol/VexRiscv", "dotprod/ORCA"]
+
+    def test_empty_manifest_rejected(self):
+        with pytest.raises(CoreDSLError, match="no jobs"):
+            load_manifest("comment: nothing here\n")
+
+    def test_grid_missing_cores_rejected(self):
+        with pytest.raises(CoreDSLError, match="isaxes.*cores|cores"):
+            load_manifest("isaxes: [zol]\n")
+
+    def test_malformed_job_entry_rejected(self):
+        with pytest.raises(CoreDSLError, match="'isax' and 'core'"):
+            load_manifest("jobs:\n  - {isax: zol}\n")
