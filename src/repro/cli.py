@@ -139,6 +139,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
           f"{metrics.failed} failed ({args.workers} workers)")
     print("phase totals: " + "  ".join(f"{k}={v:.3f}s"
                                        for k, v in totals.items()))
+    sched = metrics.scheduler_totals()
+    if sched["graphs"]:
+        engines = "+".join(sorted(sched["engines"]))
+        print(f"scheduler: {sched['graphs']} graphs via {engines}, "
+              f"{sched['components']} components, "
+              f"schedule cache {sched['schedule_cache_hits']} hits / "
+              f"{sched['schedule_cache_misses']} misses "
+              f"({sched['schedule_cache_hit_rate']:.0%}), "
+              f"solve {sched['solve_seconds']:.3f}s")
     if cache is not None:
         stats = cache.stats
         print(f"cache: {stats.hits} hits / {stats.misses} misses "
@@ -227,8 +236,8 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument("--top", default=None,
                            help="InstructionSet/Core to elaborate")
     compile_p.add_argument("--engine", default="auto",
-                           choices=("auto", "milp", "asap"),
-                           help="scheduler engine")
+                           choices=("auto", "fastpath", "milp", "asap"),
+                           help="scheduler engine (auto = fastpath)")
     compile_p.add_argument("--cycle-time", type=float, default=None,
                            help="target cycle time in ns (default: the "
                                 "core's f_max)")
@@ -256,7 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="scale each core's cycle time by S "
                               "(repeatable; default: native f_max)")
     batch_p.add_argument("--engine", default="auto",
-                         choices=("auto", "milp", "asap"))
+                         choices=("auto", "fastpath", "milp", "asap"))
     batch_p.add_argument("--workers", type=int, default=2,
                          help="worker processes (<=1: in-process serial)")
     batch_p.add_argument("--timeout", type=float, default=None,

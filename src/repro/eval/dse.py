@@ -44,7 +44,7 @@ DSE_RUNNER = "repro.eval.dse:_evaluate_candidate"
 
 #: Part of every DSE cache key; bump when DesignPoint or the evaluation
 #: changes shape.
-_DSE_CACHE_VERSION = "dse-1"
+_DSE_CACHE_VERSION = "dse-2"
 
 
 @dataclasses.dataclass
@@ -76,10 +76,10 @@ class DesignPoint:
 def _measure_candidate(
         source: str, datasheet: VirtualDatasheet, cycle: float,
         initiation_intervals: Sequence[int], instruction: Optional[str],
-        tech: TechLibrary) -> List[DesignPoint]:
+        tech: TechLibrary, engine: str = "auto") -> List[DesignPoint]:
     """Compile + measure one cycle-time candidate (all IIs)."""
     artifact = compile_isax(source, datasheet, cycle_time_ns=cycle,
-                            delay_model=tech.delay_model())
+                            engine=engine, delay_model=tech.delay_model())
     names = [n for n, f in artifact.functionalities.items()
              if f.kind == "instruction"]
     name = instruction or names[0]
@@ -117,6 +117,7 @@ def _evaluate_candidate(payload: dict) -> dict:
         [int(ii) for ii in payload["initiation_intervals"]],
         payload.get("instruction"),
         TechLibrary(),
+        engine=payload.get("engine", "auto"),
     )
     return {"points": [dataclasses.asdict(point) for point in points]}
 
@@ -127,7 +128,8 @@ def explore(source: str,
             initiation_intervals: Sequence[int] = (1, 2, 4),
             instruction: Optional[str] = None,
             tech: Optional[TechLibrary] = None,
-            executor: Optional[BatchExecutor] = None) -> List[DesignPoint]:
+            executor: Optional[BatchExecutor] = None,
+            engine: str = "auto") -> List[DesignPoint]:
     """Sweep the design space of one ISAX instruction on one core.
 
     ``cycle_scales`` multiply the core's native cycle time (a scale > 1
@@ -137,7 +139,10 @@ def explore(source: str,
     Pass an ``executor`` (with workers and/or an artifact cache) to fan the
     candidates out in parallel and reuse results across sweeps.  A custom
     ``tech`` library cannot be shipped to workers, so it forces in-process
-    evaluation on the default executor.
+    evaluation on the default executor.  ``engine`` selects the scheduler
+    engine per candidate; the in-process default additionally shares the
+    cross-sweep schedule cache, so candidates whose chain-breaker sets
+    coincide are never re-solved.
     """
     datasheet = core_datasheet(core) if isinstance(core, str) else core
     datasheet_yaml = datasheet.to_yaml()
@@ -147,7 +152,7 @@ def explore(source: str,
         for scale in cycle_scales:
             points.extend(_measure_candidate(
                 source, datasheet, datasheet.cycle_time_ns * scale,
-                initiation_intervals, instruction, tech,
+                initiation_intervals, instruction, tech, engine=engine,
             ))
         return points
 
@@ -161,13 +166,14 @@ def explore(source: str,
             "cycle_time_ns": cycle,
             "initiation_intervals": [int(ii) for ii in initiation_intervals],
             "instruction": instruction,
+            "engine": engine,
         }
         specs.append(TaskSpec(
             runner=DSE_RUNNER,
             payload=payload,
             key=digest(_DSE_CACHE_VERSION, source, datasheet_yaml,
                        repr(cycle), repr(tuple(initiation_intervals)),
-                       repr(instruction)),
+                       repr(instruction), engine),
             label=f"dse@{cycle:g}ns",
         ))
     outcomes = executor.run_specs(specs)

@@ -14,6 +14,7 @@ Figure 5(a->b) step consumes.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import os
 from typing import Dict, List, Optional, Tuple
 
@@ -445,18 +446,22 @@ class _Elaborator:
                 )
 
 
-def elaborate(
-    source: str,
-    top: Optional[str] = None,
-    extra_sources: Optional[Dict[str, str]] = None,
-    import_dirs: Optional[List[str]] = None,
-    filename: str = "<input>",
-) -> ElaboratedISA:
-    """Parse, link and type-check a CoreDSL description.
+#: Memoized elaborations, keyed by content digest.  Elaboration is pure in
+#: its inputs (unless ``import_dirs`` brings the filesystem in) and the
+#: resulting :class:`ElaboratedISA` is only ever read downstream, so a DSE
+#: sweep re-compiling the same ISAX per (core, cycle-time) candidate can
+#: share one decorated AST.  Bounded; cleared oldest-first.
+_ELABORATION_CACHE: Dict[Tuple[str, ...], "ElaboratedISA"] = {}
+_ELABORATION_CACHE_MAX = 256
 
-    ``top`` selects the Core or InstructionSet to elaborate; by default the
-    single Core in the file, or the last InstructionSet defined.
-    """
+
+def _elaborate_uncached(
+    source: str,
+    top: Optional[str],
+    extra_sources: Optional[Dict[str, str]],
+    import_dirs: Optional[List[str]],
+    filename: str,
+) -> ElaboratedISA:
     elaborator = _Elaborator(extra_sources, import_dirs)
     desc = elaborator.load(source, filename)
     if top is None:
@@ -467,3 +472,36 @@ def elaborate(
         else:
             raise CoreDSLError("description defines no InstructionSet or Core")
     return elaborator.elaborate(top)
+
+
+def elaborate(
+    source: str,
+    top: Optional[str] = None,
+    extra_sources: Optional[Dict[str, str]] = None,
+    import_dirs: Optional[List[str]] = None,
+    filename: str = "<input>",
+) -> ElaboratedISA:
+    """Parse, link and type-check a CoreDSL description.
+
+    ``top`` selects the Core or InstructionSet to elaborate; by default the
+    single Core in the file, or the last InstructionSet defined.  Repeated
+    calls with identical inputs are served from a digest-keyed memo unless
+    ``import_dirs`` makes the result depend on the filesystem.
+    """
+    if import_dirs:
+        return _elaborate_uncached(
+            source, top, extra_sources, import_dirs, filename
+        )
+    digest = hashlib.sha256(source.encode("utf-8"))
+    for name in sorted(extra_sources or {}):
+        digest.update(name.encode("utf-8"))
+        digest.update((extra_sources or {})[name].encode("utf-8"))
+    key = (digest.hexdigest(), top or "", filename)
+    cached = _ELABORATION_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = _elaborate_uncached(source, top, extra_sources, None, filename)
+    while len(_ELABORATION_CACHE) >= _ELABORATION_CACHE_MAX:
+        _ELABORATION_CACHE.pop(next(iter(_ELABORATION_CACHE)))
+    _ELABORATION_CACHE[key] = result
+    return result

@@ -165,12 +165,16 @@ def compile_isax(
     cycle_time_ns: Optional[float] = None,
     extra_sources: Optional[Dict[str, str]] = None,
     phase_hook: Optional[PhaseHook] = None,
+    schedule_cache=None,
 ) -> IsaxArtifact:
     """Compile a CoreDSL description (text or elaborated ISA) for a core.
 
     ``phase_hook`` (if given) receives ``(phase, seconds)`` wall-time
     samples for the parse/lower/schedule/hwgen phases; the batch service
     (:mod:`repro.service`) uses it for per-phase instrumentation.
+    ``schedule_cache`` is forwarded to the scheduler: a
+    :class:`repro.scheduling.ScheduleCache`, ``None`` (the process-wide
+    default) or ``False`` (no cross-sweep caching).
     """
     if isinstance(source, ElaboratedISA):
         isa = source
@@ -183,7 +187,7 @@ def compile_isax(
         lowered = lower_isa(isa)
     scheduler = LongnailScheduler(
         datasheet, delay_model=delay_model, cycle_time_ns=cycle_time_ns,
-        engine=engine,
+        engine=engine, schedule_cache=schedule_cache,
     )
 
     functionalities: Dict[str, FunctionalityArtifact] = {}

@@ -2,9 +2,20 @@
 
 Reimplements the relevant slice of CIRCT's scheduling infrastructure: the
 extensible problem model (``Problem`` -> ``ChainingProblem`` ->
-``LongnailProblem``, Table 2), chain-breaker computation, and the ILP
-formulation of Figure 7 with exact (``scipy.optimize.milp``) and heuristic
-(ASAP longest-path) solver engines.
+``LongnailProblem``, Table 2), chain-breaker computation, and three solver
+engines for the Figure 7 formulation:
+
+* ``fastpath`` (the default behind ``engine="auto"``) — an LP-free exact
+  engine (:mod:`repro.scheduling.fastpath`) built on the observation that
+  the Figure 7 constraint matrix is an integral difference-constraint
+  network,
+* ``milp`` — the literal Figure 7 ILP via ``scipy.optimize.milp``
+  (HiGHS), kept as the verification oracle (``REPRO_SCHED_VERIFY=1``),
+* ``asap`` — the heuristic longest-path baseline for the ablations.
+
+Problems are decomposed into weakly connected components
+(:func:`repro.scheduling.scheduler.decompose`) and solved through a
+cross-sweep schedule cache (:mod:`repro.scheduling.cache`).
 """
 
 from repro.scheduling.problem import (
@@ -16,11 +27,20 @@ from repro.scheduling.problem import (
     ScheduleError,
 )
 from repro.scheduling.chaining import compute_chain_breakers, compute_start_times_in_cycle
+from repro.scheduling.cache import (
+    ScheduleCache,
+    global_schedule_cache,
+    schedule_fingerprint,
+)
+from repro.scheduling.fastpath import solve_fastpath
 from repro.scheduling.scheduler import (
     LongnailScheduler,
     ScheduleResult,
+    SolveStats,
     build_problem,
+    decompose,
     default_delay_model,
+    solve_problem,
     uniform_delay_model,
 )
 
@@ -31,8 +51,15 @@ __all__ = [
     "OperatorType",
     "Dependence",
     "ScheduleError",
+    "ScheduleCache",
+    "SolveStats",
     "compute_chain_breakers",
     "compute_start_times_in_cycle",
+    "decompose",
+    "global_schedule_cache",
+    "schedule_fingerprint",
+    "solve_fastpath",
+    "solve_problem",
     "LongnailScheduler",
     "ScheduleResult",
     "build_problem",

@@ -1,0 +1,118 @@
+"""Cross-sweep schedule cache.
+
+A DSE sweep re-schedules the *same* CDFG once per (core, cycle-time)
+candidate, but the scheduling problem only changes when a candidate's
+virtual-datasheet windows, operator latencies, or chain-breaker set
+actually change.  :func:`schedule_fingerprint` canonicalizes everything
+the exact engines' solution depends on — component structure, per-op
+``(latency, earliest, latest, lifetime weight)`` and the dependence
+multiset with its chain-breaker flags — into one digest, deliberately
+*excluding* propagation delays and operator-type names: two problems with
+identical fingerprints have identical optimal start times, even if they
+were built for different cycle times.
+
+:class:`ScheduleCache` maps fingerprints to solved start-time vectors
+(aligned with the component's operation order) with LRU eviction and
+hit/miss accounting.  A process-wide instance backs every
+:class:`repro.scheduling.scheduler.LongnailScheduler` by default, so grid
+sweeps within one process (the batch executor's in-process mode, the DSE
+default path, and each pool worker) share solved components.  Set
+``REPRO_SCHED_CACHE=0`` to disable the default instance.
+
+Only the exact engines (``fastpath``/``milp``) use the cache: both solve
+to the same objective, and the fast path's canonical earliest-optimal
+solutions make entries deterministic.
+"""
+
+from __future__ import annotations
+
+import collections
+import hashlib
+import threading
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.scheduling.fastpath import scaled_weight
+from repro.scheduling.problem import INFINITY, LongnailProblem
+
+
+def schedule_fingerprint(problem: LongnailProblem) -> str:
+    """Canonical digest of everything the exact solution depends on."""
+    index: Dict[Hashable, int] = {
+        op: i for i, op in enumerate(problem.operations)
+    }
+    op_parts: List[Tuple[int, int, int, int]] = []
+    for op in problem.operations:
+        lot = problem.linked_operator_type(op)
+        latest = -1 if lot.latest == INFINITY else int(lot.latest)
+        op_parts.append(
+            (lot.latency, lot.earliest, latest, scaled_weight(op))
+        )
+    dep_parts = sorted(
+        (index[d.source], index[d.target], 1 if d.is_chain_breaker else 0)
+        for d in problem.dependences
+    )
+    blob = repr((op_parts, dep_parts)).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ScheduleCache:
+    """LRU map: component fingerprint -> solved start-time vector."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "collections.OrderedDict[str, Tuple[int, ...]]" = \
+            collections.OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[Tuple[int, ...]]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, start_times: Sequence[int]) -> None:
+        with self._lock:
+            self._entries[key] = tuple(int(t) for t in start_times)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+#: The process-wide default cache (see module docstring).
+GLOBAL_SCHEDULE_CACHE = ScheduleCache()
+
+
+def global_schedule_cache() -> ScheduleCache:
+    return GLOBAL_SCHEDULE_CACHE

@@ -21,7 +21,7 @@ and as the heuristic baseline for the scheduler ablation bench.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Tuple
+from typing import Dict, Hashable, List, Tuple
 
 from repro.scheduling.problem import (
     INFINITY,
@@ -159,23 +159,38 @@ def objective_value(problem: LongnailProblem) -> int:
     return total
 
 
-def weighted_objective_value(problem: LongnailProblem) -> float:
-    """The objective the exact engine actually minimizes: start times plus
-    width-weighted lifetimes (pipeline-register bits / 32)."""
-    total = float(sum(problem.start_time[op] for op in problem.operations))
+def weighted_objective_of(problem: LongnailProblem,
+                          start_time: Dict[Hashable, int]) -> float:
+    """Weighted objective of an explicit solution (start times plus
+    width-weighted lifetimes, i.e. pipeline-register bits / 32)."""
+    total = float(sum(start_time[op] for op in problem.operations))
     for dep in problem.dependences:
         lifetime = max(
-            0, problem.start_time[dep.target] - problem.start_time[dep.source]
+            0, start_time[dep.target] - start_time[dep.source]
         )
         total += _lifetime_weight(dep.source) * lifetime
     return total
 
 
+def weighted_objective_value(problem: LongnailProblem) -> float:
+    """The objective the exact engines actually minimize, evaluated on the
+    problem's current solution."""
+    return weighted_objective_of(problem, problem.start_time)
+
+
 def solve(problem: LongnailProblem, engine: str = "auto") -> str:
-    """Solve the problem in place; returns the engine actually used."""
+    """Solve the problem in place; returns the engine actually used.
+
+    ``auto`` prefers the LP-free exact fast path
+    (:func:`repro.scheduling.fastpath.solve_fastpath`); ``milp`` keeps the
+    Figure 7 formulation as a verification oracle and reference engine.
+    """
     if engine == "auto":
-        engine = "milp" if HAVE_MILP else "asap"
-    if engine == "milp":
+        engine = "fastpath"
+    if engine == "fastpath":
+        from repro.scheduling.fastpath import solve_fastpath  # deferred: cycle
+        problem.start_time = solve_fastpath(problem)
+    elif engine == "milp":
         problem.start_time = solve_milp(problem)
     elif engine == "asap":
         problem.start_time = solve_asap(problem)

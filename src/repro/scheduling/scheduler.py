@@ -21,16 +21,24 @@ Building the problem:
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional
+import os
+import time
+from typing import Callable, Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.dialects import lil
 from repro.ir.core import Graph, Operation
 from repro.scaiev.datasheet import INFINITY, VirtualDatasheet
 from repro.scheduling import ilp
+from repro.scheduling.cache import (
+    ScheduleCache,
+    global_schedule_cache,
+    schedule_fingerprint,
+)
 from repro.scheduling.chaining import (
     compute_chain_breakers,
     compute_start_times_in_cycle,
 )
+from repro.scheduling.fastpath import solve_fastpath
 from repro.scheduling.problem import (
     LongnailProblem,
     OperatorType,
@@ -72,6 +80,32 @@ def default_delay_model() -> DelayModel:
 
 
 @dataclasses.dataclass
+class SolveStats:
+    """Per-graph solver instrumentation (surfaced in the batch metrics)."""
+
+    engine: str                 # engine that actually ran
+    operations: int
+    dependences: int
+    components: int             # weakly connected components solved
+    cache_hits: int = 0         # components served from the schedule cache
+    cache_misses: int = 0
+    solve_seconds: float = 0.0
+    verified: bool = False      # REPRO_SCHED_VERIFY cross-check ran
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "operations": self.operations,
+            "dependences": self.dependences,
+            "components": self.components,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "solve_seconds": round(self.solve_seconds, 6),
+            "verified": self.verified,
+        }
+
+
+@dataclasses.dataclass
 class ScheduleResult:
     """A solved schedule for one lil graph."""
 
@@ -80,6 +114,7 @@ class ScheduleResult:
     engine: str
     cycle_time_ns: float
     chain_breakers: int
+    stats: Optional[SolveStats] = None
 
     @property
     def start_times(self) -> Dict[Operation, int]:
@@ -126,10 +161,16 @@ def _interface_operator_type(op: Operation, datasheet: VirtualDatasheet,
     if always:
         # Always-blocks execute continuously in a single cycle (Section 4.4).
         earliest, latest, latency = 0, 0, 0
+    # Multi-cycle sub-interfaces (RdMem on a pipelined core, custom-register
+    # files, ...) latch their request at the pipeline-stage boundary, so
+    # they add no combinational depth to the chain computing their
+    # operands; the interface's propagation delay is charged where it is
+    # physically paid, on the result side.  Combinational sub-interfaces
+    # keep the symmetric delay the chaining model requires.
     return OperatorType(
         name=f"iface_{interface}_{op.name}",
         latency=latency,
-        incoming_delay=delay if latency > 0 else delay,
+        incoming_delay=0.0 if latency > 0 else delay,
         outgoing_delay=delay,
         earliest=earliest,
         latest=latest,
@@ -176,12 +217,23 @@ def build_problem(graph: Graph, datasheet: VirtualDatasheet,
             if producer is not None and producer in registered:
                 problem.add_dependence(producer, op)
 
-    # Serialize a load before a store to the same address space.
-    reads = [op for op in graph.operations if op.name == "lil.read_mem"]
-    writes = [op for op in graph.operations if op.name == "lil.write_mem"]
-    for read in reads:
-        for write in writes:
-            problem.add_dependence(read, write)
+    # Serialize loads before subsequent stores to the same address space:
+    # each read is ordered before the first write that follows it, and the
+    # writes are chained, which preserves the read-before-every-later-write
+    # transitive ordering with O(reads + writes) edges instead of the
+    # all-pairs O(reads x writes) blowup on memory-heavy ISAXes.
+    pending_reads: List[Operation] = []
+    previous_write: Optional[Operation] = None
+    for op in graph.operations:
+        if op.name == "lil.read_mem":
+            pending_reads.append(op)
+        elif op.name == "lil.write_mem":
+            for read in pending_reads:
+                problem.add_dependence(read, op)
+            pending_reads.clear()
+            if previous_write is not None:
+                problem.add_dependence(previous_write, op)
+            previous_write = op
 
     problem.check()
 
@@ -202,24 +254,166 @@ def build_problem(graph: Graph, datasheet: VirtualDatasheet,
     return problem
 
 
+def decompose(problem: LongnailProblem) -> List[LongnailProblem]:
+    """Split a problem into its weakly connected components.
+
+    The Figure 7 objective is a sum over operations and dependences, so
+    components can be solved independently and merged; a wide CDFG (many
+    parallel def-use trees) then pays per-component solver cost instead of
+    the whole graph's.  Returns sub-problems preserving operation order;
+    a single-component problem is returned as-is (no copy).
+    """
+    ops = problem.operations
+    if not ops:
+        return []
+    index = {op: i for i, op in enumerate(ops)}
+    parent = list(range(len(ops)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for dep in problem.dependences:
+        a, b = find(index[dep.source]), find(index[dep.target])
+        if a != b:
+            parent[a] = b
+
+    roots = {find(i) for i in range(len(ops))}
+    if len(roots) == 1:
+        return [problem]
+
+    members: Dict[int, List[Hashable]] = {root: [] for root in roots}
+    for i, op in enumerate(ops):
+        members[find(i)].append(op)
+    deps_of: Dict[int, List] = {root: [] for root in roots}
+    for dep in problem.dependences:
+        deps_of[find(index[dep.source])].append(dep)
+
+    subs: List[LongnailProblem] = []
+    for root in sorted(roots):
+        sub = LongnailProblem()
+        for op in members[root]:
+            lot = problem.linked_operator_type(op)
+            sub.add_operator_type(lot)
+            sub.add_operation(op, lot.name)
+        for dep in deps_of[root]:
+            sub.add_dependence(dep.source, dep.target,
+                               is_chain_breaker=dep.is_chain_breaker)
+        subs.append(sub)
+    return subs
+
+
+def _verify_against_oracle(sub: LongnailProblem,
+                           start_time: Dict[Hashable, int]) -> bool:
+    """REPRO_SCHED_VERIFY=1: cross-check a fast-path (or cached) component
+    solution against the MILP objective; raises on any gap."""
+    if not ilp.HAVE_MILP:  # pragma: no cover - scipy is baked in
+        return False
+    oracle = ilp.solve_milp(sub)
+    got = ilp.weighted_objective_of(sub, start_time)
+    want = ilp.weighted_objective_of(sub, oracle)
+    if abs(got - want) > 1e-6:
+        raise ScheduleError(
+            f"fast-path schedule is not optimal: weighted objective "
+            f"{got:.6f}, MILP oracle found {want:.6f}"
+        )
+    return True
+
+
+def _resolve_cache(cache: Union[ScheduleCache, None, bool]
+                   ) -> Optional[ScheduleCache]:
+    if cache is False:
+        return None
+    if cache is None:
+        if os.environ.get("REPRO_SCHED_CACHE", "1") == "0":
+            return None
+        return global_schedule_cache()
+    return cache
+
+
+def solve_problem(problem: LongnailProblem, engine: str = "auto",
+                  cache: Union[ScheduleCache, None, bool] = None
+                  ) -> SolveStats:
+    """Solve a LongnailProblem in place through the full fast-path stack:
+    component decomposition, the cross-sweep schedule cache, the selected
+    engine, and (with ``REPRO_SCHED_VERIFY=1``) the MILP oracle.
+
+    ``engine="auto"`` prefers the LP-free exact fast path; ``"milp"`` runs
+    the Figure 7 formulation per component; ``"asap"`` keeps the heuristic
+    baseline (neither decomposed nor cached — it is already linear-time).
+    ``cache`` may be a :class:`ScheduleCache`, ``None`` (the process-wide
+    default, unless ``REPRO_SCHED_CACHE=0``) or ``False`` (disabled).
+    """
+    begin = time.perf_counter()
+    resolved = "fastpath" if engine == "auto" else engine
+    if resolved not in ("fastpath", "milp", "asap"):
+        raise ScheduleError(f"unknown scheduler engine {engine!r}")
+
+    components = decompose(problem)
+    stats = SolveStats(
+        engine=resolved,
+        operations=len(problem.operations),
+        dependences=len(problem.dependences),
+        components=len(components),
+    )
+    if resolved == "asap":
+        ilp.solve(problem, "asap")
+        stats.solve_seconds = time.perf_counter() - begin
+        return stats
+
+    verify = os.environ.get("REPRO_SCHED_VERIFY", "") == "1"
+    live_cache = _resolve_cache(cache)
+    merged: Dict[Hashable, int] = {}
+    for sub in components:
+        key = None
+        if live_cache is not None:
+            key = schedule_fingerprint(sub)
+            hit = live_cache.get(key)
+            if hit is not None:
+                start_time = dict(zip(sub.operations, hit))
+                stats.cache_hits += 1
+                if verify:
+                    stats.verified |= _verify_against_oracle(sub, start_time)
+                merged.update(start_time)
+                continue
+            stats.cache_misses += 1
+        if resolved == "milp":
+            start_time = ilp.solve_milp(sub)
+        else:
+            start_time = solve_fastpath(sub)
+            if verify:
+                stats.verified |= _verify_against_oracle(sub, start_time)
+        if key is not None:
+            live_cache.put(key, [start_time[op] for op in sub.operations])
+        merged.update(start_time)
+    problem.start_time = merged
+    stats.solve_seconds = time.perf_counter() - begin
+    return stats
+
+
 class LongnailScheduler:
     """Schedules lil graphs against a core's virtual datasheet."""
 
     def __init__(self, datasheet: VirtualDatasheet,
                  delay_model: Optional[DelayModel] = None,
                  cycle_time_ns: Optional[float] = None,
-                 engine: str = "auto"):
+                 engine: str = "auto",
+                 schedule_cache: Union[ScheduleCache, None, bool] = None):
         self.datasheet = datasheet
         self.delay_model = delay_model or default_delay_model()
         self.cycle_time_ns = cycle_time_ns or datasheet.cycle_time_ns
         self.engine = engine
+        self.schedule_cache = schedule_cache
 
     def schedule(self, graph: Graph) -> ScheduleResult:
         problem = build_problem(
             graph, self.datasheet, self.delay_model, self.cycle_time_ns
         )
         try:
-            engine = ilp.solve(problem, self.engine)
+            stats = solve_problem(problem, self.engine,
+                                  cache=self.schedule_cache)
         except ScheduleError as err:
             if graph.attributes.get("kind") == lil.KIND_ALWAYS:
                 raise ScheduleError(
@@ -233,7 +427,8 @@ class LongnailScheduler:
         return ScheduleResult(
             graph=graph,
             problem=problem,
-            engine=engine,
+            engine=stats.engine,
             cycle_time_ns=self.cycle_time_ns,
             chain_breakers=breakers,
+            stats=stats,
         )

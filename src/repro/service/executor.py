@@ -275,7 +275,7 @@ def run_compile_payload(payload: dict) -> dict:
             "mode": functionality.mode.value,
             "makespan": schedule.makespan,
         })
-        ilp_stats.append({
+        entry = {
             "functionality": name,
             "engine": schedule.engine,
             "operations": len(schedule.graph.operations),
@@ -283,7 +283,16 @@ def run_compile_payload(payload: dict) -> dict:
             "makespan": schedule.makespan,
             "objective": schedule.objective,
             "chain_breakers": schedule.chain_breakers,
-        })
+        }
+        if schedule.stats is not None:
+            entry.update({
+                "components": schedule.stats.components,
+                "schedule_cache_hits": schedule.stats.cache_hits,
+                "schedule_cache_misses": schedule.stats.cache_misses,
+                "solve_seconds": round(schedule.stats.solve_seconds, 6),
+                "verified": schedule.stats.verified,
+            })
+        ilp_stats.append(entry)
 
     return {
         "isax": artifact.name,

@@ -96,6 +96,39 @@ class BatchMetrics:
                 totals[phase] = totals.get(phase, 0.0) + seconds
         return {k: round(v, 6) for k, v in totals.items()}
 
+    def scheduler_totals(self) -> Dict[str, object]:
+        """Aggregate solver stats over every scheduled graph in the batch:
+        engine usage, graph sizes, schedule-cache hit rate, solve time."""
+        engines: Dict[str, int] = {}
+        graphs = operations = dependences = components = 0
+        hits = misses = 0
+        seconds = 0.0
+        for job in self.jobs:
+            for entry in job.ilp:
+                graphs += 1
+                engine = entry.get("engine", "unknown")
+                engines[engine] = engines.get(engine, 0) + 1
+                operations += entry.get("operations", 0)
+                dependences += entry.get("dependences", 0)
+                components += entry.get("components", 0)
+                hits += entry.get("schedule_cache_hits", 0)
+                misses += entry.get("schedule_cache_misses", 0)
+                seconds += entry.get("solve_seconds", 0.0)
+        lookups = hits + misses
+        return {
+            "graphs": graphs,
+            "engines": engines,
+            "operations": operations,
+            "dependences": dependences,
+            "components": components,
+            "schedule_cache_hits": hits,
+            "schedule_cache_misses": misses,
+            "schedule_cache_hit_rate": (
+                round(hits / lookups, 4) if lookups else 0.0
+            ),
+            "solve_seconds": round(seconds, 6),
+        }
+
     def to_dict(self) -> dict:
         return {
             "workers": self.workers,
@@ -104,6 +137,7 @@ class BatchMetrics:
             "jobs_failed": self.failed,
             "jobs_cached": self.cached,
             "phase_totals_s": self.phase_totals(),
+            "scheduler": self.scheduler_totals(),
             "cache": self.cache_stats,
             "jobs": [job.to_dict() for job in self.jobs],
         }

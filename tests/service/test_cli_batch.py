@@ -59,7 +59,15 @@ class TestBatchSmoke:
             for phase in ("parse", "lower", "schedule", "hwgen", "emit"):
                 assert phase in job["phases"]
             assert job["ilp"], job["job_id"]
-            assert job["ilp"][0]["engine"] in ("milp", "asap")
+            entry = job["ilp"][0]
+            assert entry["engine"] in ("fastpath", "milp", "asap")
+            assert entry["components"] >= 1
+            assert entry["schedule_cache_hits"] + \
+                entry["schedule_cache_misses"] >= 1
+        sched = doc["scheduler"]
+        assert sched["graphs"] >= 4
+        assert sched["engines"].get("fastpath", 0) >= 4
+        assert 0.0 <= sched["schedule_cache_hit_rate"] <= 1.0
 
     def test_manifest_run(self, batch_env, capsys):
         manifest = batch_env["tmp"] / "grid.yaml"
