@@ -156,6 +156,64 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if metrics.failed == 0 else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import (
+        FuzzBudget,
+        FuzzConfig,
+        run_campaign,
+        run_oracles,
+    )
+
+    if args.replay:
+        source = _read_source(args.replay)
+        cores = tuple(args.core) if args.core else None
+        report = run_oracles(source, cores=cores, trials=args.trials,
+                             cosim_seed=args.cosim_seed,
+                             vcd_dir=args.out)
+        print(report)
+        for failure in report.failures:
+            print(f"  {failure}")
+        return 0 if report.ok else 1
+
+    config = FuzzConfig(
+        seeds=args.seeds,
+        seed_start=args.seed_start,
+        budget=FuzzBudget.scaled(args.budget) if args.budget else None,
+        cores=tuple(args.core),
+        trials=args.trials,
+        cosim_seed=args.cosim_seed,
+        workers=args.workers,
+        out_dir=args.out,
+        reduce=not args.no_reduce,
+    )
+    result = run_campaign(config, log=print)
+    print(result)
+    for outcome in result.outcomes:
+        if outcome.status in ("invalid", "error"):
+            print(f"  seed {outcome.seed} {outcome.status}: "
+                  f"{outcome.detail.splitlines()[0]}")
+    print(f"wrote {result.stats_path}")
+    return 0 if result.ok else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.sim.cosim import verify_artifact
+
+    if args.target in ALL_ISAXES:
+        source = ALL_ISAXES[args.target]
+    else:
+        source = _read_source(args.target)
+    artifact = compile_isax(source, core=args.core)
+    report = verify_artifact(artifact, trials=args.trials,
+                             seed=args.cosim_seed, vcd_dir=args.vcd_dir)
+    print(report)
+    for result in report.failures:
+        print(f"  {result}")
+    for path in report.vcd_paths:
+        print(f"wrote {path}")
+    return 0 if report.passed else 1
+
+
 def _cmd_datasheet(args: argparse.Namespace) -> int:
     print(core_datasheet(args.core).to_yaml(), end="")
     return 0
@@ -282,6 +340,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-phase timing JSON path (default: "
                               "<output>/batch_metrics.json)")
     batch_p.set_defaults(func=_cmd_batch)
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="generative differential verification: random "
+                     "well-typed CoreDSL programs through the oracle stack"
+    )
+    fuzz_p.add_argument("--seeds", type=int, default=50,
+                        help="number of random programs (default 50)")
+    fuzz_p.add_argument("--seed-start", type=int, default=0,
+                        help="first seed (campaigns are reproducible by "
+                             "seed range)")
+    fuzz_p.add_argument("--budget", type=int, default=0, metavar="N",
+                        help="program size budget: statements per behavior "
+                             "(0 = the default budget)")
+    fuzz_p.add_argument("--core", action="append", default=[],
+                        choices=ALL_CORES, metavar="CORE",
+                        help="core to differentially test (repeatable; "
+                             "default: the four Table 4 cores)")
+    fuzz_p.add_argument("--workers", type=int, default=1,
+                        help="worker processes (<=1: in-process serial)")
+    fuzz_p.add_argument("--trials", type=int, default=8,
+                        help="cosim trials per program and core (default 8)")
+    fuzz_p.add_argument("--cosim-seed", type=int, default=0,
+                        help="RNG seed for co-simulation stimulus")
+    fuzz_p.add_argument("-o", "--out", default="fuzz-out",
+                        help="corpus/stats directory (default fuzz-out)")
+    fuzz_p.add_argument("--no-reduce", action="store_true",
+                        help="skip delta-debugging of failing programs")
+    fuzz_p.add_argument("--replay", default=None, metavar="FILE",
+                        help="re-run the oracle stack on a saved "
+                             "reproducer instead of fuzzing")
+    fuzz_p.set_defaults(func=_cmd_fuzz)
+
+    verify_p = sub.add_parser(
+        "verify", help="co-simulate one ISAX: CoreDSL interpreter vs "
+                       "generated RTL on random stimulus"
+    )
+    verify_p.add_argument("target",
+                          help="benchmark ISAX name or .core_desc file")
+    verify_p.add_argument("--core", default="VexRiscv", metavar="CORE",
+                          help="host core: " + ", ".join(ALL_CORES))
+    verify_p.add_argument("--trials", type=int, default=25)
+    verify_p.add_argument("--cosim-seed", type=int, default=0,
+                          help="RNG seed for the stimulus (printed in the "
+                               "report line for reproducibility)")
+    verify_p.add_argument("--vcd-dir", default=None,
+                          help="dump a VCD waveform per failing trial here")
+    verify_p.set_defaults(func=_cmd_verify)
 
     datasheet_p = sub.add_parser(
         "datasheet", help="print a core's virtual datasheet (YAML)"

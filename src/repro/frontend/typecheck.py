@@ -80,7 +80,19 @@ def const_eval(expr: ast.Expr, env: Optional[Dict[str, int]] = None) -> Optional
         if expr.op == "!":
             return int(not val)
         if expr.op == "~":
-            return ~val  # adequate for value semantics of signed views
+            # Complement within the operand's type (matching the golden
+            # interpreter): ``~unsigned<8>(186)`` is 69, not -187.  The
+            # operand's ctype is available whenever the checker has already
+            # decorated it; fall back to the signed view otherwise.
+            operand_type = getattr(expr.operand, "ctype", None)
+            if isinstance(operand_type, IntType):
+                from repro.utils.bits import to_signed, to_unsigned
+                raw = to_unsigned(~to_unsigned(val, operand_type.width),
+                                  operand_type.width)
+                if operand_type.is_signed:
+                    return to_signed(raw, operand_type.width)
+                return raw
+            return ~val
         return None
     if isinstance(expr, ast.BinaryOp):
         fold = _ARITH_FOLD.get(expr.op)

@@ -1,0 +1,41 @@
+"""Generative differential verification for the Longnail flow.
+
+The benchmark ISAXes (paper Table 3) exercise a fixed, hand-picked slice of
+CoreDSL; this package turns the existing oracles — the interpreter-vs-RTL
+co-simulation harness and the fastpath-vs-MILP scheduler cross-check — into
+a scalable correctness engine:
+
+* :mod:`repro.fuzz.generator` — seeded grammar walk emitting well-typed
+  CoreDSL programs (every program parses and type-checks by construction),
+* :mod:`repro.fuzz.oracles` — the per-program differential oracle stack,
+* :mod:`repro.fuzz.reduce` — AST-level delta-debugging of failing programs,
+* :mod:`repro.fuzz.corpus` — deduplicated on-disk corpus of reproducers,
+* :mod:`repro.fuzz.campaign` — campaign driver fanning seeds through the
+  :mod:`repro.service` executor.
+
+Entry points: ``repro-longnail fuzz`` on the command line, or
+
+    from repro.fuzz import FuzzBudget, generate_program, run_oracles
+    program = generate_program(seed=7, budget=FuzzBudget())
+    report = run_oracles(program.source)
+"""
+
+from repro.fuzz.campaign import CampaignResult, FuzzConfig, run_campaign
+from repro.fuzz.corpus import FuzzCorpus
+from repro.fuzz.generator import FuzzBudget, FuzzProgram, generate_program
+from repro.fuzz.oracles import OracleFailure, OracleReport, run_oracles
+from repro.fuzz.reduce import reduce_program
+
+__all__ = [
+    "CampaignResult",
+    "FuzzBudget",
+    "FuzzConfig",
+    "FuzzCorpus",
+    "FuzzProgram",
+    "OracleFailure",
+    "OracleReport",
+    "generate_program",
+    "reduce_program",
+    "run_campaign",
+    "run_oracles",
+]

@@ -1,0 +1,92 @@
+"""On-disk corpus of deduplicated fuzz reproducers.
+
+Layout (rooted at ``fuzz-out/`` by default)::
+
+    fuzz-out/
+      stats.json                    # campaign-level stats, rewritten per run
+      reproducers/
+        cosim-3fa9c1d2e4b8.core_desc    # one reduced program per unique bug
+        cosim-3fa9c1d2e4b8.json         # metadata: seed, cores, oracle detail
+
+Deduplication key: oracle kind + a *canonicalized* digest of the reduced
+program.  The generator stamps the seed into every identifier
+(``fuzz_s15``, ``fz15_0`` ...), so two seeds hitting the same bug reduce to
+programs that differ only in those stamps; canonicalization rewrites them
+to a fixed placeholder before hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from typing import Dict, List, Optional, Tuple
+
+_SEED_STAMPS = (
+    (re.compile(r"fuzz_s\d+"), "fuzz_sN"),
+    (re.compile(r"\bfz\d+_"), "fzN_"),
+    (re.compile(r"\bfza\d+\b"), "fzaN"),
+)
+
+#: Digest prefix length used in reproducer file names.
+_DIGEST_LEN = 12
+
+
+def canonical_digest(kind: str, source: str) -> str:
+    """Content digest that is stable across generator seed stamps."""
+    text = source
+    for pattern, replacement in _SEED_STAMPS:
+        text = pattern.sub(replacement, text)
+    payload = f"{kind}\n{text}".encode()
+    return hashlib.sha256(payload).hexdigest()[:_DIGEST_LEN]
+
+
+class FuzzCorpus:
+    """Reproducer store with kind+digest deduplication."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.reproducer_dir = os.path.join(root, "reproducers")
+
+    # -- queries -----------------------------------------------------------
+    def entries(self) -> List[str]:
+        """Reproducer basenames (``<kind>-<digest>``) currently on disk."""
+        if not os.path.isdir(self.reproducer_dir):
+            return []
+        return sorted(
+            name[:-len(".core_desc")]
+            for name in os.listdir(self.reproducer_dir)
+            if name.endswith(".core_desc"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    # -- updates -----------------------------------------------------------
+    def add(self, kind: str, source: str,
+            meta: Optional[Dict] = None) -> Tuple[str, bool]:
+        """Store a reduced reproducer.  Returns ``(name, is_new)``;
+        duplicates (same oracle kind, same canonical program) are dropped."""
+        digest = canonical_digest(kind, source)
+        name = f"{kind}-{digest}"
+        program_path = os.path.join(self.reproducer_dir,
+                                    f"{name}.core_desc")
+        if os.path.exists(program_path):
+            return name, False
+        os.makedirs(self.reproducer_dir, exist_ok=True)
+        with open(program_path, "w") as handle:
+            handle.write(source)
+        if meta is not None:
+            with open(os.path.join(self.reproducer_dir,
+                                   f"{name}.json"), "w") as handle:
+                json.dump(meta, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        return name, True
+
+    def write_stats(self, stats: Dict) -> str:
+        os.makedirs(self.root, exist_ok=True)
+        path = os.path.join(self.root, "stats.json")
+        with open(path, "w") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path

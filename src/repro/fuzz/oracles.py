@@ -1,0 +1,146 @@
+"""The per-program differential oracle stack.
+
+Three oracles, run per core (paper Sections 4.4 and 5.3 provide the first
+two as fixed-corpus spot checks; here they become programmable):
+
+* **schedule** — compile with the LP-free fastpath *and* the MILP engine
+  and assert both reach the same weighted objective (start times plus
+  width-weighted pipeline-register lifetimes) on every functionality.
+  Alternative optima make raw start-time vectors incomparable, so the
+  objective — the quantity both engines minimize — is the equality that
+  must hold.
+* **cosim** — run :func:`repro.sim.cosim.verify_artifact`, executing the
+  CoreDSL interpreter against the generated SystemVerilog netlist on
+  random stimulus.
+* **determinism** — compile the same source twice and require byte-identical
+  SystemVerilog and config YAML (any iteration-order leak in lowering,
+  scheduling or hwgen shows up here first).
+
+Elaboration errors (parse/typecheck) are *not* oracle failures: generated
+programs are well-typed by construction, so an elaboration error is a
+generator bug and propagates as :class:`CoreDSLError` to the caller.
+Errors raised later — lowering legality, scheduler infeasibility — are
+reported as ``kind="compile"`` failures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.frontend.elaboration import elaborate
+from repro.hls.longnail import compile_isax
+from repro.scheduling import ilp
+from repro.sim.cosim import verify_artifact
+
+#: Cores every program is checked against by default (the paper's four
+#: evaluation cores; CVA5 stays opt-in, as everywhere else in the repo).
+DEFAULT_CORES: Tuple[str, ...] = ("ORCA", "Piccolo", "PicoRV32", "VexRiscv")
+
+
+@dataclasses.dataclass
+class OracleFailure:
+    """One oracle violation; picklable and JSON-able."""
+
+    kind: str       # "compile" | "schedule" | "cosim" | "determinism"
+    core: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}/{self.core}] {self.detail}"
+
+
+@dataclasses.dataclass
+class OracleReport:
+    """Aggregate outcome of :func:`run_oracles` for one program."""
+
+    cores: Tuple[str, ...]
+    failures: List[OracleFailure]
+    functionalities: int = 0    # schedules cross-checked (summed over cores)
+    trials: int = 0             # cosim trials per core
+    cosim_seed: int = 0
+    vcd_paths: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({f.kind for f in self.failures}))
+
+    def __str__(self) -> str:
+        status = ("PASS" if self.ok
+                  else f"FAIL ({', '.join(self.kinds)})")
+        return (f"oracles on {len(self.cores)} cores: "
+                f"{self.functionalities} schedules cross-checked, "
+                f"{self.trials} cosim trials/core "
+                f"(seed={self.cosim_seed}), {status}")
+
+
+def run_oracles(source: str,
+                cores: Optional[Sequence[str]] = None,
+                trials: int = 8,
+                cosim_seed: int = 0,
+                vcd_dir: Optional[str] = None) -> OracleReport:
+    """Run the full oracle stack on one CoreDSL source string.
+
+    Raises :class:`repro.utils.diagnostics.CoreDSLError` if the program
+    does not elaborate (generator-validity errors are the caller's
+    problem, not an oracle verdict).
+    """
+    cores = tuple(cores) if cores else DEFAULT_CORES
+    # Elaborate once, standalone: separates "program is invalid" (raises)
+    # from "toolchain failed on a valid program" (compile failure below).
+    elaborate(source)
+
+    failures: List[OracleFailure] = []
+    vcd_paths: List[str] = []
+    functionalities = 0
+    for core in cores:
+        try:
+            fast = compile_isax(source, core, engine="fastpath",
+                                schedule_cache=False)
+            milp = compile_isax(source, core, engine="milp",
+                                schedule_cache=False)
+        except Exception as exc:  # lowering legality, infeasible schedule
+            failures.append(OracleFailure(
+                kind="compile", core=core,
+                detail=f"{type(exc).__name__}: {exc}"))
+            continue
+
+        # Oracle 1: engine-independent schedule quality.
+        for name, f_fast in fast.functionalities.items():
+            functionalities += 1
+            f_milp = milp.functionalities[name]
+            w_fast = ilp.weighted_objective_value(f_fast.schedule.problem)
+            w_milp = ilp.weighted_objective_value(f_milp.schedule.problem)
+            if abs(w_fast - w_milp) > 1e-6:
+                failures.append(OracleFailure(
+                    kind="schedule", core=core,
+                    detail=(f"{name}: fastpath objective {w_fast} != "
+                            f"milp objective {w_milp}")))
+
+        # Oracle 2: interpreter vs RTL co-simulation.
+        report = verify_artifact(fast, trials=trials, seed=cosim_seed,
+                                 vcd_dir=vcd_dir)
+        vcd_paths.extend(report.vcd_paths)
+        for result in report.failures:
+            failures.append(OracleFailure(
+                kind="cosim", core=core, detail=str(result)))
+
+        # Oracle 3: byte-identical artifacts across two runs.
+        again = compile_isax(source, core, engine="fastpath",
+                             schedule_cache=False)
+        if again.verilog != fast.verilog:
+            failures.append(OracleFailure(
+                kind="determinism", core=core,
+                detail="SystemVerilog differs between two identical runs"))
+        if again.config_yaml != fast.config_yaml:
+            failures.append(OracleFailure(
+                kind="determinism", core=core,
+                detail="config YAML differs between two identical runs"))
+
+    return OracleReport(cores=cores, failures=failures,
+                        functionalities=functionalities, trials=trials,
+                        cosim_seed=cosim_seed, vcd_paths=vcd_paths)

@@ -1,0 +1,186 @@
+"""Delta-debugging reducer for failing CoreDSL programs.
+
+Works at the AST level (never on raw text): parse the program once, then
+repeatedly apply structural shrink passes — drop whole definitions, remove
+statement chunks ddmin-style, unwrap ``if``/``for``/``spawn`` bodies — and
+keep any candidate for which the caller's *predicate* still reproduces the
+failure.  Candidates that no longer elaborate simply fail the predicate
+(the oracles raise on invalid programs), so the reducer needs no use-def
+analysis of its own: deleting a declaration whose uses remain is rejected
+the same way as deleting the statement that triggers the bug.
+
+Every candidate edit is addressed by an index path and applied to a fresh
+resolution of the working tree, so a rejected (and rolled-back) edit can
+never leave stale AST references behind.  Passes run to a fixed point.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, List, Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse_description
+from repro.fuzz.unparse import unparse
+
+#: ``predicate(source) -> bool`` — True iff the failure still reproduces.
+Predicate = Callable[[str], bool]
+
+#: Definition lists a :class:`~repro.frontend.ast_nodes.ISABody` carries,
+#: in the order the reducer tries to empty them.
+_DEF_ATTRS = ("instructions", "always_blocks", "functions", "state")
+
+
+def _stmts_in(stmt: Optional[ast.Stmt]) -> List[ast.Stmt]:
+    if stmt is None:
+        return []
+    if isinstance(stmt, ast.BlockStmt):
+        return stmt.statements
+    return [stmt]
+
+
+def _blocks_of(stmt: Optional[ast.Stmt]) -> List[ast.BlockStmt]:
+    """All statement lists reachable from ``stmt``, outermost first."""
+    found: List[ast.BlockStmt] = []
+    if stmt is None:
+        return found
+    if isinstance(stmt, ast.BlockStmt):
+        found.append(stmt)
+        for inner in stmt.statements:
+            found.extend(_blocks_of(inner))
+    elif isinstance(stmt, ast.IfStmt):
+        found.extend(_blocks_of(stmt.then_body))
+        found.extend(_blocks_of(stmt.else_body))
+    elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.SpawnStmt)):
+        found.extend(_blocks_of(stmt.body))
+    elif isinstance(stmt, ast.SwitchStmt):
+        for case in stmt.cases:
+            found.extend(_blocks_of(case.body))
+    return found
+
+
+def _isa_bodies(desc: ast.Description) -> List[ast.ISABody]:
+    bodies = [isa.body for isa in desc.instruction_sets]
+    bodies.extend(core.body for core in desc.cores)
+    return [b for b in bodies if b is not None]
+
+
+def _all_blocks(desc: ast.Description) -> List[ast.BlockStmt]:
+    """Every statement list in the description, in a stable order (the
+    order is a pure function of tree shape, so an index into this list
+    stays valid across a deepcopy)."""
+    blocks: List[ast.BlockStmt] = []
+    for body in _isa_bodies(desc):
+        for instr in body.instructions:
+            blocks.extend(_blocks_of(instr.behavior))
+        for always in body.always_blocks:
+            blocks.extend(_blocks_of(always.body))
+        for func in body.functions:
+            blocks.extend(_blocks_of(func.body))
+    return blocks
+
+
+class _Reducer:
+    def __init__(self, source: str, predicate: Predicate) -> None:
+        self.predicate = predicate
+        self.best_source = source
+        self.work = parse_description(source)
+
+    def _try_edit(self, mutate: Callable[[ast.Description], None]) -> bool:
+        """Apply ``mutate`` to the working tree; keep the result iff the
+        failure still reproduces, else roll back."""
+        snapshot = copy.deepcopy(self.work)
+        try:
+            mutate(self.work)
+            text = unparse(self.work)
+            if self.predicate(text):
+                self.best_source = text
+                return True
+        except Exception:
+            pass
+        self.work = snapshot
+        return False
+
+    # -- passes (each returns True after the first accepted edit) ----------
+    def _drop_definitions(self) -> bool:
+        for attr in _DEF_ATTRS:
+            for body_index, body in enumerate(_isa_bodies(self.work)):
+                for item_index in range(len(getattr(body, attr))):
+                    def mutate(desc, a=attr, b=body_index, i=item_index):
+                        del getattr(_isa_bodies(desc)[b], a)[i]
+                    if self._try_edit(mutate):
+                        return True
+        return False
+
+    def _remove_statement_chunks(self) -> bool:
+        for block_index, block in enumerate(_all_blocks(self.work)):
+            n = len(block.statements)
+            if n == 0:
+                continue
+            size = max(n // 2, 1)
+            while True:
+                for start in range(0, n, size):
+                    def mutate(desc, b=block_index, s=start, k=size):
+                        del _all_blocks(desc)[b].statements[s:s + k]
+                    if self._try_edit(mutate):
+                        return True
+                if size == 1:
+                    break
+                size = max(size // 2, 1)
+        return False
+
+    def _unwrap_compounds(self) -> bool:
+        for block_index, block in enumerate(_all_blocks(self.work)):
+            for stmt_index, stmt in enumerate(block.statements):
+                edits: List[Callable[[ast.Description], None]] = []
+                if isinstance(stmt, ast.IfStmt):
+                    if stmt.else_body is not None:
+                        def drop_else(desc, b=block_index, s=stmt_index):
+                            _all_blocks(desc)[b].statements[s].else_body = None
+                        edits.append(drop_else)
+
+                    def unwrap_then(desc, b=block_index, s=stmt_index):
+                        target = _all_blocks(desc)[b].statements
+                        target[s:s + 1] = _stmts_in(target[s].then_body)
+                    edits.append(unwrap_then)
+                elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt,
+                                       ast.SpawnStmt)):
+                    def unwrap_body(desc, b=block_index, s=stmt_index):
+                        target = _all_blocks(desc)[b].statements
+                        target[s:s + 1] = _stmts_in(target[s].body)
+                    edits.append(unwrap_body)
+                for edit in edits:
+                    if self._try_edit(edit):
+                        return True
+        return False
+
+    # -- driver ------------------------------------------------------------
+    def run(self, max_steps: int) -> str:
+        passes = (self._drop_definitions, self._remove_statement_chunks,
+                  self._unwrap_compounds)
+        steps = 0
+        progress = True
+        while progress and steps < max_steps:
+            progress = False
+            for reduction_pass in passes:
+                while reduction_pass():
+                    progress = True
+                    steps += 1
+                    if steps >= max_steps:
+                        return self.best_source
+        return self.best_source
+
+
+def reduce_program(source: str, predicate: Predicate,
+                   max_steps: int = 500) -> str:
+    """Shrink ``source`` while ``predicate`` keeps returning True.
+
+    ``predicate`` receives candidate source text and must return True iff
+    the original failure still reproduces (e.g. "run_oracles reports a
+    cosim failure on VexRiscv").  The original source must satisfy the
+    predicate; otherwise ValueError is raised.  Returns the smallest
+    accepted source (at worst the input itself).
+    """
+    if not predicate(source):
+        raise ValueError("predicate does not hold on the original program")
+    return _Reducer(source, predicate).run(max_steps)

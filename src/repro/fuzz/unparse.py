@@ -1,0 +1,253 @@
+"""AST -> CoreDSL source text, for the delta-debugging reducer.
+
+The reducer (:mod:`repro.fuzz.reduce`) works on the parsed AST — dropping
+statements, unwrapping ``if``/``spawn`` bodies, deleting whole definitions —
+and each candidate must go back through the full pipeline as *source*, since
+the oracles consume source text.  The printer is deliberately conservative:
+every compound expression is parenthesized, so operator precedence can never
+change the meaning of a round-tripped program.  Parentheses collapse during
+parsing, which makes ``parse(unparse(parse(s)))`` a fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend import ast_nodes as ast
+
+
+class UnparseError(Exception):
+    """An AST shape the printer does not know how to render."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+def unparse_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLiteral):
+        if expr.explicit_type is not None:
+            t = expr.explicit_type
+            mask = (1 << t.width) - 1
+            return f"{t.width}'d{expr.value & mask}"
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLiteral):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.BinaryOp):
+        return (f"({unparse_expr(expr.lhs)} {expr.op} "
+                f"{unparse_expr(expr.rhs)})")
+    if isinstance(expr, ast.UnaryOp):
+        return f"({expr.op} {unparse_expr(expr.operand)})"
+    if isinstance(expr, ast.Conditional):
+        return (f"({unparse_expr(expr.cond)} ? "
+                f"{unparse_expr(expr.true_value)} : "
+                f"{unparse_expr(expr.false_value)})")
+    if isinstance(expr, ast.Cast):
+        sign = "signed" if expr.target_signed else "unsigned"
+        if expr.width_expr is not None:
+            head = f"({sign}<{unparse_expr(expr.width_expr)}>)"
+        elif expr.target_width is not None:
+            head = f"({sign}<{expr.target_width}>)"
+        else:
+            head = f"({sign})"
+        return f"({head} ({unparse_expr(expr.operand)}))"
+    if isinstance(expr, ast.FunctionCall):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{expr.callee}({args})"
+    if isinstance(expr, ast.IndexExpr):
+        return f"{unparse_expr(expr.base)}[{unparse_expr(expr.index)}]"
+    if isinstance(expr, ast.RangeExpr):
+        return (f"{unparse_expr(expr.base)}[{unparse_expr(expr.hi)}:"
+                f"{unparse_expr(expr.lo)}]")
+    raise UnparseError(f"cannot unparse expression {type(expr).__name__}")
+
+
+def _type_spec(is_signed: bool, width_expr: Optional[ast.Expr],
+               width: Optional[int] = None) -> str:
+    sign = "signed" if is_signed else "unsigned"
+    if width_expr is not None:
+        return f"{sign}<{unparse_expr(width_expr)}>"
+    if width is not None:
+        return f"{sign}<{width}>"
+    return sign
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+def _stmt_head(stmt: ast.Stmt) -> str:
+    """A statement rendered on one line without the trailing semicolon —
+    used for ``for`` init/step clauses."""
+    if isinstance(stmt, ast.VarDecl):
+        head = f"{_type_spec(stmt.is_signed, stmt.width_expr)} {stmt.name}"
+        if stmt.init is not None:
+            head += f" = {unparse_expr(stmt.init)}"
+        return head
+    if isinstance(stmt, ast.Assign):
+        return (f"{unparse_expr(stmt.target)} {stmt.op} "
+                f"{unparse_expr(stmt.value)}")
+    if isinstance(stmt, ast.ExprStmt):
+        return unparse_expr(stmt.expr)
+    raise UnparseError(f"cannot unparse clause {type(stmt).__name__}")
+
+
+def unparse_stmt(stmt: ast.Stmt, indent: str = "") -> List[str]:
+    if isinstance(stmt, ast.BlockStmt):
+        lines: List[str] = []
+        for inner in stmt.statements:
+            lines.extend(unparse_stmt(inner, indent))
+        return lines
+    if isinstance(stmt, (ast.VarDecl, ast.Assign, ast.ExprStmt)):
+        return [f"{indent}{_stmt_head(stmt)};"]
+    if isinstance(stmt, ast.IfStmt):
+        lines = [f"{indent}if ({unparse_expr(stmt.cond)}) {{"]
+        lines.extend(unparse_stmt(stmt.then_body, indent + "  "))
+        if stmt.else_body is not None:
+            lines.append(f"{indent}}} else {{")
+            lines.extend(unparse_stmt(stmt.else_body, indent + "  "))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(stmt, ast.ForStmt):
+        init = _stmt_head(stmt.init) if stmt.init is not None else ""
+        cond = unparse_expr(stmt.cond) if stmt.cond is not None else ""
+        step = _stmt_head(stmt.step) if stmt.step is not None else ""
+        lines = [f"{indent}for ({init}; {cond}; {step}) {{"]
+        lines.extend(unparse_stmt(stmt.body, indent + "  "))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(stmt, ast.WhileStmt):
+        if stmt.is_do_while:
+            lines = [f"{indent}do {{"]
+            lines.extend(unparse_stmt(stmt.body, indent + "  "))
+            lines.append(f"{indent}}} while ({unparse_expr(stmt.cond)});")
+            return lines
+        lines = [f"{indent}while ({unparse_expr(stmt.cond)}) {{"]
+        lines.extend(unparse_stmt(stmt.body, indent + "  "))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(stmt, ast.SwitchStmt):
+        lines = [f"{indent}switch ({unparse_expr(stmt.value)}) {{"]
+        for case in stmt.cases:
+            if case.label is None:
+                lines.append(f"{indent}  default: {{")
+            else:
+                lines.append(
+                    f"{indent}  case {unparse_expr(case.label)}: {{")
+            lines.extend(unparse_stmt(case.body, indent + "    "))
+            lines.append(f"{indent}  }} break;")
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            return [f"{indent}return;"]
+        return [f"{indent}return {unparse_expr(stmt.value)};"]
+    if isinstance(stmt, ast.SpawnStmt):
+        lines = [f"{indent}spawn {{"]
+        lines.extend(unparse_stmt(stmt.body, indent + "  "))
+        lines.append(f"{indent}}}")
+        return lines
+    raise UnparseError(f"cannot unparse statement {type(stmt).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Definitions
+# ---------------------------------------------------------------------------
+
+def _unparse_encoding(components: List[ast.EncodingComponent]) -> str:
+    parts = []
+    for comp in components:
+        if isinstance(comp, ast.EncBits):
+            parts.append(f"{comp.width}'b{comp.value:0{comp.width}b}")
+        else:
+            parts.append(f"{comp.name}[{comp.hi}:{comp.lo}]")
+    return " :: ".join(parts)
+
+
+def _unparse_state(decl: ast.StateDecl, indent: str) -> str:
+    t = _type_spec(decl.is_signed, decl.width_expr, decl.width)
+    head = f"{indent}"
+    if decl.storage != "param":
+        head += f"{decl.storage} "
+    head += f"{t} {decl.name}"
+    if decl.array_size_expr is not None:
+        head += f"[{unparse_expr(decl.array_size_expr)}]"
+    elif decl.array_size is not None:
+        head += f"[{decl.array_size}]"
+    for attr in decl.attributes:
+        head += f" [[{attr}]]"
+    if decl.init_list is not None:
+        head += " = { " + ", ".join(
+            unparse_expr(e) for e in decl.init_list) + " }"
+    elif decl.init is not None:
+        head += f" = {unparse_expr(decl.init)}"
+    return head + ";"
+
+
+def _unparse_function(func: ast.FunctionDef, indent: str) -> List[str]:
+    ret = (_type_spec(func.return_signed, func.return_width_expr)
+           if func.return_width_expr is not None else "void")
+    params = ", ".join(
+        f"{_type_spec(p.is_signed, p.width_expr)} {p.name}"
+        for p in func.params)
+    lines = [f"{indent}{ret} {func.name}({params}) {{"]
+    lines.extend(unparse_stmt(func.body, indent + "  "))
+    lines.append(f"{indent}}}")
+    return lines
+
+
+def _unparse_isa_body(body: ast.ISABody, indent: str) -> List[str]:
+    lines: List[str] = []
+    if body.state:
+        lines.append(f"{indent}architectural_state {{")
+        for decl in body.state:
+            lines.append(_unparse_state(decl, indent + "  "))
+        lines.append(f"{indent}}}")
+    if body.functions:
+        lines.append(f"{indent}functions {{")
+        for func in body.functions:
+            lines.extend(_unparse_function(func, indent + "  "))
+        lines.append(f"{indent}}}")
+    if body.instructions:
+        lines.append(f"{indent}instructions {{")
+        for instr in body.instructions:
+            lines.append(f"{indent}  {instr.name} {{")
+            lines.append(f"{indent}    encoding: "
+                         f"{_unparse_encoding(instr.encoding)};")
+            lines.append(f"{indent}    behavior: {{")
+            lines.extend(unparse_stmt(instr.behavior, indent + "      "))
+            lines.append(f"{indent}    }}")
+            lines.append(f"{indent}  }}")
+        lines.append(f"{indent}}}")
+    if body.always_blocks:
+        lines.append(f"{indent}always {{")
+        for block in body.always_blocks:
+            lines.append(f"{indent}  {block.name} {{")
+            lines.extend(unparse_stmt(block.body, indent + "    "))
+            lines.append(f"{indent}  }}")
+        lines.append(f"{indent}}}")
+    return lines
+
+
+def unparse(description: ast.Description) -> str:
+    """Render a parsed CoreDSL description back to source text."""
+    lines: List[str] = []
+    for imp in description.imports:
+        lines.append(f'import "{imp}"')
+    if description.imports:
+        lines.append("")
+    for isa in description.instruction_sets:
+        head = f"InstructionSet {isa.name}"
+        if isa.extends:
+            head += f" extends {isa.extends}"
+        lines.append(head + " {")
+        lines.extend(_unparse_isa_body(isa.body, "  "))
+        lines.append("}")
+    for core in description.cores:
+        provides = ", ".join(core.provides)
+        lines.append(f"Core {core.name} provides {provides} {{")
+        lines.extend(_unparse_isa_body(core.body, "  "))
+        lines.append("}")
+    return "\n".join(lines) + "\n"

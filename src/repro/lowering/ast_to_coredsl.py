@@ -439,7 +439,14 @@ class _BehaviorEmitter:
 
     def _merge_shadow(self, cond: Value, then_shadow: Dict, else_shadow: Dict) -> Dict:
         merged: Dict[Tuple, _ShadowEntry] = {}
-        for key in set(then_shadow) | set(else_shadow):
+        # Keys may embed id()s of index values, so a set union here would
+        # iterate in an address-dependent order and leak into the emitted
+        # write order (and ultimately the module's port order).  Preserve
+        # insertion order instead: then-branch keys first, then the
+        # else-only ones.
+        keys = list(then_shadow)
+        keys.extend(k for k in else_shadow if k not in then_shadow)
+        for key in keys:
             te = then_shadow.get(key)
             ee = else_shadow.get(key)
             if te is None:

@@ -22,6 +22,7 @@ to a real flow.
 from __future__ import annotations
 
 import dataclasses
+import os
 import random
 from typing import Dict, List, Optional
 
@@ -46,6 +47,9 @@ class CosimResult:
     mismatches: List[Mismatch]
     golden_effects: List[Effect]
     rtl_outputs: Dict[str, int]
+    #: The input vector the RTL was driven with (after memory/register read
+    #: feedback settled) — enough to re-trace the failing trial.
+    rtl_inputs: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     def __bool__(self) -> bool:
         return self.matches
@@ -146,7 +150,8 @@ def cosim_instruction(artifact: IsaxArtifact, name: str, state: ArchState,
             break
         outputs = _steady_outputs(functionality, inputs)
 
-    return _compare(functionality, effects, outputs, state, golden_state)
+    return _compare(functionality, effects, outputs, state, golden_state,
+                    inputs)
 
 
 def cosim_always(artifact: IsaxArtifact, name: str,
@@ -174,12 +179,14 @@ def cosim_always(artifact: IsaxArtifact, name: str,
             if reg in state.custom:
                 inputs[port.name] = state.read_custom(reg)
     outputs = RTLSimulator(module).step(inputs)
-    return _compare(functionality, effects, outputs, state, golden_state)
+    return _compare(functionality, effects, outputs, state, golden_state,
+                    inputs)
 
 
 def _compare(functionality: FunctionalityArtifact, effects: List[Effect],
              outputs: Dict[str, int], pre: ArchState,
-             post: ArchState) -> CosimResult:
+             post: ArchState,
+             inputs: Optional[Dict[str, int]] = None) -> CosimResult:
     mismatches: List[Mismatch] = []
 
     def check(kind: str, expect_value: Optional[int], data_prefix: str,
@@ -236,6 +243,7 @@ def _compare(functionality: FunctionalityArtifact, effects: List[Effect],
         mismatches=mismatches,
         golden_effects=effects,
         rtl_outputs=outputs,
+        rtl_inputs=dict(inputs or {}),
     )
 
 
@@ -247,6 +255,11 @@ class VerificationReport:
     core: str
     trials: int
     failures: List[CosimResult]
+    #: RNG seed the trials were drawn from; re-running with the same seed
+    #: (and trial count) reproduces every stimulus exactly.
+    seed: int = 0
+    #: VCD waveforms dumped for failing trials (when ``vcd_dir`` was given).
+    vcd_paths: List[str] = dataclasses.field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -255,14 +268,43 @@ class VerificationReport:
     def __str__(self) -> str:
         status = "PASS" if self.passed else f"FAIL ({len(self.failures)})"
         return (f"co-simulation of '{self.artifact}' on {self.core}: "
-                f"{self.trials} trials, {status}")
+                f"{self.trials} trials, seed={self.seed}, {status}")
+
+
+def _dump_failure_vcd(functionality: FunctionalityArtifact,
+                      result: CosimResult, vcd_dir: str, artifact_name: str,
+                      core_name: str, seed: int, trial: int) -> str:
+    """Trace the failing stimulus through the module and save a VCD next to
+    the report, so the waveform is not discarded with the trial."""
+    from repro.sim.vcd import VCDTracer  # deferred: keeps cosim import-light
+
+    tracer = VCDTracer(functionality.module)
+    depth = functionality.schedule.makespan + 2
+    for _ in range(depth):
+        tracer.step(result.rtl_inputs)
+    os.makedirs(vcd_dir, exist_ok=True)
+    path = os.path.join(
+        vcd_dir,
+        f"{artifact_name}-{core_name}-{result.functionality}"
+        f"-seed{seed}-trial{trial}.vcd",
+    )
+    tracer.save(path)
+    return path
 
 
 def verify_artifact(artifact: IsaxArtifact, trials: int = 25,
-                    seed: int = 0) -> VerificationReport:
-    """Randomized co-simulation of every functionality in an artifact."""
+                    seed: int = 0,
+                    vcd_dir: Optional[str] = None) -> VerificationReport:
+    """Randomized co-simulation of every functionality in an artifact.
+
+    ``seed`` is recorded in the report (and its printed line) so any
+    mismatch is reproducible from the output alone; with ``vcd_dir`` set,
+    each failing trial's waveform is saved as a VCD file there instead of
+    being discarded.
+    """
     rng = random.Random(seed)
     failures: List[CosimResult] = []
+    vcd_paths: List[str] = []
     total = 0
     for name, functionality in artifact.functionalities.items():
         for _ in range(trials):
@@ -290,9 +332,16 @@ def verify_artifact(artifact: IsaxArtifact, trials: int = 25,
                 result = cosim_always(artifact, name, state)
             if not result.matches:
                 failures.append(result)
+                if vcd_dir is not None:
+                    vcd_paths.append(_dump_failure_vcd(
+                        functionality, result, vcd_dir, artifact.name,
+                        artifact.core_name, seed, total,
+                    ))
     return VerificationReport(
         artifact=artifact.name,
         core=artifact.core_name,
         trials=total,
         failures=failures,
+        seed=seed,
+        vcd_paths=vcd_paths,
     )

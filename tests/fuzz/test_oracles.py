@@ -1,0 +1,88 @@
+"""The oracle stack: passes on healthy toolchains, and each oracle fires
+on its own class of injected fault."""
+
+import pytest
+
+from repro.dialects import comb
+from repro.fuzz import generate_program, run_oracles
+from repro.fuzz import oracles as oracles_module
+from repro.utils.diagnostics import CoreDSLError
+
+XOR_ISAX = '''import "RV32I.core_desc"
+
+InstructionSet fuzz_s1 extends RV32I {
+  instructions {
+    fz1_0 {
+      encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        X[rd] = (unsigned<32>) (X[rs1] ^ X[rs2]);
+      }
+    }
+  }
+}
+'''
+
+
+def test_clean_program_passes_all_oracles():
+    source = generate_program(3).source
+    report = run_oracles(source, cores=("VexRiscv",), trials=3,
+                         cosim_seed=11)
+    assert report.ok, [str(f) for f in report.failures]
+    assert report.functionalities >= 1
+    assert report.cosim_seed == 11
+    assert "PASS" in str(report)
+
+
+def test_invalid_program_raises_not_reports():
+    with pytest.raises(CoreDSLError):
+        run_oracles("InstructionSet broken {", cores=("VexRiscv",))
+
+
+def test_cosim_oracle_catches_broken_comb_op(monkeypatch):
+    """A deliberately wrong RTL-side comb.xor must surface as a cosim
+    failure (interpreter and netlist disagree)."""
+    monkeypatch.setitem(comb._BINARY_EVAL, "comb.xor",
+                        lambda a, b, w: (a ^ b) ^ 1)
+    report = run_oracles(XOR_ISAX, cores=("VexRiscv",), trials=3)
+    assert not report.ok
+    assert report.kinds == ("cosim",)
+
+
+def test_schedule_oracle_catches_suboptimal_engine(monkeypatch):
+    """If the fast path silently degraded to ASAP (no lifetime
+    minimization), the weighted-objective cross-check must flag it."""
+    real_compile = oracles_module.compile_isax
+
+    def degraded(source, core, engine="auto", **kwargs):
+        if engine == "fastpath":
+            engine = "asap"
+        return real_compile(source, core, engine=engine, **kwargs)
+
+    monkeypatch.setattr(oracles_module, "compile_isax", degraded)
+    source = generate_program(3).source
+    report = run_oracles(source, cores=("VexRiscv",), trials=1)
+    assert any(f.kind == "schedule" for f in report.failures)
+
+
+def test_determinism_oracle_catches_unstable_emission(monkeypatch):
+    """Any run-to-run difference in the emitted SystemVerilog must be
+    reported, even when both netlists are functionally identical."""
+    from repro.hls import longnail
+
+    counter = {"n": 0}
+    real_emit = longnail.emit_modules
+
+    def unstable(modules):
+        counter["n"] += 1
+        return real_emit(modules) + f"\n// build {counter['n']}\n"
+
+    monkeypatch.setattr(longnail, "emit_modules", unstable)
+    report = run_oracles(XOR_ISAX, cores=("VexRiscv",), trials=1)
+    assert any(f.kind == "determinism" for f in report.failures)
+
+
+def test_oracles_run_on_every_requested_core():
+    source = generate_program(5).source
+    report = run_oracles(source, cores=("ORCA", "PicoRV32"), trials=1)
+    assert report.cores == ("ORCA", "PicoRV32")
+    assert report.ok, [str(f) for f in report.failures]
