@@ -169,7 +169,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         cores = tuple(args.core) if args.core else None
         report = run_oracles(source, cores=cores, trials=args.trials,
                              cosim_seed=args.cosim_seed,
-                             vcd_dir=args.out)
+                             vcd_dir=args.out,
+                             sim_engine=args.sim_engine)
         print(report)
         for failure in report.failures:
             print(f"  {failure}")
@@ -182,6 +183,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         cores=tuple(args.core),
         trials=args.trials,
         cosim_seed=args.cosim_seed,
+        sim_engine=args.sim_engine,
         workers=args.workers,
         out_dir=args.out,
         reduce=not args.no_reduce,
@@ -205,7 +207,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         source = _read_source(args.target)
     artifact = compile_isax(source, core=args.core)
     report = verify_artifact(artifact, trials=args.trials,
-                             seed=args.cosim_seed, vcd_dir=args.vcd_dir)
+                             seed=args.cosim_seed, vcd_dir=args.vcd_dir,
+                             sim_engine=args.sim_engine)
     print(report)
     for result in report.failures:
         print(f"  {result}")
@@ -363,6 +366,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cosim trials per program and core (default 8)")
     fuzz_p.add_argument("--cosim-seed", type=int, default=0,
                         help="RNG seed for co-simulation stimulus")
+    fuzz_p.add_argument("--sim-engine", default="auto",
+                        choices=("auto", "interp", "compiled"),
+                        help="RTL simulation engine for the cosim oracle "
+                             "(auto = compiled with interpreter fallback)")
     fuzz_p.add_argument("-o", "--out", default="fuzz-out",
                         help="corpus/stats directory (default fuzz-out)")
     fuzz_p.add_argument("--no-reduce", action="store_true",
@@ -386,6 +393,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "report line for reproducibility)")
     verify_p.add_argument("--vcd-dir", default=None,
                           help="dump a VCD waveform per failing trial here")
+    verify_p.add_argument("--sim-engine", default="auto",
+                          choices=("auto", "interp", "compiled"),
+                          help="RTL simulation engine (auto = compiled "
+                               "with interpreter fallback)")
     verify_p.set_defaults(func=_cmd_verify)
 
     datasheet_p = sub.add_parser(

@@ -183,7 +183,9 @@ def evaluate(op: Operation, operand_values: List[int]) -> int:
     name = op.name
     width = op.result.width
     if name == "comb.constant":
-        return op.attr("value")
+        # The attribute is validated at construction/verify time, but mask
+        # defensively: an out-of-range value must never leak into dataflow.
+        return op.attr("value") & mask(width)
     if name in _BINARY_EVAL:
         a, b = operand_values
         return _BINARY_EVAL[name](a, b, width)
@@ -203,15 +205,17 @@ def evaluate(op: Operation, operand_values: List[int]) -> int:
             out = (out << operand.width) | to_unsigned(value, operand.width)
         return out
     if name == "comb.replicate":
-        times = width // op.operands[0].width
+        chunk_width = op.operands[0].width
+        chunk = to_unsigned(operand_values[0], chunk_width)
+        times = width // chunk_width
         out = 0
         for _ in range(times):
-            out = (out << op.operands[0].width) | operand_values[0]
+            out = (out << chunk_width) | chunk
         return out
     if name == "comb.rom":
         table = op.attr("values")
         index = operand_values[0]
-        return table[index] if index < len(table) else 0
+        return table[index] & mask(width) if index < len(table) else 0
     raise IRError(f"no evaluation rule for '{name}'")
 
 
@@ -226,7 +230,7 @@ def _fold(op: Operation, operand_values: List[Optional[int]]) -> Optional[int]:
 # ---------------------------------------------------------------------------
 
 register_op(OpDef("comb.constant", verifier=_verify_constant,
-                  folder=lambda op, vals: op.attr("value")))
+                  folder=lambda op, vals: op.attr("value") & mask(op.result.width)))
 for _name in _BINARY_EVAL:
     register_op(OpDef(_name, verifier=_verify_binary, folder=_fold))
 register_op(OpDef("comb.not", verifier=_verify_same_width, folder=_fold))

@@ -34,6 +34,7 @@ class FuzzConfig:
     cores: Tuple[str, ...] = ()              # () => DEFAULT_CORES
     trials: int = 8                          # cosim trials per core
     cosim_seed: int = 0
+    sim_engine: str = "auto"                 # RTL sim engine for the oracles
     workers: int = 1                         # <=1 => inline, no process pool
     out_dir: str = "fuzz-out"
     reduce: bool = True
@@ -115,7 +116,8 @@ def run_fuzz_payload(payload: dict) -> dict:
         report = run_oracles(
             program.source, cores=cores,
             trials=int(payload.get("trials", 8)),
-            cosim_seed=int(payload.get("cosim_seed", 0)))
+            cosim_seed=int(payload.get("cosim_seed", 0)),
+            sim_engine=str(payload.get("sim_engine", "auto")))
     except Exception as exc:
         record["invalid"] = f"{type(exc).__name__}: {exc}"
         return record
@@ -133,7 +135,8 @@ def _reduction_predicate(config: FuzzConfig,
     def predicate(text: str) -> bool:
         try:
             report = run_oracles(text, cores=(core,), trials=config.trials,
-                                 cosim_seed=config.cosim_seed)
+                                 cosim_seed=config.cosim_seed,
+                                 sim_engine=config.sim_engine)
         except Exception:
             return False        # candidate no longer elaborates: invalid
         return any(f.kind == kind for f in report.failures)
@@ -175,6 +178,7 @@ def run_campaign(config: FuzzConfig,
                 "cores": list(cores),
                 "trials": config.trials,
                 "cosim_seed": config.cosim_seed,
+                "sim_engine": config.sim_engine,
             },
             label=f"fuzz seed {seed}",
         )
@@ -217,6 +221,7 @@ def run_campaign(config: FuzzConfig,
                 "detail": failure["detail"],
                 "cosim_seed": config.cosim_seed,
                 "trials": config.trials,
+                "sim_engine": config.sim_engine,
                 "original_bytes": len(seed_outcome.source),
                 "reduced_bytes": len(reduced),
             })
@@ -240,6 +245,7 @@ def run_campaign(config: FuzzConfig,
         "budget": dataclasses.asdict(budget),
         "trials": config.trials,
         "cosim_seed": config.cosim_seed,
+        "sim_engine": config.sim_engine,
         "status_counts": by_status,
         "failing_seeds": [o.seed for o in outcomes if o.status == "fail"],
         "invalid_seeds": [o.seed for o in outcomes

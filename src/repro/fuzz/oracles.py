@@ -1,6 +1,6 @@
 """The per-program differential oracle stack.
 
-Three oracles, run per core (paper Sections 4.4 and 5.3 provide the first
+Four oracles, run per core (paper Sections 4.4 and 5.3 provide the first
 two as fixed-corpus spot checks; here they become programmable):
 
 * **schedule** — compile with the LP-free fastpath *and* the MILP engine
@@ -15,6 +15,10 @@ two as fixed-corpus spot checks; here they become programmable):
 * **determinism** — compile the same source twice and require byte-identical
   SystemVerilog and config YAML (any iteration-order leak in lowering,
   scheduling or hwgen shows up here first).
+* **simengine** — run the interpreting and the compiled RTL-simulation
+  engines (:mod:`repro.sim.compile`) over the same random stimulus on every
+  generated module and require identical output traces, register counts and
+  final register state.
 
 Elaboration errors (parse/typecheck) are *not* oracle failures: generated
 programs are well-typed by construction, so an elaboration error is a
@@ -31,6 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.frontend.elaboration import elaborate
 from repro.hls.longnail import compile_isax
 from repro.scheduling import ilp
+from repro.sim.compile import crosscheck_engines
 from repro.sim.cosim import verify_artifact
 
 #: Cores every program is checked against by default (the paper's four
@@ -42,7 +47,7 @@ DEFAULT_CORES: Tuple[str, ...] = ("ORCA", "Piccolo", "PicoRV32", "VexRiscv")
 class OracleFailure:
     """One oracle violation; picklable and JSON-able."""
 
-    kind: str       # "compile" | "schedule" | "cosim" | "determinism"
+    kind: str  # "compile" | "schedule" | "cosim" | "determinism" | "simengine"
     core: str
     detail: str
 
@@ -82,7 +87,8 @@ def run_oracles(source: str,
                 cores: Optional[Sequence[str]] = None,
                 trials: int = 8,
                 cosim_seed: int = 0,
-                vcd_dir: Optional[str] = None) -> OracleReport:
+                vcd_dir: Optional[str] = None,
+                sim_engine: str = "auto") -> OracleReport:
     """Run the full oracle stack on one CoreDSL source string.
 
     Raises :class:`repro.utils.diagnostics.CoreDSLError` if the program
@@ -123,13 +129,22 @@ def run_oracles(source: str,
 
         # Oracle 2: interpreter vs RTL co-simulation.
         report = verify_artifact(fast, trials=trials, seed=cosim_seed,
-                                 vcd_dir=vcd_dir)
+                                 vcd_dir=vcd_dir, sim_engine=sim_engine)
         vcd_paths.extend(report.vcd_paths)
         for result in report.failures:
             failures.append(OracleFailure(
                 kind="cosim", core=core, detail=str(result)))
 
-        # Oracle 3: byte-identical artifacts across two runs.
+        # Oracle 3: compiled vs interpreted RTL-simulation engines.
+        for name, functionality in fast.functionalities.items():
+            mismatch = crosscheck_engines(
+                functionality.module, cycles=max(trials, 8), seed=cosim_seed)
+            if mismatch is not None:
+                failures.append(OracleFailure(
+                    kind="simengine", core=core,
+                    detail=f"{name}: {mismatch}"))
+
+        # Oracle 4: byte-identical artifacts across two runs.
         again = compile_isax(source, core, engine="fastpath",
                              schedule_cache=False)
         if again.verilog != fast.verilog:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.ir.core import Block, Graph, Operation, Region, Value
+from repro.ir.core import Block, Graph, IRError, Operation, Region, Value
 
 
 class Builder:
@@ -32,6 +32,14 @@ class Builder:
         return operation
 
     def constant(self, value: int, width: int, op_name: str = "comb.constant") -> Value:
+        # Reject values a `width`-bit constant cannot represent instead of
+        # silently masking an overflowed computation; negative values are
+        # accepted as two's complement when they fit in `width` bits.
+        if value > (1 << width) - 1 or value < -(1 << (width - 1)):
+            raise IRError(
+                f"constant {value} out of range for a {width}-bit "
+                f"'{op_name}'"
+            )
         key = (op_name, value, width)
         cached = self._constants.get(key)
         if cached is not None:

@@ -4,8 +4,10 @@ The paper verifies functional correctness "by performing RTL simulation of
 the execution of handwritten assembler programs" (Section 5.3).  This
 package provides the equivalents:
 
-* :mod:`repro.sim.rtl_sim` — a cycle-driven interpreter for generated hw
-  modules (the ISAX datapaths),
+* :mod:`repro.sim.rtl_sim` — a cycle-driven simulator for generated hw
+  modules (the ISAX datapaths), with two engines: a reference interpreter
+  and a netlist-to-Python compiled engine (:mod:`repro.sim.compile`,
+  ``engine="interp"|"compiled"|"auto"``; see ``docs/simulation.md``),
 * :mod:`repro.sim.coredsl_interp` — a golden-model interpreter executing
   CoreDSL behaviors directly on an architectural state,
 * :mod:`repro.sim.riscv` — an RV32I assembler, a functional ISS, and
@@ -14,6 +16,12 @@ package provides the equivalents:
 """
 
 from repro.sim.rtl_sim import RTLSimulator
+from repro.sim.compile import (
+    SIM_ENGINES,
+    CompiledModule,
+    compile_module,
+    crosscheck_engines,
+)
 from repro.sim.coredsl_interp import ArchState, CoreDSLInterpreter
 from repro.sim.cosim import (
     CosimResult,
@@ -25,6 +33,10 @@ from repro.sim.cosim import (
 
 __all__ = [
     "RTLSimulator",
+    "SIM_ENGINES",
+    "CompiledModule",
+    "compile_module",
+    "crosscheck_engines",
     "ArchState",
     "CoreDSLInterpreter",
     "CosimResult",

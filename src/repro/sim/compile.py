@@ -1,0 +1,265 @@
+"""Netlist-to-Python compilation for the RTL simulator.
+
+The interpreting engine in :mod:`repro.sim.rtl_sim` re-walks the
+``comb``/``seq`` netlist op by op every cycle, paying a dict lookup per SSA
+value and a dispatch per operation.  This module removes that per-cycle
+overhead: it takes the simulator's topological schedule once and
+code-generates a single straight-line Python ``step`` function per module —
+one local variable per SSA value, constant-folded width masks, register
+state in a flat list, and the outputs dict built in one literal — then
+compiles it with :func:`compile`/``exec``.
+
+The generated function has the signature ``step(inputs, regs)`` where
+``inputs`` maps input-port names to ints (missing ports read 0) and
+``regs`` is the flat mutable register-state list; it returns the
+output-port dict observed before the clock edge and updates ``regs`` in
+place.  :class:`~repro.sim.rtl_sim.RTLSimulator` wraps it behind the usual
+``step``/``run``/``reset``/``output`` API via ``engine="compiled"``.
+
+Semantics are bit-identical to the interpreter by construction (the same
+evaluation rules from :mod:`repro.dialects.comb` are either inlined or
+called as helpers), and :func:`crosscheck_engines` packages the
+compiled-vs-interpreted comparison as a reusable differential oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.dialects import comb
+from repro.dialects.hw import HWModule
+from repro.ir.core import IRError, Operation
+from repro.utils.bits import mask
+
+#: Engine selector values accepted by RTLSimulator/cosim/CLI.
+SIM_ENGINES = ("auto", "interp", "compiled")
+
+
+def resolve_engine(engine: str) -> str:
+    if engine not in SIM_ENGINES:
+        raise IRError(
+            f"unknown sim engine {engine!r}; expected one of {SIM_ENGINES}"
+        )
+    return engine
+
+
+class CompiledModule:
+    """One compiled module: the generated ``step`` plus its metadata."""
+
+    __slots__ = ("module", "source", "step", "register_ops")
+
+    def __init__(self, module: HWModule, source: str, step,
+                 register_ops: List[Operation]):
+        self.module = module
+        self.source = source
+        self.step = step
+        self.register_ops = register_ops
+
+
+# Signed comparisons on w-bit unsigned patterns: XORing both sides with the
+# sign bit maps two's-complement order onto unsigned order, so the generated
+# code stays branch-free.  Division/modulo/arithmetic-shift keep the shared
+# helpers (they are rare in real netlists and not worth inlining).
+_SIGNED_ICMP = {"slt": "<", "sle": "<=", "sgt": ">", "sge": ">="}
+_UNSIGNED_ICMP = {"eq": "==", "ne": "!=", "ult": "<", "ule": "<=",
+                  "ugt": ">", "uge": ">="}
+
+
+def compile_module(module: HWModule,
+                   order: Optional[List[Operation]] = None) -> CompiledModule:
+    """Code-generate and compile the per-cycle ``step`` for ``module``.
+
+    ``order`` is the register-first topological schedule; when omitted it is
+    recomputed with :meth:`RTLSimulator._schedule`.  Raises :class:`IRError`
+    on operations without a generation rule.
+    """
+    if order is None:
+        from repro.sim.rtl_sim import RTLSimulator
+        order = RTLSimulator._schedule(module)
+
+    names: Dict[object, str] = {}          # Value -> local variable name
+    env: Dict[str, object] = {
+        "_divu": comb._eval_divu,
+        "_divs": comb._eval_divs,
+        "_modu": comb._eval_modu,
+        "_mods": comb._eval_mods,
+        "_shrs": comb._eval_shrs,
+    }
+    lines: List[str] = []
+    outputs: List[str] = []                # "'name': vN" dict entries
+    register_ops: List[Operation] = []
+
+    def ref(value) -> str:
+        try:
+            return names[value]
+        except KeyError:
+            raise IRError(
+                f"module '{module.name}': operand of unscheduled origin"
+            ) from None
+
+    def define(op: Operation) -> str:
+        name = f"v{len(names)}"
+        names[op.result] = name
+        return name
+
+    for op in order:
+        kind = op.name
+        if kind == "hw.input":
+            port = module.port(op.attr("name"))
+            lines.append(
+                f"    {define(op)} = inputs.get({port.name!r}, 0)"
+                f" & {mask(port.width):#x}"
+            )
+        elif kind == "hw.output":
+            outputs.append(f"{op.attr('name')!r}: {ref(op.operands[0])}")
+        elif kind == "seq.compreg":
+            lines.append(f"    {define(op)} = regs[{len(register_ops)}]")
+            register_ops.append(op)
+        else:
+            lines.append(f"    {define(op)} = {_expression(op, ref, env)}")
+
+    body = lines or ["    pass"]
+    body.append("    _outputs = {" + ", ".join(outputs) + "}")
+    # Clock edge: every register's cycle value is already in a local, so
+    # in-place updates cannot disturb other registers' data expressions.
+    for index, op in enumerate(register_ops):
+        data = ref(op.operands[0])
+        if len(op.operands) == 2:
+            body.append(f"    if {ref(op.operands[1])}:")
+            body.append(f"        regs[{index}] = {data}")
+        else:
+            body.append(f"    regs[{index}] = {data}")
+    body.append("    return _outputs")
+    source = "def _step(inputs, regs):\n" + "\n".join(body) + "\n"
+
+    code = compile(source, f"<rtl-sim:{module.name}>", "exec")
+    exec(code, env)  # noqa: S102 - generated from the verified netlist only
+    return CompiledModule(module, source, env["_step"], register_ops)
+
+
+def _expression(op: Operation, ref, env: Dict[str, object]) -> str:
+    """Python expression computing ``op`` from already-masked operands.
+
+    Invariant: every local holds its value masked to its width, so purely
+    width-preserving operators (and/or/xor/mux/...) need no re-masking and
+    the masks that remain are folded to literals at compile time.
+    """
+    kind = op.name
+    width = op.result.width
+    m = f"{mask(width):#x}"
+    operands = [ref(value) for value in op.operands]
+    if kind == "comb.constant":
+        return f"{op.attr('value') & mask(width):#x}"
+    if kind in ("comb.add", "comb.sub", "comb.mul"):
+        sign = {"comb.add": "+", "comb.sub": "-", "comb.mul": "*"}[kind]
+        return f"({operands[0]} {sign} {operands[1]}) & {m}"
+    if kind == "comb.and":
+        return f"{operands[0]} & {operands[1]}"
+    if kind == "comb.or":
+        return f"{operands[0]} | {operands[1]}"
+    if kind == "comb.xor":
+        return f"{operands[0]} ^ {operands[1]}"
+    if kind == "comb.not":
+        return f"{operands[0]} ^ {m}"
+    if kind == "comb.divu":
+        return f"({operands[0]} // {operands[1]} if {operands[1]} else {m})"
+    if kind == "comb.modu":
+        return (f"({operands[0]} % {operands[1]} if {operands[1]} "
+                f"else {operands[0]})")
+    if kind in ("comb.divs", "comb.mods", "comb.shrs"):
+        helper = {"comb.divs": "_divs", "comb.mods": "_mods",
+                  "comb.shrs": "_shrs"}[kind]
+        return f"{helper}({operands[0]}, {operands[1]}, {width})"
+    if kind == "comb.shl":
+        return (f"(({operands[0]} << {operands[1]}) & {m} "
+                f"if {operands[1]} < {width} else 0)")
+    if kind == "comb.shru":
+        return (f"({operands[0]} >> {operands[1]} "
+                f"if {operands[1]} < {width} else 0)")
+    if kind == "comb.icmp":
+        predicate = op.attr("predicate")
+        a, b = operands
+        if predicate in _UNSIGNED_ICMP:
+            return f"(1 if {a} {_UNSIGNED_ICMP[predicate]} {b} else 0)"
+        sign_bit = f"{1 << (op.operands[0].width - 1):#x}"
+        return (f"(1 if ({a} ^ {sign_bit}) {_SIGNED_ICMP[predicate]} "
+                f"({b} ^ {sign_bit}) else 0)")
+    if kind == "comb.mux":
+        return f"({operands[1]} if {operands[0]} else {operands[2]})"
+    if kind == "comb.extract":
+        low = op.attr("low")
+        shifted = operands[0] if low == 0 else f"({operands[0]} >> {low})"
+        if low + width == op.operands[0].width:
+            return shifted if low else operands[0]
+        return f"{shifted} & {m}"
+    if kind == "comb.concat":
+        out = operands[0]
+        for value, text in zip(op.operands[1:], operands[1:]):
+            out = f"({out} << {value.width} | {text})"
+        return out
+    if kind == "comb.replicate":
+        # value * 0b...0001_0001 concatenates the copies in one multiply.
+        chunk_width = op.operands[0].width
+        times = width // chunk_width
+        repunit = sum(1 << (chunk_width * i) for i in range(times))
+        return f"{operands[0]} * {repunit:#x}"
+    if kind == "comb.rom":
+        table_name = f"_rom{len(env)}"
+        env[table_name] = tuple(v & mask(width) for v in op.attr("values"))
+        return (f"({table_name}[{operands[0]}] "
+                f"if {operands[0]} < {len(env[table_name])} else 0)")
+    raise IRError(f"no compilation rule for '{kind}'")
+
+
+# ---------------------------------------------------------------------------
+# Differential oracle: compiled vs interpreted
+# ---------------------------------------------------------------------------
+
+def random_stimulus(module: HWModule, cycles: int,
+                    seed: int = 0) -> List[Dict[str, int]]:
+    """Reproducible random input trace exercising every input port."""
+    rng = random.Random(seed)
+    ports = module.inputs
+    return [
+        {port.name: rng.getrandbits(port.width) for port in ports}
+        for _ in range(cycles)
+    ]
+
+
+def crosscheck_engines(module: HWModule, cycles: int = 32,
+                       seed: int = 0) -> Optional[str]:
+    """Run both engines over the same random stimulus.
+
+    Returns ``None`` when the output traces, register counts and final
+    register states agree exactly, else a human-readable mismatch
+    description.  This is the standing compiled-vs-interpreted equivalence
+    oracle used by the tests and the fuzz campaigns.
+    """
+    from repro.sim.rtl_sim import RTLSimulator
+
+    interp = RTLSimulator(module, engine="interp")
+    compiled = RTLSimulator(module, engine="compiled")
+    if interp.register_count != compiled.register_count:
+        return (f"register count: interp={interp.register_count} "
+                f"compiled={compiled.register_count}")
+    for cycle, vector in enumerate(random_stimulus(module, cycles, seed)):
+        a = interp.step(vector)
+        b = compiled.step(vector)
+        if a != b:
+            return (f"cycle {cycle}: outputs differ "
+                    f"(interp={a!r} compiled={b!r})")
+    if interp.register_state() != compiled.register_state():
+        return (f"final register state: interp={interp.register_state()!r} "
+                f"compiled={compiled.register_state()!r}")
+    return None
+
+
+__all__ = [
+    "SIM_ENGINES",
+    "CompiledModule",
+    "compile_module",
+    "crosscheck_engines",
+    "random_stimulus",
+    "resolve_engine",
+]

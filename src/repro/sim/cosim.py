@@ -71,8 +71,9 @@ def _find_output(outputs: Dict[str, int], prefix: str) -> Optional[int]:
 
 
 def _steady_outputs(functionality: FunctionalityArtifact,
-                    inputs: Dict[str, int]) -> Dict[str, int]:
-    sim = RTLSimulator(functionality.module)
+                    inputs: Dict[str, int],
+                    sim_engine: str = "auto") -> Dict[str, int]:
+    sim = RTLSimulator(functionality.module, engine=sim_engine)
     depth = functionality.schedule.makespan + 2
     outputs: Dict[str, int] = {}
     for _ in range(depth):
@@ -81,7 +82,8 @@ def _steady_outputs(functionality: FunctionalityArtifact,
 
 
 def cosim_instruction(artifact: IsaxArtifact, name: str, state: ArchState,
-                      field_values: Dict[str, int]) -> CosimResult:
+                      field_values: Dict[str, int],
+                      sim_engine: str = "auto") -> CosimResult:
     """Co-simulate one instruction against a *copy* of ``state``."""
     functionality = artifact.artifact(name)
     isa = artifact.isa
@@ -119,7 +121,7 @@ def cosim_instruction(artifact: IsaxArtifact, name: str, state: ArchState,
             if reg in state.custom:
                 inputs[port.name] = state.read_custom(reg)
 
-    outputs = _steady_outputs(functionality, inputs)
+    outputs = _steady_outputs(functionality, inputs, sim_engine)
     for _round in range(3):
         changed = False
         read_addr = _find_output(outputs, "mem_raddr")
@@ -148,14 +150,14 @@ def cosim_instruction(artifact: IsaxArtifact, name: str, state: ArchState,
                                 changed = True
         if not changed:
             break
-        outputs = _steady_outputs(functionality, inputs)
+        outputs = _steady_outputs(functionality, inputs, sim_engine)
 
     return _compare(functionality, effects, outputs, state, golden_state,
                     inputs)
 
 
 def cosim_always(artifact: IsaxArtifact, name: str,
-                 state: ArchState) -> CosimResult:
+                 state: ArchState, sim_engine: str = "auto") -> CosimResult:
     """Co-simulate one always-block evaluation (single combinational
     cycle)."""
     functionality = artifact.artifact(name)
@@ -178,7 +180,7 @@ def cosim_always(artifact: IsaxArtifact, name: str,
             reg = port.name[2:port.name.index("_data_")]
             if reg in state.custom:
                 inputs[port.name] = state.read_custom(reg)
-    outputs = RTLSimulator(module).step(inputs)
+    outputs = RTLSimulator(module, engine=sim_engine).step(inputs)
     return _compare(functionality, effects, outputs, state, golden_state,
                     inputs)
 
@@ -273,12 +275,13 @@ class VerificationReport:
 
 def _dump_failure_vcd(functionality: FunctionalityArtifact,
                       result: CosimResult, vcd_dir: str, artifact_name: str,
-                      core_name: str, seed: int, trial: int) -> str:
+                      core_name: str, seed: int, trial: int,
+                      sim_engine: str = "auto") -> str:
     """Trace the failing stimulus through the module and save a VCD next to
     the report, so the waveform is not discarded with the trial."""
     from repro.sim.vcd import VCDTracer  # deferred: keeps cosim import-light
 
-    tracer = VCDTracer(functionality.module)
+    tracer = VCDTracer(functionality.module, engine=sim_engine)
     depth = functionality.schedule.makespan + 2
     for _ in range(depth):
         tracer.step(result.rtl_inputs)
@@ -294,13 +297,15 @@ def _dump_failure_vcd(functionality: FunctionalityArtifact,
 
 def verify_artifact(artifact: IsaxArtifact, trials: int = 25,
                     seed: int = 0,
-                    vcd_dir: Optional[str] = None) -> VerificationReport:
+                    vcd_dir: Optional[str] = None,
+                    sim_engine: str = "auto") -> VerificationReport:
     """Randomized co-simulation of every functionality in an artifact.
 
     ``seed`` is recorded in the report (and its printed line) so any
     mismatch is reproducible from the output alone; with ``vcd_dir`` set,
     each failing trial's waveform is saved as a VCD file there instead of
-    being discarded.
+    being discarded.  ``sim_engine`` selects the RTL simulation engine
+    (``auto``/``interp``/``compiled``, see :mod:`repro.sim.compile`).
     """
     rng = random.Random(seed)
     failures: List[CosimResult] = []
@@ -327,15 +332,18 @@ def verify_artifact(artifact: IsaxArtifact, trials: int = 25,
                 for reg_field in ("rs1", "rs2", "rd"):
                     if reg_field in fields:
                         fields[reg_field] = rng.randrange(32)
-                result = cosim_instruction(artifact, name, state, fields)
+                result = cosim_instruction(artifact, name, state, fields,
+                                           sim_engine=sim_engine)
             else:
-                result = cosim_always(artifact, name, state)
+                result = cosim_always(artifact, name, state,
+                                      sim_engine=sim_engine)
             if not result.matches:
                 failures.append(result)
                 if vcd_dir is not None:
                     vcd_paths.append(_dump_failure_vcd(
                         functionality, result, vcd_dir, artifact.name,
                         artifact.core_name, seed, total,
+                        sim_engine=sim_engine,
                     ))
     return VerificationReport(
         artifact=artifact.name,

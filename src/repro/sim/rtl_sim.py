@@ -1,34 +1,72 @@
 """Cycle-driven simulation of generated hw modules.
 
-Interprets the ``comb``/``seq`` netlist of an :class:`HWModule` directly:
-each :meth:`RTLSimulator.step` applies input values, evaluates the
-combinational logic in topological order, samples the outputs, and then
-clocks the pipeline registers (honoring their stall enables).  This is the
+Simulates the ``comb``/``seq`` netlist of an :class:`HWModule`: each
+:meth:`RTLSimulator.step` applies input values, evaluates the combinational
+logic in topological order, samples the outputs, and then clocks the
+pipeline registers (honoring their stall enables).  This is the
 reproduction's equivalent of running the emitted SystemVerilog through a
 commercial simulator, and it backs the co-simulation tests that compare the
 generated hardware against the CoreDSL golden interpreter.
+
+Two engines implement the cycle, selected with ``engine=``:
+
+* ``"interp"`` — walks the netlist op by op through
+  :func:`repro.dialects.comb.evaluate` (the original, reference engine),
+* ``"compiled"`` — a straight-line Python ``step`` function generated once
+  per module by :mod:`repro.sim.compile` (typically >10x faster),
+* ``"auto"`` (default) — the compiled engine, falling back to the
+  interpreter if the module contains an op without a compilation rule.
+
+Both engines share the register-first topological schedule, the flat
+register state, and the public ``step``/``run``/``reset``/``output`` API,
+and are held to bit-identical behavior by the standing
+compiled-vs-interpreted differential oracle
+(:func:`repro.sim.compile.crosscheck_engines`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.dialects import comb
 from repro.dialects.hw import HWModule
 from repro.ir.core import IRError, Operation, Value
+from repro.sim.compile import compile_module, resolve_engine
 
 
 class RTLSimulator:
     """Simulates one hw module cycle by cycle."""
 
-    def __init__(self, module: HWModule):
+    def __init__(self, module: HWModule, engine: str = "auto"):
+        resolve_engine(engine)
         self.module = module
         self._order: List[Operation] = self._schedule(module)
-        self._registers: Dict[Operation, int] = {
-            op: 0 for op in self._order if op.name == "seq.compreg"
+        self._reg_ops: List[Operation] = [
+            op for op in self._order if op.name == "seq.compreg"
+        ]
+        self._reg_index: Dict[Operation, int] = {
+            op: i for i, op in enumerate(self._reg_ops)
         }
+        self._reg_state: List[int] = [0] * len(self._reg_ops)
+        self._input_names = frozenset(p.name for p in module.inputs)
         self._last_outputs: Dict[str, int] = {}
         self.cycle = 0
+        self._compiled = None
+        if engine == "compiled":
+            compiled = compile_module(module, self._order)
+        elif engine == "auto":
+            try:
+                compiled = compile_module(module, self._order)
+            except IRError:
+                compiled = None
+        else:
+            compiled = None
+        if compiled is not None:
+            # The compiler registers state slots in schedule order too, so
+            # the flat list is shared as-is between both engines.
+            assert compiled.register_ops == self._reg_ops
+            self._compiled = compiled
+        self.engine = "compiled" if self._compiled is not None else "interp"
 
     @staticmethod
     def _schedule(module: HWModule) -> List[Operation]:
@@ -68,8 +106,8 @@ class RTLSimulator:
     # ------------------------------------------------------------------ API
     def reset(self) -> None:
         """Reset all pipeline registers to zero."""
-        for op in self._registers:
-            self._registers[op] = 0
+        for index in range(len(self._reg_state)):
+            self._reg_state[index] = 0
         self.cycle = 0
         self._last_outputs = {}
 
@@ -80,14 +118,24 @@ class RTLSimulator:
         Returns the output-port values observed *before* the clock edge.
         """
         inputs = inputs or {}
-        unknown = set(inputs) - {p.name for p in self.module.inputs}
-        if unknown:
+        if not inputs.keys() <= self._input_names:
+            unknown = sorted(set(inputs) - self._input_names)
             raise IRError(
-                f"unknown input port(s) {sorted(unknown)} on module "
+                f"unknown input port(s) {unknown} on module "
                 f"'{self.module.name}'"
             )
+        if self._compiled is not None:
+            outputs = self._compiled.step(inputs, self._reg_state)
+        else:
+            outputs = self._interp_step(inputs)
+        self.cycle += 1
+        self._last_outputs = outputs
+        return outputs
+
+    def _interp_step(self, inputs: Dict[str, int]) -> Dict[str, int]:
         values: Dict[Value, int] = {}
         outputs: Dict[str, int] = {}
+        regs = self._reg_state
         for op in self._order:
             if op.name == "hw.input":
                 port = self.module.port(op.attr("name"))
@@ -96,18 +144,16 @@ class RTLSimulator:
             elif op.name == "hw.output":
                 outputs[op.attr("name")] = values[op.operands[0]]
             elif op.name == "seq.compreg":
-                values[op.result] = self._registers[op]
+                values[op.result] = regs[self._reg_index[op]]
             else:
                 operand_values = [values[o] for o in op.operands]
                 values[op.result] = comb.evaluate(op, operand_values)
         # Clock edge: update registers.
-        for op in self._registers:
+        for index, op in enumerate(self._reg_ops):
             data = values[op.operands[0]]
             enable = values[op.operands[1]] if len(op.operands) == 2 else 1
             if enable:
-                self._registers[op] = data
-        self.cycle += 1
-        self._last_outputs = outputs
+                regs[index] = data
         return outputs
 
     def run(self, input_trace: List[Dict[str, int]]) -> List[Dict[str, int]]:
@@ -120,6 +166,15 @@ class RTLSimulator:
             raise IRError(f"no sampled value for output '{name}'")
         return self._last_outputs[name]
 
+    def register_state(self) -> Tuple[int, ...]:
+        """Current register values, in schedule order (pre-edge values of
+        the upcoming cycle)."""
+        return tuple(self._reg_state)
+
+    def register_value(self, op: Operation) -> int:
+        """Current value of one ``seq.compreg`` operation."""
+        return self._reg_state[self._reg_index[op]]
+
     @property
     def register_count(self) -> int:
-        return len(self._registers)
+        return len(self._reg_ops)

@@ -41,9 +41,10 @@ def _binary(value: int, width: int) -> str:
 class VCDTracer:
     """Runs a module while recording a VCD trace."""
 
-    def __init__(self, module: HWModule, timescale: str = "1ns"):
+    def __init__(self, module: HWModule, timescale: str = "1ns",
+                 engine: str = "auto"):
         self.module = module
-        self.sim = RTLSimulator(module)
+        self.sim = RTLSimulator(module, engine=engine)
         self.timescale = timescale
         self._signals: List[tuple] = []   # (name, width, vcd id, getter key)
         self._last: Dict[str, Optional[int]] = {}
@@ -66,6 +67,13 @@ class VCDTracer:
     def step(self, inputs: Optional[Dict[str, int]] = None) -> Dict[str, int]:
         """Advance one cycle, recording all signal values."""
         inputs = inputs or {}
+        # A register's output during cycle t is its *pre-edge* value, so
+        # capture the register state before stepping: that keeps every
+        # signal at one timestamp coherent (a register change appears one
+        # timestamp after the data input that caused it, exactly like the
+        # emitted SystemVerilog in a real simulator).
+        pre_edge = {op: self.sim.register_value(op)
+                    for op in self.module.registers()}
         outputs = self.sim.step(inputs)
         values: Dict[str, int] = {}
         values.update({p.name: inputs.get(p.name, 0)
@@ -76,7 +84,7 @@ class VCDTracer:
             if key[0] == "port":
                 value = values.get(key[1], 0)
             else:
-                value = self.sim._registers[key[1]]
+                value = pre_edge[key[1]]
             if self._last[vcd_id] != value:
                 self._last[vcd_id] = value
                 if width == 1:
@@ -110,11 +118,12 @@ def _sanitize(name: str) -> str:
 
 
 def trace_instruction(artifact, name: str, inputs: Dict[str, int],
-                      cycles: Optional[int] = None) -> VCDTracer:
+                      cycles: Optional[int] = None,
+                      engine: str = "auto") -> VCDTracer:
     """Convenience: trace one functionality driven with constant inputs for
     ``cycles`` (default: pipeline depth + 2)."""
     functionality = artifact.artifact(name)
-    tracer = VCDTracer(functionality.module)
+    tracer = VCDTracer(functionality.module, engine=engine)
     depth = cycles or functionality.schedule.makespan + 2
     for _ in range(depth):
         tracer.step(inputs)

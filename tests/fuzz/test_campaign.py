@@ -67,18 +67,25 @@ def test_injected_fault_caught_reduced_deduplicated(tmp_path, monkeypatch):
     monkeypatch.setattr(campaign_module, "generate_program",
                         lambda seed, budget=None: _planted_program(seed))
     out = str(tmp_path / "out")
+    # sim_engine="interp": the fault lives in the interpreter's eval table
+    # and must actually be executed by the cosim oracle.
     config = FuzzConfig(seeds=2, seed_start=40, trials=3,
-                        cores=("VexRiscv",), out_dir=out)
+                        cores=("VexRiscv",), out_dir=out,
+                        sim_engine="interp")
     result = run_campaign(config)
 
     assert result.failing_seeds == [40, 41]
-    # Deduplication: both seeds map onto one canonical reproducer.
-    assert len(result.reproducers) == 2
-    assert len(result.new_reproducers) == 1
+    # The broken interpreter xor trips two oracles: cosim (interpreter vs
+    # golden model) and simengine (interpreter vs compiled engine).
+    # Deduplication: both seeds map onto one canonical reproducer per kind.
+    assert len(result.reproducers) == 4
+    assert len(result.new_reproducers) == 2
     corpus = FuzzCorpus(out)
-    assert len(corpus) == 1
-    (name,) = corpus.entries()
-    assert name.startswith("cosim-")
+    assert len(corpus) == 2
+    kinds = sorted(entry.split("-")[0] for entry in corpus.entries())
+    assert kinds == ["cosim", "simengine"]
+    name = next(entry for entry in corpus.entries()
+                if entry.startswith("cosim-"))
 
     # Reduction quality: <= 25% of the original planted program.
     meta = json.loads(open(
@@ -91,7 +98,7 @@ def test_injected_fault_caught_reduced_deduplicated(tmp_path, monkeypatch):
 
     stats = json.loads(open(result.stats_path).read())
     assert stats["failing_seeds"] == [40, 41]
-    assert stats["corpus_size"] == 1
+    assert stats["corpus_size"] == 2
 
 
 def test_worker_pool_matches_inline(tmp_path):

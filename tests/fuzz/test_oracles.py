@@ -41,11 +41,15 @@ def test_invalid_program_raises_not_reports():
 def test_cosim_oracle_catches_broken_comb_op(monkeypatch):
     """A deliberately wrong RTL-side comb.xor must surface as a cosim
     failure (interpreter and netlist disagree)."""
+    # The fault is planted in the *interpreting* engine's eval table, so
+    # pin the cosim oracle to it (the compiled engine inlines comb.xor and
+    # would not see the patch).
     monkeypatch.setitem(comb._BINARY_EVAL, "comb.xor",
                         lambda a, b, w: (a ^ b) ^ 1)
-    report = run_oracles(XOR_ISAX, cores=("VexRiscv",), trials=3)
+    report = run_oracles(XOR_ISAX, cores=("VexRiscv",), trials=3,
+                         sim_engine="interp")
     assert not report.ok
-    assert report.kinds == ("cosim",)
+    assert "cosim" in report.kinds
 
 
 def test_schedule_oracle_catches_suboptimal_engine(monkeypatch):

@@ -1,0 +1,80 @@
+"""Width-correctness regressions for comb evaluation and construction.
+
+Two historical bugs: ``comb.constant`` evaluation returned the raw
+attribute without truncating to the result width, and ``comb.replicate``
+ORed the raw operand into the result without the ``to_unsigned``
+normalization that ``comb.concat`` applies.  Both must stay masked, and
+the IR builder must reject out-of-range constants at construction time
+instead of silently masking an overflowed computation.
+"""
+
+import pytest
+
+from repro.dialects import comb
+from repro.ir.builder import Builder
+from repro.ir.core import Graph, IRError, Operation
+
+
+def test_constant_evaluation_masked_to_result_width():
+    # Construct the op directly (bypassing builder/verifier) with an
+    # out-of-range attribute: evaluation must still truncate.
+    op = Operation("comb.constant", [], [(8, None)], {"value": 0x1FF})
+    assert comb.evaluate(op, []) == 0xFF
+
+
+def test_constant_folder_masked_to_result_width():
+    op = Operation("comb.constant", [], [(8, None)], {"value": 0x123})
+    assert op.opdef.folder(op, []) == 0x23
+
+
+def test_replicate_normalizes_oversized_operand():
+    graph = Graph("g")
+    builder = Builder.at(graph)
+    nibble = builder.constant(0, 4)
+    op = builder.create("comb.replicate", [nibble], [(8, None)])
+    # Operand value wider than its declared 4 bits: the extra bits must
+    # not bleed into the replicated result (matches comb.concat).
+    assert comb.evaluate(op, [0x1F]) == 0xFF
+    assert comb.evaluate(op, [0x5]) == 0x55
+
+
+def test_concat_and_replicate_agree_on_normalization():
+    graph = Graph("g")
+    builder = Builder.at(graph)
+    nibble = builder.constant(0, 4)
+    concat = builder.create("comb.concat", [nibble, nibble], [(8, None)])
+    replicate = builder.create("comb.replicate", [nibble], [(8, None)])
+    for raw in (0x5, 0x1F, 0xFF):
+        assert (comb.evaluate(concat, [raw, raw])
+                == comb.evaluate(replicate, [raw]))
+
+
+def test_builder_rejects_out_of_range_constants():
+    builder = Builder.at(Graph("g"))
+    with pytest.raises(IRError):
+        builder.constant(256, 8)
+    with pytest.raises(IRError):
+        builder.constant(-129, 8)
+
+
+def test_builder_accepts_full_range_and_twos_complement():
+    builder = Builder.at(Graph("g"))
+    assert builder.constant(255, 8).owner.attr("value") == 0xFF
+    assert builder.constant(-1, 8).owner.attr("value") == 0xFF
+    assert builder.constant(-128, 8).owner.attr("value") == 0x80
+
+
+def test_verifier_rejects_out_of_range_attribute():
+    op = Operation("comb.constant", [], [(8, None)], {"value": 0x100})
+    with pytest.raises(IRError):
+        op.verify()
+
+
+def test_rom_lookup_masked_to_result_width():
+    graph = Graph("g")
+    builder = Builder.at(graph)
+    index = builder.constant(0, 2)
+    op = builder.create("comb.rom", [index], [(8, None)],
+                        {"values": [0x1FF, 2, 3, 4]})
+    assert comb.evaluate(op, [0]) == 0xFF
+    assert comb.evaluate(op, [3]) == 4

@@ -37,8 +37,9 @@ def test_same_seed_reproduces_same_verdict(monkeypatch):
     monkeypatch.setitem(comb._BINARY_EVAL, "comb.xor",
                         lambda a, b, w: (a ^ b) ^ 1)
     artifact = compile_isax(XOR_ISAX, "VexRiscv")
-    first = verify_artifact(artifact, trials=3, seed=5)
-    second = verify_artifact(artifact, trials=3, seed=5)
+    # The fault is planted in the interpreting engine's eval table.
+    first = verify_artifact(artifact, trials=3, seed=5, sim_engine="interp")
+    second = verify_artifact(artifact, trials=3, seed=5, sim_engine="interp")
     assert not first.passed and not second.passed
     assert len(first.failures) == len(second.failures)
 
@@ -48,7 +49,8 @@ def test_failing_trial_dumps_vcd(tmp_path, monkeypatch):
                         lambda a, b, w: (a ^ b) ^ 1)
     artifact = compile_isax(XOR_ISAX, "VexRiscv")
     vcd_dir = str(tmp_path / "waves")
-    report = verify_artifact(artifact, trials=3, seed=0, vcd_dir=vcd_dir)
+    report = verify_artifact(artifact, trials=3, seed=0, vcd_dir=vcd_dir,
+                             sim_engine="interp")
     assert not report.passed
     assert report.vcd_paths
     for path in report.vcd_paths:

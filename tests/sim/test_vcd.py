@@ -5,8 +5,23 @@ import re
 import pytest
 
 from repro import compile_isax
+from repro.dialects.hw import HWModule
+from repro.ir.core import Operation
 from repro.isaxes import DOTPROD
 from repro.sim.vcd import VCDTracer, _identifier, trace_instruction
+
+
+def changes_by_timestamp(text):
+    """Map VCD timestamp -> list of value-change records."""
+    sections = {}
+    current = None
+    for line in text.splitlines():
+        if line.startswith("#"):
+            current = int(line[1:])
+            sections.setdefault(current, [])
+        elif current is not None and not line.startswith("$"):
+            sections[current].append(line)
+    return sections
 
 
 class TestIdentifiers:
@@ -75,6 +90,49 @@ class TestTracing:
         tracer.step({})  # identical inputs: steady state, few/no changes
         second = len(tracer._changes) - first
         assert second < first
+
+    def test_register_change_lags_data_input_by_one_timestamp(self):
+        """Regression: registers used to be recorded *after* the clock
+        edge, so a register trace at time t showed next-cycle values while
+        port traces showed cycle-t values.  All signals at one timestamp
+        must be coherent: the register change appears one timestamp after
+        the data input that caused it."""
+        module = HWModule("skew")
+        data = module.add_input("d", 8)
+        reg = Operation("seq.compreg", [data], [(8, None)], {"name": "r"})
+        module.body.append(reg)
+        module.add_output("q", reg.result)
+
+        tracer = VCDTracer(module)
+        tracer.step({"d": 5})
+        tracer.step({"d": 5})
+        text = tracer.dumps()
+        reg_id = re.search(r"\$var wire 8 (\S+) r \$end", text).group(1)
+        out_id = re.search(r"\$var wire 8 (\S+) q \$end", text).group(1)
+        sections = changes_by_timestamp(text)
+        # Cycle 0: d=5 is applied, but the register still reads 0 — and so
+        # does the output port it drives (coherent timestamp).
+        assert f"b{0:08b} {reg_id}" in sections[0]
+        assert f"b{0:08b} {out_id}" in sections[0]
+        assert f"b{5:08b} {reg_id}" not in sections[0]
+        # Cycle 1: the clocked value becomes visible, on both signals.
+        assert f"b{5:08b} {reg_id}" in sections[1]
+        assert f"b{5:08b} {out_id}" in sections[1]
+
+    def test_tracer_records_same_waves_on_both_engines(self,
+                                                       dotprod_artifact):
+        functionality = dotprod_artifact.artifact("dotp")
+        module = functionality.module
+        enc = dotprod_artifact.isa.instructions["dotp"].encoding
+        word = enc.encode({"rs1": 3, "rs2": 4, "rd": 5})
+        dumps = {}
+        for engine in ("interp", "compiled"):
+            tracer = VCDTracer(module, engine=engine)
+            assert tracer.sim.engine == engine
+            for _ in range(functionality.schedule.makespan + 2):
+                tracer.step(drive(module, 0x01010101, 0x02020202, word))
+            dumps[engine] = tracer.dumps()
+        assert dumps["interp"] == dumps["compiled"]
 
     def test_save(self, dotprod_artifact, tmp_path):
         path = tmp_path / "dotp.vcd"
