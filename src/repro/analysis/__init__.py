@@ -1,0 +1,46 @@
+"""Static analysis: CoreDSL lint rules and the IR verifier.
+
+Tier A (:mod:`repro.analysis.lint`) walks the typed AST of an elaborated
+ISA and reports structured :class:`~repro.utils.diagnostics.Diagnostic`
+records with stable ``LNxxx`` codes.  Tier B (:mod:`repro.analysis.verifier`)
+checks the ``lil``/``comb``/``hw`` graphs and solved schedules that the
+lowering stages produce (``IVxxx`` codes); it runs between pipeline phases
+under ``REPRO_IR_VERIFY=1``, inside the fuzz oracle stack, and on demand
+via ``repro-longnail lint``.
+"""
+
+from repro.analysis.lint import (
+    LINT_RULES,
+    LintContext,
+    LintRule,
+    lint_cross_isa,
+    lint_source,
+    run_lints,
+)
+from repro.analysis.verifier import (
+    IR_CHECKS,
+    IRVerifyError,
+    ir_verify_enabled,
+    require_valid,
+    verify_artifact_ir,
+    verify_graph,
+    verify_module,
+    verify_schedule,
+)
+
+__all__ = [
+    "LINT_RULES",
+    "LintContext",
+    "LintRule",
+    "lint_cross_isa",
+    "lint_source",
+    "run_lints",
+    "IR_CHECKS",
+    "IRVerifyError",
+    "ir_verify_enabled",
+    "require_valid",
+    "verify_artifact_ir",
+    "verify_graph",
+    "verify_module",
+    "verify_schedule",
+]

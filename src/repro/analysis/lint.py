@@ -1,0 +1,627 @@
+"""The CoreDSL semantic linter (Tier A of the static-analysis subsystem).
+
+Rules run over the *typed* AST of an :class:`ElaboratedISA` — every
+expression already carries a ``ctype`` and, where known, a ``const_value``
+— so checks are width- and signedness-aware without re-implementing the
+type system.  Each rule has a stable code (``LNxxx``), a slug, a default
+severity and a docstring; :data:`LINT_RULES` is the registry the CLI's
+``--enable``/``--disable`` flags and the documentation generator consume.
+
+The whole rule set shares a single AST traversal: :class:`LintContext`
+flattens every behavior's statements and expressions once (and computes
+state read/write sets once), so linting stays well under the documented
+5% overhead budget of a cold compile (benchmarks/bench_lint_overhead.py).
+
+========  ==========================  ========================================
+code      rule                        finding
+========  ==========================  ========================================
+LN001     implicit-truncation         compound assignment silently truncates
+LN002     shift-width                 constant shift amount >= operand width
+LN003     sign-compare                relational compare mixes signedness
+LN004     state-read-before-write     custom state read but never initialized
+LN005     unused-state                custom state element never referenced
+LN006     unused-function             function unreachable from any behavior
+LN007     unused-field                encoding operand field never used
+LN008     unreachable-code            statement after return/spawn
+LN009     dead-branch                 branch condition is compile-time constant
+LN010     encoding-overlap            two instructions match the same word
+LN011     encoding-overlap-cross      overlap across ISAXes of one compile job
+========  ==========================  ========================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.elaboration import ElabInstruction, ElaboratedISA, elaborate
+from repro.frontend.typecheck import StateInfo
+from repro.utils.diagnostics import (
+    Diagnostic,
+    Severity,
+    SourceLocation,
+    sort_diagnostics,
+)
+
+# ---------------------------------------------------------------------------
+# Typed-AST walking helpers
+# ---------------------------------------------------------------------------
+
+def child_stmts(stmt: ast.Stmt) -> List[ast.Stmt]:
+    """Direct child statements of one statement (no recursion)."""
+    if isinstance(stmt, ast.BlockStmt):
+        return list(stmt.statements)
+    if isinstance(stmt, ast.IfStmt):
+        return [s for s in (stmt.then_body, stmt.else_body) if s is not None]
+    if isinstance(stmt, ast.ForStmt):
+        return [s for s in (stmt.init, stmt.step, stmt.body) if s is not None]
+    if isinstance(stmt, ast.WhileStmt):
+        return [stmt.body] if stmt.body is not None else []
+    if isinstance(stmt, ast.SwitchStmt):
+        return [case.body for case in stmt.cases if case.body is not None]
+    if isinstance(stmt, ast.SpawnStmt):
+        return [stmt.body] if stmt.body is not None else []
+    return []
+
+
+def stmt_exprs(stmt: ast.Stmt) -> List[ast.Expr]:
+    """Expressions directly owned by one statement (no recursion)."""
+    if isinstance(stmt, ast.VarDecl):
+        return [stmt.init] if stmt.init is not None else []
+    if isinstance(stmt, ast.Assign):
+        return [e for e in (stmt.target, stmt.value) if e is not None]
+    if isinstance(stmt, ast.ExprStmt):
+        return [stmt.expr] if stmt.expr is not None else []
+    if isinstance(stmt, ast.IfStmt):
+        return [stmt.cond] if stmt.cond is not None else []
+    if isinstance(stmt, ast.ForStmt):
+        return [stmt.cond] if stmt.cond is not None else []
+    if isinstance(stmt, ast.WhileStmt):
+        return [stmt.cond] if stmt.cond is not None else []
+    if isinstance(stmt, ast.SwitchStmt):
+        exprs = [stmt.value] if stmt.value is not None else []
+        exprs.extend(c.label for c in stmt.cases if c.label is not None)
+        return exprs
+    if isinstance(stmt, ast.ReturnStmt):
+        return [stmt.value] if stmt.value is not None else []
+    return []
+
+
+def expr_children(expr: ast.Expr) -> List[ast.Expr]:
+    if isinstance(expr, ast.BinaryOp):
+        return [e for e in (expr.lhs, expr.rhs) if e is not None]
+    if isinstance(expr, ast.UnaryOp):
+        return [expr.operand] if expr.operand is not None else []
+    if isinstance(expr, ast.Conditional):
+        return [e for e in (expr.cond, expr.true_value, expr.false_value)
+                if e is not None]
+    if isinstance(expr, ast.Cast):
+        return [expr.operand] if expr.operand is not None else []
+    if isinstance(expr, ast.FunctionCall):
+        return list(expr.args)
+    if isinstance(expr, ast.IndexExpr):
+        return [e for e in (expr.base, expr.index) if e is not None]
+    if isinstance(expr, ast.RangeExpr):
+        return [e for e in (expr.base, expr.hi, expr.lo) if e is not None]
+    return []
+
+
+def iter_stmts(root: Optional[ast.Stmt]) -> Iterator[ast.Stmt]:
+    """Pre-order traversal over all statements under (and including) root."""
+    if root is None:
+        return
+    stack: List[ast.Stmt] = [root]
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        stack.extend(reversed(child_stmts(stmt)))
+
+
+def _flatten_exprs(roots: Iterable[ast.Expr]) -> List[ast.Expr]:
+    """All expression nodes under the given roots, pre-order."""
+    flat: List[ast.Expr] = []
+    stack = list(roots)
+    stack.reverse()
+    while stack:
+        expr = stack.pop()
+        flat.append(expr)
+        stack.extend(reversed(expr_children(expr)))
+    return flat
+
+
+def iter_exprs(root: Optional[ast.Stmt]) -> Iterator[ast.Expr]:
+    """All expression nodes in a statement subtree, pre-order."""
+    for stmt in iter_stmts(root):
+        yield from _flatten_exprs(stmt_exprs(stmt))
+
+
+# ---------------------------------------------------------------------------
+# Rule framework
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class Behavior:
+    """One lintable behavior with enough context to locate findings."""
+
+    kind: str                       # "instruction" | "always" | "function"
+    name: str
+    body: Optional[ast.BlockStmt]
+    loc: Optional[SourceLocation] = None
+    fields: Tuple[str, ...] = ()    # encoding operand fields (instructions)
+
+
+#: One pre-computed traversal: (behavior, all statements, all expressions).
+Walk = Tuple[Behavior, List[ast.Stmt], List[ast.Expr]]
+
+
+class LintContext:
+    """Shared input for every rule: one primary ISA plus, for cross-job
+    rules, all ISAs of the compile job.
+
+    The context owns the single shared AST traversal (:meth:`walks`) and
+    the combined state access sets (:meth:`state_accesses`); rules iterate
+    the cached results instead of re-walking the tree.
+    """
+
+    def __init__(self, isa: ElaboratedISA,
+                 isas: Sequence[ElaboratedISA] = ()) -> None:
+        self.isa = isa
+        self.isas: Tuple[ElaboratedISA, ...] = tuple(isas) or (isa,)
+        self._walks: Optional[List[Walk]] = None
+        self._accesses: Optional[Tuple[Dict[str, SourceLocation],
+                                       Set[str]]] = None
+
+    def walks(self, include_functions: bool = True) -> List[Walk]:
+        if self._walks is None:
+            behaviors = [
+                Behavior("instruction", i.name, i.behavior, i.loc,
+                         tuple(i.fields))
+                for i in self.isa.instructions.values()
+            ]
+            behaviors.extend(
+                Behavior("always", a.name, a.body, a.loc)
+                for a in self.isa.always_blocks.values()
+            )
+            behaviors.extend(
+                Behavior("function", sig.name, sig.definition.body,
+                         sig.definition.loc)
+                for sig in self.isa.functions.values()
+            )
+            self._walks = []
+            for behavior in behaviors:
+                stmts = list(iter_stmts(behavior.body))
+                exprs = _flatten_exprs(
+                    e for stmt in stmts for e in stmt_exprs(stmt))
+                self._walks.append((behavior, stmts, exprs))
+        if include_functions:
+            return self._walks
+        return [w for w in self._walks if w[0].kind != "function"]
+
+    def custom_regs(self) -> List[StateInfo]:
+        return [s for s in self.isa.custom_state()
+                if s.kind in ("scalar_reg", "array_reg")]
+
+    def state_accesses(self) -> Tuple[Dict[str, SourceLocation], Set[str]]:
+        """Combined over every behavior: (first read location per state
+        element, set of written state elements).  Compound assignments
+        count as both; index/range expressions on a write target count
+        their subscripts as reads."""
+        if self._accesses is None:
+            state = self.isa.state
+            first_read: Dict[str, SourceLocation] = {}
+            written: Set[str] = set()
+
+            def record_reads(roots: Iterable[ast.Expr]) -> None:
+                for node in _flatten_exprs(roots):
+                    if isinstance(node, ast.Identifier) \
+                            and node.name in state:
+                        first_read.setdefault(node.name, node.loc)
+
+            for _behavior, stmts, _exprs in self.walks():
+                for stmt in stmts:
+                    if not isinstance(stmt, ast.Assign):
+                        record_reads(stmt_exprs(stmt))
+                        continue
+                    target = stmt.target
+                    name = None
+                    if isinstance(target, ast.Identifier):
+                        name = target.name
+                    elif isinstance(target, (ast.IndexExpr, ast.RangeExpr)) \
+                            and isinstance(target.base, ast.Identifier):
+                        name = target.base.name
+                    if name is not None and name in state:
+                        written.add(name)
+                        if stmt.op != "=":
+                            first_read.setdefault(
+                                name, target.loc if target else stmt.loc)
+                    if isinstance(target, ast.IndexExpr):
+                        record_reads([target.index] if target.index else [])
+                    elif isinstance(target, ast.RangeExpr):
+                        record_reads([e for e in (target.hi, target.lo)
+                                      if e is not None])
+                    if stmt.value is not None:
+                        record_reads([stmt.value])
+            self._accesses = (first_read, written)
+        return self._accesses
+
+
+RuleCheck = Callable[[LintContext], Iterable[Diagnostic]]
+
+
+@dataclasses.dataclass(frozen=True)
+class LintRule:
+    code: str
+    name: str
+    severity: Severity
+    description: str
+    check: RuleCheck
+
+    def diagnostic(self, message: str, loc: Optional[SourceLocation] = None,
+                   fix_hint: Optional[str] = None) -> Diagnostic:
+        return Diagnostic(self.code, self.severity, message, loc,
+                          rule=self.name, fix_hint=fix_hint)
+
+
+#: Registry: code -> rule.  Ordered by code; the CLI and docs rely on it.
+LINT_RULES: Dict[str, LintRule] = {}
+
+
+def lint_rule(code: str, name: str, severity: Severity,
+              description: str) -> Callable[[RuleCheck], RuleCheck]:
+    def wrap(check: RuleCheck) -> RuleCheck:
+        if code in LINT_RULES:
+            raise ValueError(f"duplicate lint rule code {code}")
+        LINT_RULES[code] = LintRule(code, name, severity, description, check)
+        return check
+    return wrap
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+@lint_rule("LN001", "implicit-truncation", Severity.WARNING,
+           "A compound assignment ('a op= b') truncates the operation's "
+           "result back to the target's width; a right-hand side wider than "
+           "the target silently loses its upper bits.")
+def _check_implicit_truncation(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN001"]
+    for behavior, stmts, _exprs in ctx.walks():
+        for stmt in stmts:
+            if not isinstance(stmt, ast.Assign) or stmt.op == "=":
+                continue
+            target, value = stmt.target, stmt.value
+            if target is None or value is None:
+                continue
+            if target.ctype is None or value.ctype is None:
+                continue
+            if value.ctype.width > target.ctype.width:
+                yield rule.diagnostic(
+                    f"'{stmt.op}' truncates a {value.ctype.width}-bit value "
+                    f"to the {target.ctype.width}-bit target in "
+                    f"{behavior.kind} '{behavior.name}'",
+                    stmt.loc,
+                    fix_hint="widen the target or cast the right-hand side "
+                             "explicitly",
+                )
+
+
+@lint_rule("LN002", "shift-width", Severity.WARNING,
+           "A constant shift amount greater than or equal to the operand "
+           "width always produces 0 (or the sign fill); almost certainly "
+           "an off-by-one in the shift distance.")
+def _check_shift_width(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN002"]
+    for behavior, _stmts, exprs in ctx.walks():
+        for expr in exprs:
+            if not isinstance(expr, ast.BinaryOp) \
+                    or expr.op not in ("<<", ">>"):
+                continue
+            lhs, rhs = expr.lhs, expr.rhs
+            if lhs is None or rhs is None or lhs.ctype is None:
+                continue
+            amount = rhs.const_value
+            if amount is not None and amount >= lhs.ctype.width:
+                yield rule.diagnostic(
+                    f"shift amount {amount} >= operand width "
+                    f"{lhs.ctype.width} in {behavior.kind} "
+                    f"'{behavior.name}'; the result is constant",
+                    expr.loc,
+                )
+
+
+@lint_rule("LN003", "sign-compare", Severity.WARNING,
+           "A relational comparison between a signed and an unsigned "
+           "operand converts both to a common type; negative values then "
+           "compare as large positive numbers.")
+def _check_sign_compare(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN003"]
+    for behavior, _stmts, exprs in ctx.walks():
+        for expr in exprs:
+            if not isinstance(expr, ast.BinaryOp) \
+                    or expr.op not in ("<", "<=", ">", ">="):
+                continue
+            lhs, rhs = expr.lhs, expr.rhs
+            if lhs is None or rhs is None:
+                continue
+            if lhs.ctype is None or rhs.ctype is None:
+                continue
+            if lhs.ctype.is_signed == rhs.ctype.is_signed:
+                continue
+            # A non-negative constant on either side is always safe: it is
+            # representable in the common supertype with its value intact.
+            consts = [e.const_value for e in (lhs, rhs)
+                      if e.const_value is not None]
+            if consts and all(value >= 0 for value in consts):
+                continue
+            yield rule.diagnostic(
+                f"comparison '{expr.op}' mixes "
+                f"{lhs.ctype} and {rhs.ctype} in {behavior.kind} "
+                f"'{behavior.name}'",
+                expr.loc,
+                fix_hint="cast one operand so both sides share signedness",
+            )
+
+
+@lint_rule("LN004", "state-read-before-write", Severity.WARNING,
+           "A custom state element is read by some behavior but has no "
+           "initializer and is never written anywhere in the ISA: every "
+           "read observes an undefined power-on value.")
+def _check_state_read_before_write(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN004"]
+    first_read, written = ctx.state_accesses()
+    for info in ctx.custom_regs():
+        if info.init_values is not None:
+            continue
+        if info.name in first_read and info.name not in written:
+            diag = rule.diagnostic(
+                f"custom state '{info.name}' is read but never written and "
+                "has no initializer",
+                first_read[info.name],
+                fix_hint=f"add an initializer to '{info.name}' or write it "
+                         "in a setup instruction",
+            )
+            if info.loc is not None:
+                diag.with_note(f"'{info.name}' declared here", info.loc)
+            yield diag
+
+
+@lint_rule("LN005", "unused-state", Severity.WARNING,
+           "A custom state element (register, register file or constant "
+           "register) is never read or written by any instruction, "
+           "always-block or function.")
+def _check_unused_state(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN005"]
+    first_read, written = ctx.state_accesses()
+    referenced = set(first_read) | written
+    for info in ctx.isa.custom_state():
+        if info.name not in referenced:
+            yield rule.diagnostic(
+                f"custom state '{info.name}' is never used",
+                info.loc,
+                fix_hint=f"remove '{info.name}' or reference it in a "
+                         "behavior",
+            )
+
+
+@lint_rule("LN006", "unused-function", Severity.WARNING,
+           "A function is not reachable from any instruction or "
+           "always-block (directly or through other called functions).")
+def _check_unused_function(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN006"]
+    calls: Dict[Tuple[str, str], Set[str]] = {}
+    for behavior, _stmts, exprs in ctx.walks():
+        calls[(behavior.kind, behavior.name)] = {
+            expr.callee for expr in exprs
+            if isinstance(expr, ast.FunctionCall)
+        }
+    reachable: Set[str] = set()
+    frontier: Set[str] = set()
+    for (kind, _name), callees in calls.items():
+        if kind != "function":
+            frontier |= callees
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        frontier |= calls.get(("function", name), set()) - reachable
+    for name, sig in ctx.isa.functions.items():
+        if name not in reachable:
+            yield rule.diagnostic(
+                f"function '{name}' is never called from any instruction "
+                "or always-block",
+                sig.definition.loc,
+            )
+
+
+@lint_rule("LN007", "unused-field", Severity.WARNING,
+           "An operand field declared in an instruction's encoding is never "
+           "referenced by its behavior; the instruction ignores those "
+           "instruction-word bits.")
+def _check_unused_field(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN007"]
+    for behavior, _stmts, exprs in ctx.walks(include_functions=False):
+        if behavior.kind != "instruction" or not behavior.fields:
+            continue
+        used = {expr.name for expr in exprs
+                if isinstance(expr, ast.Identifier)}
+        for field in behavior.fields:
+            if field not in used:
+                yield rule.diagnostic(
+                    f"operand field '{field}' of instruction "
+                    f"'{behavior.name}' is never used in its behavior",
+                    behavior.loc,
+                )
+
+
+@lint_rule("LN008", "unreachable-code", Severity.WARNING,
+           "Statements that follow a 'return' or 'spawn' in the same block "
+           "can never execute.")
+def _check_unreachable(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN008"]
+    for behavior, stmts, _exprs in ctx.walks():
+        for stmt in stmts:
+            if not isinstance(stmt, ast.BlockStmt):
+                continue
+            for prev, nxt in zip(stmt.statements, stmt.statements[1:]):
+                if isinstance(prev, (ast.ReturnStmt, ast.SpawnStmt)):
+                    kind = ("return" if isinstance(prev, ast.ReturnStmt)
+                            else "spawn")
+                    yield rule.diagnostic(
+                        f"statement in {behavior.kind} '{behavior.name}' is "
+                        f"unreachable after '{kind}'",
+                        nxt.loc,
+                    )
+                    break   # one finding per block is enough
+
+
+@lint_rule("LN009", "dead-branch", Severity.WARNING,
+           "A branch or loop condition folds to a compile-time constant, "
+           "so one arm can never execute.")
+def _check_dead_branch(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN009"]
+    for behavior, stmts, exprs in ctx.walks():
+        for stmt in stmts:
+            if isinstance(stmt, ast.IfStmt) and stmt.cond is not None \
+                    and stmt.cond.const_value is not None:
+                always = bool(stmt.cond.const_value)
+                dead = "else branch" if always else "then branch"
+                yield rule.diagnostic(
+                    f"condition is always "
+                    f"{'true' if always else 'false'}; the {dead} of "
+                    f"this 'if' in {behavior.kind} '{behavior.name}' "
+                    "is dead",
+                    stmt.cond.loc,
+                )
+            elif isinstance(stmt, ast.WhileStmt) and not stmt.is_do_while \
+                    and stmt.cond is not None \
+                    and stmt.cond.const_value == 0:
+                yield rule.diagnostic(
+                    f"'while' condition is always false in {behavior.kind} "
+                    f"'{behavior.name}'; the loop body is dead",
+                    stmt.cond.loc,
+                )
+        for expr in exprs:
+            if isinstance(expr, ast.Conditional) and expr.cond is not None \
+                    and expr.cond.const_value is not None:
+                always = bool(expr.cond.const_value)
+                yield rule.diagnostic(
+                    f"conditional expression is always "
+                    f"{'true' if always else 'false'} in {behavior.kind} "
+                    f"'{behavior.name}'",
+                    expr.cond.loc,
+                )
+
+
+@lint_rule("LN010", "encoding-overlap", Severity.ERROR,
+           "Two instructions of the same ISA match at least one common "
+           "instruction word: the decoder cannot distinguish them.")
+def _check_encoding_overlap(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN010"]
+    for a_name, b_name in ctx.isa.check_encoding_conflicts():
+        a = ctx.isa.instructions[a_name]
+        b = ctx.isa.instructions[b_name]
+        diag = rule.diagnostic(
+            f"encodings of '{a_name}' ({a.encoding.pattern}) and "
+            f"'{b_name}' ({b.encoding.pattern}) overlap",
+            b.loc,
+            fix_hint="disambiguate the fixed bits (opcode/funct fields) of "
+                     "one encoding",
+        )
+        if a.loc is not None:
+            diag.with_note(f"'{a_name}' defined here", a.loc)
+        yield diag
+
+
+@lint_rule("LN011", "encoding-overlap-cross", Severity.WARNING,
+           "Two instructions from *different* ISAXes of the same compile "
+           "job match a common instruction word; integrating both on one "
+           "core creates a decode conflict.")
+def _check_encoding_overlap_cross(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN011"]
+    if len(ctx.isas) < 2:
+        return
+    flat: List[Tuple[str, ElabInstruction]] = []
+    for isa in ctx.isas:
+        flat.extend((isa.name, instr) for instr in isa.instructions.values())
+    for i, (isa_a, a) in enumerate(flat):
+        for isa_b, b in flat[i + 1:]:
+            if isa_a == isa_b:
+                continue        # intra-ISA pairs are LN010's job
+            if a.encoding.overlaps(b.encoding):
+                diag = rule.diagnostic(
+                    f"encoding of '{isa_b}.{b.name}' "
+                    f"({b.encoding.pattern}) overlaps "
+                    f"'{isa_a}.{a.name}' ({a.encoding.pattern})",
+                    b.loc,
+                )
+                if a.loc is not None:
+                    diag.with_note(f"'{isa_a}.{a.name}' defined here", a.loc)
+                yield diag
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+def _selected_rules(enable: Optional[Sequence[str]],
+                    disable: Optional[Sequence[str]]) -> List[LintRule]:
+    known = set(LINT_RULES)
+    for requested in list(enable or []) + list(disable or []):
+        if requested not in known:
+            raise ValueError(f"unknown lint rule {requested!r}; known rules: "
+                             + ", ".join(sorted(known)))
+    codes = set(enable) if enable else known
+    codes -= set(disable or [])
+    return [LINT_RULES[code] for code in sorted(codes)]
+
+
+def run_lints(isa: ElaboratedISA,
+              enable: Optional[Sequence[str]] = None,
+              disable: Optional[Sequence[str]] = None,
+              isas: Optional[Sequence[ElaboratedISA]] = None
+              ) -> List[Diagnostic]:
+    """Run the (selected) lint rules over one elaborated ISA.
+
+    ``enable`` restricts to the given codes; ``disable`` removes codes
+    (applied after ``enable``).  ``isas`` supplies the whole compile job
+    for cross-ISAX rules; defaults to just ``isa``.
+    """
+    ctx = LintContext(isa, tuple(isas) if isas else ())
+    diagnostics: List[Diagnostic] = []
+    for rule in _selected_rules(enable, disable):
+        diagnostics.extend(rule.check(ctx))
+    return sort_diagnostics(diagnostics)
+
+
+def lint_cross_isa(isas: Sequence[ElaboratedISA]) -> List[Diagnostic]:
+    """Cross-ISAX rules only (LN011), over a whole compile job."""
+    if len(isas) < 2:
+        return []
+    ctx = LintContext(isas[0], tuple(isas))
+    return sort_diagnostics(
+        list(LINT_RULES["LN011"].check(ctx))
+    )
+
+
+def lint_source(source: str, top: Optional[str] = None,
+                filename: str = "<input>",
+                enable: Optional[Sequence[str]] = None,
+                disable: Optional[Sequence[str]] = None
+                ) -> Tuple[ElaboratedISA, List[Diagnostic]]:
+    """Elaborate a CoreDSL source and lint it; raises CoreDSLError if the
+    source does not elaborate."""
+    isa = elaborate(source, top=top, filename=filename)
+    return isa, run_lints(isa, enable=enable, disable=disable)

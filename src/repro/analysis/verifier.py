@@ -1,0 +1,300 @@
+"""The IR verifier (Tier B of the static-analysis subsystem).
+
+Checks the invariants the lowering pipeline promises but nothing used to
+enforce end-to-end: SSA scoping, per-op structural invariants, constants
+inside their type's range, acyclic combinational dataflow, schedule
+legality (precedence and datasheet windows) and module port wiring.
+Findings are the same structured :class:`~repro.utils.diagnostics.Diagnostic`
+records the frontend linter emits, with ``IVxxx`` codes; all IR-verifier
+findings are errors — a violated invariant means a later stage (or the
+generated RTL) is silently wrong.
+
+========  =====================  ==========================================
+code      check                  invariant
+========  =====================  ==========================================
+IV001     ssa-def-before-use     every operand is defined in the same graph
+IV002     op-invariant           per-op structural verifier (widths, attrs)
+IV003     constant-range         constant/ROM values fit the element width
+IV004     comb-cycle             dataflow graphs are acyclic
+IV005     schedule-precedence    start times respect dependence edges
+IV006     schedule-window        start times inside [earliest, latest]
+IV007     module-ports           every declared output port is driven
+========  =====================  ==========================================
+
+The pipeline (:func:`repro.hls.longnail.compile_isax`) runs these between
+phases when ``REPRO_IR_VERIFY=1`` (see :func:`ir_verify_enabled`), the
+fuzz oracle stack always runs them (oracle kind ``irverify``), and
+``repro-longnail lint`` runs them on demand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import TYPE_CHECKING, Dict, Iterator, List, Sequence
+
+from repro.ir.core import Graph, IRError, Operation
+from repro.utils.bits import mask
+from repro.utils.diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:                              # imports used only in hints
+    from repro.dialects.hw import HWModule
+    from repro.hls.longnail import IsaxArtifact
+    from repro.scheduling.scheduler import ScheduleResult
+
+
+@dataclasses.dataclass(frozen=True)
+class IRCheck:
+    """Metadata for one verifier check (mirrors :class:`LintRule`)."""
+
+    code: str
+    name: str
+    description: str
+
+    def diagnostic(self, message: str) -> Diagnostic:
+        return Diagnostic(self.code, Severity.ERROR, message, rule=self.name)
+
+
+#: Registry: code -> check metadata (consumed by docs and the CLI).
+IR_CHECKS: Dict[str, IRCheck] = {
+    check.code: check
+    for check in (
+        IRCheck("IV001", "ssa-def-before-use",
+                "Every operand of every operation must be produced by an "
+                "operation of the same graph or be a block argument; a "
+                "value imported from another graph breaks SSA scoping."),
+        IRCheck("IV002", "op-invariant",
+                "Each operation must satisfy its registered structural "
+                "verifier: operand/result width consistency, required "
+                "attributes, operand counts."),
+        IRCheck("IV003", "constant-range",
+                "'comb.constant' values must fit the result width and "
+                "'lil.rom' initializer values must fit the ROM's element "
+                "width; out-of-range constants silently wrap in RTL."),
+        IRCheck("IV004", "comb-cycle",
+                "Dataflow graphs must be acyclic; a combinational cycle "
+                "is unschedulable and unsynthesizable."),
+        IRCheck("IV005", "schedule-precedence",
+                "A solved schedule must give every operation a start time "
+                "and respect every dependence edge: "
+                "start(i) + latency(i) [+1 for chain breakers] <= start(j)."),
+        IRCheck("IV006", "schedule-window",
+                "Every scheduled operation must start inside the "
+                "[earliest, latest] window of its linked operator type "
+                "(the virtual-datasheet interface constraints)."),
+        IRCheck("IV007", "module-ports",
+                "Every declared output port of a hardware module must be "
+                "driven by exactly one 'hw.output'; undriven ports elide "
+                "logic from the RTL."),
+    )
+}
+
+
+class IRVerifyError(IRError):
+    """Raised by :func:`require_valid` when verification found errors.
+
+    Carries the full diagnostic list so callers (pipeline hooks, fuzz
+    oracles, the CLI) can render precise findings instead of one string.
+    """
+
+    def __init__(self, stage: str, diagnostics: Sequence[Diagnostic]):
+        self.stage = stage
+        self.diagnostics = list(diagnostics)
+        lines = [f"IR verification failed after '{stage}' "
+                 f"({len(self.diagnostics)} finding"
+                 f"{'s' if len(self.diagnostics) != 1 else ''}):"]
+        lines.extend("  " + d.render().splitlines()[0]
+                     for d in self.diagnostics)
+        super().__init__("\n".join(lines))
+
+
+def ir_verify_enabled() -> bool:
+    """True when ``REPRO_IR_VERIFY=1``: the pipeline verifies the IR after
+    every lowering phase (off by default; always on inside fuzz oracles)."""
+    return os.environ.get("REPRO_IR_VERIFY", "") == "1"
+
+
+def require_valid(stage: str, diagnostics: Sequence[Diagnostic]) -> None:
+    """Raise :class:`IRVerifyError` if any diagnostic is an error."""
+    errors = [d for d in diagnostics if d.is_error]
+    if errors:
+        raise IRVerifyError(stage, errors)
+
+
+# ---------------------------------------------------------------------------
+# Graph-level checks (IV001-IV004)
+# ---------------------------------------------------------------------------
+
+def _op_label(graph: Graph, op: Operation, index: int) -> str:
+    return f"'{op.name}' (#{index} in graph '{graph.name}')"
+
+
+def _check_ssa(graph: Graph) -> Iterator[Diagnostic]:
+    check = IR_CHECKS["IV001"]
+    members = set(map(id, graph.operations))
+    block_args = set(map(id, graph.block.arguments))
+    for index, op in enumerate(graph.operations):
+        for operand_index, operand in enumerate(op.operands):
+            if operand.owner is None:
+                if id(operand) not in block_args:
+                    yield check.diagnostic(
+                        f"operand {operand_index} of "
+                        f"{_op_label(graph, op, index)} is a block argument "
+                        "of a different block")
+                continue
+            if id(operand.owner) not in members:
+                yield check.diagnostic(
+                    f"operand {operand_index} of "
+                    f"{_op_label(graph, op, index)} is defined by "
+                    f"'{operand.owner.name}' outside this graph")
+
+
+def _check_op_invariants(graph: Graph) -> Iterator[Diagnostic]:
+    op_check = IR_CHECKS["IV002"]
+    const_check = IR_CHECKS["IV003"]
+    for index, op in enumerate(graph.operations):
+        # Constants get the dedicated, more precise IV003 wording; the
+        # generic op verifier would report the same defect under IV002.
+        if op.name == "comb.constant":
+            value = op.attr("value")
+            width = op.result.width
+            if value is None or value < 0 or value > mask(width):
+                yield const_check.diagnostic(
+                    f"{_op_label(graph, op, index)}: value {value!r} out of "
+                    f"range for a {width}-bit constant "
+                    f"(valid range [0, {mask(width)}])")
+            continue
+        if op.name == "lil.rom":
+            yield from _check_rom(graph, op, index)
+        try:
+            op.verify()
+        except IRError as err:
+            yield op_check.diagnostic(
+                f"{_op_label(graph, op, index)}: {err}")
+
+
+def _check_rom(graph: Graph, op: Operation, index: int
+               ) -> Iterator[Diagnostic]:
+    check = IR_CHECKS["IV003"]
+    count = op.attr("count") or 1
+    element_width = op.result.width // count
+    for position, value in enumerate(op.attr("values") or []):
+        if value < 0 or value > mask(element_width):
+            yield check.diagnostic(
+                f"{_op_label(graph, op, index)}: ROM value {value} at "
+                f"index {position} out of range for the {element_width}-bit "
+                f"element type of '{op.attr('reg')}'")
+
+
+def _check_acyclic(graph: Graph) -> Iterator[Diagnostic]:
+    check = IR_CHECKS["IV004"]
+    try:
+        graph.topological_order()
+    except IRError as err:
+        yield check.diagnostic(str(err))
+    except RecursionError:
+        yield check.diagnostic(
+            f"graph '{graph.name}' is too deep to order; almost certainly "
+            "cyclic")
+
+
+def verify_graph(graph: Graph) -> List[Diagnostic]:
+    """Run the structural checks (IV001-IV004) over one dataflow graph."""
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(_check_ssa(graph))
+    diagnostics.extend(_check_op_invariants(graph))
+    diagnostics.extend(_check_acyclic(graph))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Schedule-level checks (IV005-IV006)
+# ---------------------------------------------------------------------------
+
+def verify_schedule(schedule: "ScheduleResult") -> List[Diagnostic]:
+    """Check a solved schedule for legality (IV005-IV006).
+
+    This re-validates what :meth:`LongnailProblem.verify` enforces, but as
+    structured diagnostics that name every violated edge/window instead of
+    stopping at the first."""
+    diagnostics: List[Diagnostic] = []
+    problem = schedule.problem
+    graph_name = schedule.graph.name
+    precedence = IR_CHECKS["IV005"]
+    window = IR_CHECKS["IV006"]
+
+    missing = [op for op in problem.operations
+               if op not in problem.start_time]
+    for op in missing:
+        diagnostics.append(precedence.diagnostic(
+            f"operation {op!r} of graph '{graph_name}' has no start time"))
+    if missing:
+        return diagnostics
+
+    for dep in problem.dependences:
+        i, j = dep.source, dep.target
+        finish = problem.start_time[i] + problem.latency(i)
+        if dep.is_chain_breaker:
+            finish += 1
+        if finish > problem.start_time[j]:
+            diagnostics.append(precedence.diagnostic(
+                f"graph '{graph_name}': {i!r} finishes at stage {finish} "
+                f"but its {'chain-broken ' if dep.is_chain_breaker else ''}"
+                f"successor {j!r} starts at stage "
+                f"{problem.start_time[j]}"))
+
+    for op in problem.operations:
+        operator_type = problem.linked_operator_type(op)
+        start = problem.start_time[op]
+        if not operator_type.earliest <= start <= operator_type.latest:
+            diagnostics.append(window.diagnostic(
+                f"graph '{graph_name}': {op!r} scheduled at stage {start}, "
+                f"outside the [{operator_type.earliest}, "
+                f"{operator_type.latest}] window of operator type "
+                f"'{operator_type.name}'"))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Module-level checks (IV007 + body graph)
+# ---------------------------------------------------------------------------
+
+def verify_module(module: "HWModule") -> List[Diagnostic]:
+    """Check one generated hardware module: the body graph's structural
+    invariants plus port wiring (IV007)."""
+    diagnostics = verify_graph(module.body)
+    check = IR_CHECKS["IV007"]
+    declared = {port.name for port in module.outputs}
+    driven: Dict[str, int] = {}
+    for op in module.body.operations:
+        if op.name == "hw.output":
+            name = op.attr("name")
+            driven[name] = driven.get(name, 0) + 1
+    for name in sorted(declared - set(driven)):
+        diagnostics.append(check.diagnostic(
+            f"module '{module.name}': output port '{name}' is not driven"))
+    for name in sorted(set(driven) - declared):
+        diagnostics.append(check.diagnostic(
+            f"module '{module.name}': 'hw.output' drives undeclared "
+            f"port '{name}'"))
+    for name, times in sorted(driven.items()):
+        if times > 1 and name in declared:
+            diagnostics.append(check.diagnostic(
+                f"module '{module.name}': output port '{name}' is driven "
+                f"{times} times"))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Whole-artifact entry point
+# ---------------------------------------------------------------------------
+
+def verify_artifact_ir(artifact: "IsaxArtifact") -> List[Diagnostic]:
+    """Verify every functionality of a compiled ISAX: the lil graph, the
+    solved schedule and the generated hardware module."""
+    diagnostics: List[Diagnostic] = []
+    for functionality in artifact.functionalities.values():
+        diagnostics.extend(verify_graph(functionality.graph))
+        diagnostics.extend(verify_schedule(functionality.schedule))
+        diagnostics.extend(verify_module(functionality.module))
+    return diagnostics

@@ -62,6 +62,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     sv_path.write_text(artifact.verilog, encoding="utf-8")
     cfg_path.write_text(artifact.config_yaml, encoding="utf-8")
 
+    for diag in artifact.diagnostics:
+        print(diag.render(), file=sys.stderr)
     print(f"ISAX '{artifact.name}' compiled for {artifact.core_name} "
           f"({artifact.datasheet.cycle_time_ns:.2f} ns cycle)")
     for name, functionality in artifact.functionalities.items():
@@ -148,12 +150,91 @@ def _cmd_batch(args: argparse.Namespace) -> int:
               f"{sched['schedule_cache_misses']} misses "
               f"({sched['schedule_cache_hit_rate']:.0%}), "
               f"solve {sched['solve_seconds']:.3f}s")
+    lint_totals = metrics.lint_totals()
+    if any(lint_totals.values()):
+        print("lint: " + "  ".join(f"{sev}={n}"
+                                   for sev, n in lint_totals.items() if n))
     if cache is not None:
         stats = cache.stats
         print(f"cache: {stats.hits} hits / {stats.misses} misses "
               f"({stats.hit_rate:.0%}), dir {cache.root}")
     print(f"wrote {metrics_path}")
     return 0 if metrics.failed == 0 else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        IRVerifyError,
+        lint_cross_isa,
+        run_lints,
+        verify_artifact_ir,
+    )
+    from repro.frontend.elaboration import elaborate
+    from repro.utils.diagnostics import (
+        RENDERERS,
+        count_by_severity,
+        sort_diagnostics,
+    )
+
+    names = list(args.isax)
+    if args.all_isaxes:
+        names = sorted(set(names) | set(ALL_ISAXES))
+
+    targets: List[tuple] = []           # (label, source)
+    for path in args.targets:
+        targets.append((path, _read_source(path)))
+    for name in names:
+        targets.append((f"{name}.core_desc", ALL_ISAXES[name]))
+    if not targets:
+        print("error: nothing to lint; pass files, --isax or --all-isaxes",
+              file=sys.stderr)
+        return 2
+
+    enable = args.enable or None
+    disable = args.disable or None
+    diagnostics = []
+    isas = []
+    for label, source in targets:
+        isa = elaborate(source, top=args.top, filename=label)
+        isas.append(isa)
+        try:
+            diagnostics.extend(
+                run_lints(isa, enable=enable, disable=disable))
+        except ValueError as err:       # unknown rule code
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+    diagnostics.extend(lint_cross_isa(isas))
+
+    # Optional Tier B: compile for the requested cores and run the IR
+    # verifier over every produced graph, schedule and module.
+    for core in args.core:
+        datasheet = core_datasheet(core)
+        for (label, _source), isa in zip(targets, isas):
+            try:
+                artifact = compile_isax(isa, datasheet, lint=False,
+                                        verify_ir=False)
+            except (CoreDSLError, ScheduleError) as err:
+                from repro.utils.diagnostics import Diagnostic, Severity
+                diagnostics.append(Diagnostic(
+                    "IV000", Severity.ERROR,
+                    f"{label} does not compile for {core}: {err}",
+                    rule="compile"))
+                continue
+            try:
+                for diag in verify_artifact_ir(artifact):
+                    diagnostics.append(diag.with_note(
+                        f"while verifying '{isa.name}' for {core}"))
+            except IRVerifyError as err:
+                diagnostics.extend(err.diagnostics)
+
+    diagnostics = sort_diagnostics(diagnostics)
+    print(RENDERERS[args.format](diagnostics))
+    counts = count_by_severity(diagnostics)
+    if counts["error"]:
+        return 1
+    if args.werror and counts["warning"]:
+        return 1
+    return 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -343,6 +424,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-phase timing JSON path (default: "
                               "<output>/batch_metrics.json)")
     batch_p.set_defaults(func=_cmd_batch)
+
+    lint_p = sub.add_parser(
+        "lint", help="run the CoreDSL lint rules (and, with --core, the "
+                     "IR verifier) over sources or benchmark ISAXes"
+    )
+    lint_p.add_argument("targets", nargs="*", metavar="FILE",
+                        help="CoreDSL source files (.core_desc)")
+    lint_p.add_argument("--isax", action="append", default=[],
+                        choices=sorted(ALL_ISAXES), metavar="ISAX",
+                        help="lint a benchmark ISAX (repeatable)")
+    lint_p.add_argument("--all-isaxes", action="store_true",
+                        help="lint all " + str(len(ALL_ISAXES))
+                             + " benchmark ISAXes")
+    lint_p.add_argument("--core", action="append", default=[],
+                        choices=ALL_CORES, metavar="CORE",
+                        help="also compile for CORE and run the IR "
+                             "verifier (repeatable)")
+    lint_p.add_argument("--top", default=None,
+                        help="InstructionSet/Core to elaborate")
+    lint_p.add_argument("--format", default="text",
+                        choices=("text", "json", "sarif"),
+                        help="output format (default: text)")
+    lint_p.add_argument("--werror", action="store_true",
+                        help="exit non-zero on warnings, not just errors")
+    lint_p.add_argument("--enable", action="append", default=[],
+                        metavar="CODE",
+                        help="run only these rule codes (repeatable)")
+    lint_p.add_argument("--disable", action="append", default=[],
+                        metavar="CODE",
+                        help="skip these rule codes (repeatable)")
+    lint_p.set_defaults(func=_cmd_lint)
 
     fuzz_p = sub.add_parser(
         "fuzz", help="generative differential verification: random "

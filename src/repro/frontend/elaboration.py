@@ -29,7 +29,7 @@ from repro.frontend.typecheck import (
 )
 from repro.frontend.types import IntType, unsigned
 from repro.utils.bits import extract_bits, mask, to_unsigned
-from repro.utils.diagnostics import CoreDSLError
+from repro.utils.diagnostics import CoreDSLError, SourceLocation
 
 #: RISC-V instruction word width targeted by this flow.
 INSTRUCTION_WIDTH = 32
@@ -161,6 +161,7 @@ class ElabInstruction:
     fields: Dict[str, IntType]
     has_spawn: bool = False
     origin: str = ""
+    loc: Optional[SourceLocation] = None
 
 
 @dataclasses.dataclass
@@ -168,6 +169,7 @@ class ElabAlways:
     name: str
     body: ast.BlockStmt
     origin: str = ""
+    loc: Optional[SourceLocation] = None
 
 
 class ElaboratedISA:
@@ -340,11 +342,13 @@ class _Elaborator:
                 isa.instructions[instr.name] = ElabInstruction(
                     name=instr.name, encoding=encoding, behavior=instr.behavior,
                     fields=fields, has_spawn=has_spawn, origin=origin,
+                    loc=instr.loc,
                 )
             for always in body.always_blocks:
                 checker.check_always(always)
                 isa.always_blocks[always.name] = ElabAlways(
-                    name=always.name, body=always.body, origin=origin
+                    name=always.name, body=always.body, origin=origin,
+                    loc=always.loc,
                 )
         return isa
 
@@ -413,6 +417,7 @@ class _Elaborator:
         isa.state[decl.name] = StateInfo(
             decl.name, kind, element, size=size,
             attributes=list(decl.attributes), init_values=init_values,
+            loc=decl.loc,
         )
 
     def _signature(self, isa: ElaboratedISA, fn: ast.FunctionDef) -> FunctionSig:

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.frontend import ast_nodes as ast
 from repro.frontend import types as ty
 from repro.frontend.types import IntType
-from repro.utils.diagnostics import CoreDSLError
+from repro.utils.diagnostics import CoreDSLError, SourceLocation
 
 # ---------------------------------------------------------------------------
 # Constant evaluation (value semantics: mathematical integers)
@@ -179,7 +179,8 @@ class StateInfo:
 
     def __init__(self, name: str, kind: str, element: IntType,
                  size: Optional[int] = None, attributes: Optional[List[str]] = None,
-                 init_values: Optional[List[int]] = None):
+                 init_values: Optional[List[int]] = None,
+                 loc: Optional["SourceLocation"] = None):
         assert kind in self.KINDS
         self.name = name
         self.kind = kind
@@ -187,6 +188,8 @@ class StateInfo:
         self.size = size
         self.attributes = attributes or []
         self.init_values = init_values
+        #: Declaration site (for lints); None for synthesized state.
+        self.loc = loc
 
     @property
     def is_pc(self) -> bool:

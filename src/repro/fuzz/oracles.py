@@ -1,6 +1,6 @@
 """The per-program differential oracle stack.
 
-Four oracles, run per core (paper Sections 4.4 and 5.3 provide the first
+Five oracles, run per core (paper Sections 4.4 and 5.3 provide the first
 two as fixed-corpus spot checks; here they become programmable):
 
 * **schedule** — compile with the LP-free fastpath *and* the MILP engine
@@ -19,6 +19,9 @@ two as fixed-corpus spot checks; here they become programmable):
   engines (:mod:`repro.sim.compile`) over the same random stimulus on every
   generated module and require identical output traces, register counts and
   final register state.
+* **irverify** — run the IR verifier (:mod:`repro.analysis.verifier`) over
+  every functionality's lil graph, solved schedule and hardware module;
+  any ``IVxxx`` finding on a valid program is a lowering/scheduling bug.
 
 Elaboration errors (parse/typecheck) are *not* oracle failures: generated
 programs are well-typed by construction, so an elaboration error is a
@@ -32,6 +35,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
+from repro.analysis.verifier import verify_artifact_ir
 from repro.frontend.elaboration import elaborate
 from repro.hls.longnail import compile_isax
 from repro.scheduling import ilp
@@ -47,7 +51,8 @@ DEFAULT_CORES: Tuple[str, ...] = ("ORCA", "Piccolo", "PicoRV32", "VexRiscv")
 class OracleFailure:
     """One oracle violation; picklable and JSON-able."""
 
-    kind: str  # "compile" | "schedule" | "cosim" | "determinism" | "simengine"
+    kind: str  # "compile" | "schedule" | "cosim" | "determinism"
+               # | "simengine" | "irverify"
     core: str
     detail: str
 
@@ -127,7 +132,13 @@ def run_oracles(source: str,
                     detail=(f"{name}: fastpath objective {w_fast} != "
                             f"milp objective {w_milp}")))
 
-        # Oracle 2: interpreter vs RTL co-simulation.
+        # Oracle 2: every IR invariant holds on the compiled artifact.
+        for diag in verify_artifact_ir(fast):
+            failures.append(OracleFailure(
+                kind="irverify", core=core,
+                detail=diag.render().splitlines()[0]))
+
+        # Oracle 3: interpreter vs RTL co-simulation.
         report = verify_artifact(fast, trials=trials, seed=cosim_seed,
                                  vcd_dir=vcd_dir, sim_engine=sim_engine)
         vcd_paths.extend(report.vcd_paths)
@@ -135,7 +146,7 @@ def run_oracles(source: str,
             failures.append(OracleFailure(
                 kind="cosim", core=core, detail=str(result)))
 
-        # Oracle 3: compiled vs interpreted RTL-simulation engines.
+        # Oracle 4: compiled vs interpreted RTL-simulation engines.
         for name, functionality in fast.functionalities.items():
             mismatch = crosscheck_engines(
                 functionality.module, cycles=max(trials, 8), seed=cosim_seed)
@@ -144,7 +155,7 @@ def run_oracles(source: str,
                     kind="simengine", core=core,
                     detail=f"{name}: {mismatch}"))
 
-        # Oracle 4: byte-identical artifacts across two runs.
+        # Oracle 5: byte-identical artifacts across two runs.
         again = compile_isax(source, core, engine="fastpath",
                              schedule_cache=False)
         if again.verilog != fast.verilog:

@@ -19,6 +19,14 @@ import dataclasses
 import time
 from typing import Callable, Dict, Iterator, List, Optional, Union
 
+from repro.analysis.lint import run_lints
+from repro.analysis.verifier import (
+    ir_verify_enabled,
+    require_valid,
+    verify_graph,
+    verify_module,
+    verify_schedule,
+)
 from repro.dialects import lil
 from repro.dialects.hw import HWModule
 from repro.frontend.elaboration import ElaboratedISA, elaborate
@@ -40,6 +48,7 @@ from repro.scheduling.scheduler import (
     LongnailScheduler,
     ScheduleResult,
 )
+from repro.utils.diagnostics import Diagnostic
 
 
 #: Called with ``(phase, seconds)`` every time the driver finishes a chunk of
@@ -48,7 +57,10 @@ from repro.scheduling.scheduler import (
 PhaseHook = Callable[[str, float], None]
 
 #: The compilation phases, in flow order (paper Figure 9 left-to-right).
-PHASES = ("parse", "lower", "schedule", "hwgen", "emit")
+#: ``lint`` (frontend lint rules) and ``verify`` (the IR verifier under
+#: ``REPRO_IR_VERIFY=1``) are instrumentation phases of this PR's static
+#: analysis subsystem; both may report zero time when disabled.
+PHASES = ("parse", "lint", "lower", "schedule", "hwgen", "verify", "emit")
 
 
 @contextlib.contextmanager
@@ -92,6 +104,9 @@ class IsaxArtifact:
     datasheet: VirtualDatasheet
     functionalities: Dict[str, FunctionalityArtifact]
     config: IsaxConfig
+    #: Frontend lint findings (never fail the compile; see ``--werror`` in
+    #: the CLI for a strict mode).
+    diagnostics: List[Diagnostic] = dataclasses.field(default_factory=list)
 
     @property
     def name(self) -> str:
@@ -166,6 +181,8 @@ def compile_isax(
     extra_sources: Optional[Dict[str, str]] = None,
     phase_hook: Optional[PhaseHook] = None,
     schedule_cache=None,
+    lint: bool = True,
+    verify_ir: Optional[bool] = None,
 ) -> IsaxArtifact:
     """Compile a CoreDSL description (text or elaborated ISA) for a core.
 
@@ -175,6 +192,13 @@ def compile_isax(
     ``schedule_cache`` is forwarded to the scheduler: a
     :class:`repro.scheduling.ScheduleCache`, ``None`` (the process-wide
     default) or ``False`` (no cross-sweep caching).
+
+    ``lint`` runs the frontend lint rules and stores their findings as
+    ``artifact.diagnostics``; lint findings never fail the compile.
+    ``verify_ir`` runs the IR verifier after the lower/schedule/hwgen
+    phases and raises :class:`repro.analysis.IRVerifyError` on any
+    violated invariant; ``None`` defers to the ``REPRO_IR_VERIFY``
+    environment variable.
     """
     if isinstance(source, ElaboratedISA):
         isa = source
@@ -182,6 +206,12 @@ def compile_isax(
         with _timed("parse", phase_hook):
             isa = elaborate(source, top=top, extra_sources=extra_sources)
     datasheet = core_datasheet(core) if isinstance(core, str) else core
+
+    diagnostics: List[Diagnostic] = []
+    if lint:
+        with _timed("lint", phase_hook):
+            diagnostics = run_lints(isa)
+    verify = ir_verify_enabled() if verify_ir is None else verify_ir
 
     with _timed("lower", phase_hook):
         lowered = lower_isa(isa)
@@ -193,13 +223,22 @@ def compile_isax(
     functionalities: Dict[str, FunctionalityArtifact] = {}
     config_functionalities: List[Functionality] = []
 
+    def _verified(stage: str, check: Callable[[], List[Diagnostic]]) -> None:
+        if not verify:
+            return
+        with _timed("verify", phase_hook):
+            require_valid(stage, check())
+
     for name, container in lowered.instructions.items():
         with _timed("lower", phase_hook):
             graph = convert_to_lil(isa, container)
+        _verified(f"lower:{name}", lambda: verify_graph(graph))
         with _timed("schedule", phase_hook):
             schedule = scheduler.schedule(graph)
+        _verified(f"schedule:{name}", lambda: verify_schedule(schedule))
         with _timed("hwgen", phase_hook):
             module = generate_module(graph, schedule)
+        _verified(f"hwgen:{name}", lambda: verify_module(module))
         functionality = Functionality(
             kind="instruction",
             name=name,
@@ -215,10 +254,13 @@ def compile_isax(
     for name, container in lowered.always_blocks.items():
         with _timed("lower", phase_hook):
             graph = convert_to_lil(isa, container)
+        _verified(f"lower:{name}", lambda: verify_graph(graph))
         with _timed("schedule", phase_hook):
             schedule = scheduler.schedule(graph)
+        _verified(f"schedule:{name}", lambda: verify_schedule(schedule))
         with _timed("hwgen", phase_hook):
             module = generate_module(graph, schedule)
+        _verified(f"hwgen:{name}", lambda: verify_module(module))
         functionality = Functionality(
             kind="always",
             name=name,
@@ -245,6 +287,7 @@ def compile_isax(
         datasheet=datasheet,
         functionalities=functionalities,
         config=config,
+        diagnostics=diagnostics,
     )
 
 

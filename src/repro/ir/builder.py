@@ -15,7 +15,7 @@ class Builder:
     small before canonicalization even runs.
     """
 
-    def __init__(self, target: Block):
+    def __init__(self, target: Block) -> None:
         self.block = target
         self._constants: Dict[Tuple[str, int, int], Value] = {}
 

@@ -13,7 +13,7 @@ means *signless* (the ``comb``/``lil``/``hw`` dialects, like CIRCT's), while
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 
 class IRError(Exception):
@@ -68,7 +68,7 @@ class Value:
 
     def __init__(self, width: int, signed: Optional[bool] = None,
                  owner: Optional["Operation"] = None, index: int = 0,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None) -> None:
         if width < 1:
             raise IRError(f"value width must be >= 1, got {width}")
         self.width = width
@@ -114,7 +114,7 @@ class Operation:
     def __init__(self, name: str, operands: Optional[List[Value]] = None,
                  result_types: Optional[List[Tuple[int, Optional[bool]]]] = None,
                  attributes: Optional[Dict[str, Any]] = None,
-                 regions: Optional[List["Region"]] = None):
+                 regions: Optional[List["Region"]] = None) -> None:
         self.name = name
         self.opdef = lookup_op(name)
         self.attributes: Dict[str, Any] = dict(attributes or {})
@@ -185,7 +185,7 @@ class Operation:
 # ---------------------------------------------------------------------------
 
 class Block:
-    def __init__(self, arg_types: Optional[List[Tuple[int, Optional[bool]]]] = None):
+    def __init__(self, arg_types: Optional[List[Tuple[int, Optional[bool]]]] = None) -> None:
         self.arguments: List[Value] = [
             Value(width, signed, owner=None, index=i)
             for i, (width, signed) in enumerate(arg_types or [])
@@ -204,7 +204,7 @@ class Block:
         self.operations.insert(idx, operation)
         return operation
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator["Operation"]:
         return iter(list(self.operations))
 
     def __len__(self) -> int:
@@ -212,7 +212,7 @@ class Block:
 
 
 class Region:
-    def __init__(self, blocks: Optional[List[Block]] = None):
+    def __init__(self, blocks: Optional[List[Block]] = None) -> None:
         self.blocks: List[Block] = blocks or []
         for block in self.blocks:
             block.parent = self
@@ -235,7 +235,7 @@ class Graph:
     """A top-level, single-block container (used for lil graphs and hw
     modules).  MLIR equivalent: a symbol-owning op with one graph region."""
 
-    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None) -> None:
         self.name = name
         self.attributes: Dict[str, Any] = dict(attributes or {})
         self.block = Block()

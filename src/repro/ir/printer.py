@@ -8,7 +8,7 @@ from typing import Dict, List
 from repro.ir.core import Graph, Operation, Value
 
 
-def _format_attr(value) -> str:
+def _format_attr(value: object) -> str:
     if isinstance(value, str):
         return f'"{value}"'
     if isinstance(value, bool):

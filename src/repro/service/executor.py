@@ -37,6 +37,7 @@ from repro.hls.longnail import compile_isax
 from repro.service.cache import ArtifactCache
 from repro.service.jobs import CompileJob
 from repro.service.metrics import BatchMetrics, JobMetrics, PhaseRecorder
+from repro.utils.diagnostics import count_by_severity
 
 #: Runner reference for plain compile jobs.
 COMPILE_RUNNER = "repro.service.executor:run_compile_payload"
@@ -242,6 +243,7 @@ class BatchExecutor:
                 seconds=outcome.seconds,
                 phases=record.get("phases", {}),
                 ilp=record.get("ilp", []),
+                lint=record.get("lint_counts", {}),
                 error=outcome.error,
             ))
         return outcomes, metrics
@@ -306,4 +308,6 @@ def run_compile_payload(payload: dict) -> dict:
         "functionalities": functionalities,
         "phases": recorder.to_dict(),
         "ilp": ilp_stats,
+        "lint": [diag.to_dict() for diag in artifact.diagnostics],
+        "lint_counts": count_by_severity(artifact.diagnostics),
     }

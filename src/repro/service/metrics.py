@@ -46,6 +46,7 @@ class JobMetrics:
     seconds: float                     # end-to-end wall time for the job
     phases: Dict[str, float]           # per-phase seconds (compile jobs)
     ilp: List[dict]                    # per-functionality scheduler stats
+    lint: Dict[str, int] = dataclasses.field(default_factory=dict)
     error: Optional[str] = None
 
     def to_dict(self) -> dict:
@@ -59,6 +60,7 @@ class JobMetrics:
             "seconds": round(self.seconds, 6),
             "phases": {k: round(v, 6) for k, v in self.phases.items()},
             "ilp": self.ilp,
+            "lint": self.lint,
         }
         if self.error:
             doc["error"] = self.error
@@ -129,6 +131,14 @@ class BatchMetrics:
             "solve_seconds": round(seconds, 6),
         }
 
+    def lint_totals(self) -> Dict[str, int]:
+        """Lint findings summed over every job in the batch, by severity."""
+        totals: Dict[str, int] = {"error": 0, "warning": 0, "note": 0}
+        for job in self.jobs:
+            for severity, count in job.lint.items():
+                totals[severity] = totals.get(severity, 0) + count
+        return totals
+
     def to_dict(self) -> dict:
         return {
             "workers": self.workers,
@@ -138,6 +148,7 @@ class BatchMetrics:
             "jobs_cached": self.cached,
             "phase_totals_s": self.phase_totals(),
             "scheduler": self.scheduler_totals(),
+            "lint_totals": self.lint_totals(),
             "cache": self.cache_stats,
             "jobs": [job.to_dict() for job in self.jobs],
         }

@@ -12,7 +12,17 @@ from repro.utils.bits import (
     replicate_bits,
     concat_bits,
 )
-from repro.utils.diagnostics import SourceLocation, CoreDSLError, DiagnosticEngine
+from repro.utils.diagnostics import (
+    SourceLocation,
+    CoreDSLError,
+    Diagnostic,
+    DiagnosticEngine,
+    Note,
+    Severity,
+    render_json,
+    render_sarif,
+    render_text,
+)
 
 __all__ = [
     "bit_length_unsigned",
@@ -27,5 +37,11 @@ __all__ = [
     "concat_bits",
     "SourceLocation",
     "CoreDSLError",
+    "Diagnostic",
     "DiagnosticEngine",
+    "Note",
+    "Severity",
+    "render_json",
+    "render_sarif",
+    "render_text",
 ]

@@ -1,9 +1,26 @@
-"""Source locations and error reporting for the CoreDSL frontend."""
+"""Source locations and structured diagnostics for the whole flow.
+
+Every finding the toolchain reports — frontend lints (``LNxxx``), IR
+verifier failures (``IVxxx``), and hard compile errors — is a
+:class:`Diagnostic` record: a stable code, a :class:`Severity`, a message,
+an optional :class:`SourceLocation`, attached notes and an optional
+fix-hint.  Lists of diagnostics render as human-readable text
+(:func:`render_text`), JSON (:func:`render_json`) and SARIF 2.1.0
+(:func:`render_sarif`) so editors and CI systems can consume them.
+
+:class:`DiagnosticEngine` collects diagnostics during a run.  By default
+``error()`` raises :class:`CoreDSLError` immediately (the historical
+fail-fast contract the compilation pipeline relies on); constructed with
+``collect_errors=True`` it accumulates up to ``max_errors`` errors so the
+linter can report many findings per run.
+"""
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+import enum
+import json
+from typing import Any, Dict, List, Optional, Sequence
 
 
 @dataclasses.dataclass(frozen=True)
@@ -31,18 +48,282 @@ class CoreDSLError(Exception):
         super().__init__(f"{loc}: {message}" if loc else message)
 
 
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered from most to least severe."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "note": 2}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class Note:
+    """A secondary message attached to a :class:`Diagnostic`."""
+
+    message: str
+    loc: Optional[SourceLocation] = None
+
+    def render(self) -> str:
+        prefix = f"{self.loc}: " if self.loc and self.loc.line else ""
+        return f"{prefix}note: {self.message}"
+
+
+@dataclasses.dataclass
+class Diagnostic:
+    """One structured finding.
+
+    ``code`` is a stable identifier (``LN001``, ``IV003``, ...); ``rule``
+    is the human-readable rule slug (``implicit-truncation``).  ``fix_hint``
+    is a one-line suggestion of how to silence/resolve the finding.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    loc: Optional[SourceLocation] = None
+    rule: str = ""
+    notes: List[Note] = dataclasses.field(default_factory=list)
+    fix_hint: Optional[str] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def with_note(self, message: str,
+                  loc: Optional[SourceLocation] = None) -> "Diagnostic":
+        self.notes.append(Note(message, loc))
+        return self
+
+    def render(self) -> str:
+        """One-finding text rendering: ``file:line:col: severity: msg [code]``."""
+        prefix = f"{self.loc}: " if self.loc and self.loc.line else ""
+        tag = f" [{self.code}]" if self.code else ""
+        lines = [f"{prefix}{self.severity}: {self.message}{tag}"]
+        for note in self.notes:
+            lines.append("  " + note.render())
+        if self.fix_hint:
+            lines.append(f"  hint: {self.fix_hint}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.rule:
+            doc["rule"] = self.rule
+        if self.loc is not None:
+            doc["location"] = {
+                "file": self.loc.filename,
+                "line": self.loc.line,
+                "column": self.loc.column,
+            }
+        if self.notes:
+            doc["notes"] = [
+                {"message": n.message,
+                 **({"file": n.loc.filename, "line": n.loc.line,
+                     "column": n.loc.column} if n.loc else {})}
+                for n in self.notes
+            ]
+        if self.fix_hint:
+            doc["fix_hint"] = self.fix_hint
+        return doc
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def sort_diagnostics(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    """Stable order: by file, line, column, then severity, then code."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            d.loc.filename if d.loc else "",
+            d.loc.line if d.loc else 0,
+            d.loc.column if d.loc else 0,
+            d.severity.rank,
+            d.code,
+        ),
+    )
+
+
+def count_by_severity(diagnostics: Sequence[Diagnostic]) -> Dict[str, int]:
+    counts = {"error": 0, "warning": 0, "note": 0}
+    for diag in diagnostics:
+        counts[str(diag.severity)] += 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Renderers
+# ---------------------------------------------------------------------------
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """Human-readable rendering with a trailing severity summary."""
+    ordered = sort_diagnostics(diagnostics)
+    lines = [diag.render() for diag in ordered]
+    counts = count_by_severity(ordered)
+    summary = ", ".join(f"{n} {sev}{'s' if n != 1 else ''}"
+                        for sev, n in counts.items() if n)
+    lines.append(summary if summary else "no findings")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], indent: int = 2) -> str:
+    doc = {
+        "diagnostics": [d.to_dict() for d in sort_diagnostics(diagnostics)],
+        "counts": count_by_severity(diagnostics),
+    }
+    return json.dumps(doc, indent=indent)
+
+
+#: SARIF severity levels for each :class:`Severity`.
+_SARIF_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning",
+                Severity.NOTE: "note"}
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic],
+                 tool_name: str = "repro-longnail",
+                 tool_version: str = "1.0.0",
+                 indent: int = 2) -> str:
+    """Render as a SARIF 2.1.0 log (one run, one result per diagnostic)."""
+    ordered = sort_diagnostics(diagnostics)
+    rules: Dict[str, Dict[str, Any]] = {}
+    results: List[Dict[str, Any]] = []
+    for diag in ordered:
+        rule_id = diag.code or "UNCODED"
+        if rule_id not in rules:
+            rules[rule_id] = {
+                "id": rule_id,
+                "name": diag.rule or rule_id,
+                "shortDescription": {"text": diag.rule or diag.message},
+            }
+        result: Dict[str, Any] = {
+            "ruleId": rule_id,
+            "level": _SARIF_LEVEL[diag.severity],
+            "message": {"text": diag.message},
+        }
+        if diag.loc is not None and diag.loc.line:
+            result["locations"] = [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diag.loc.filename},
+                    "region": {
+                        "startLine": diag.loc.line,
+                        "startColumn": max(1, diag.loc.column),
+                    },
+                },
+            }]
+        results.append(result)
+    doc = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "version": tool_version,
+                "informationUri": "https://github.com/Minres/CoreDSL",
+                "rules": list(rules.values()),
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
 class DiagnosticEngine:
-    """Collects non-fatal diagnostics (warnings, notes) during compilation."""
+    """Collects :class:`Diagnostic` records during compilation or linting.
 
-    def __init__(self) -> None:
-        self.warnings: List[str] = []
-        self.notes: List[str] = []
+    ``error()`` raises :class:`CoreDSLError` immediately unless the engine
+    was constructed with ``collect_errors=True``, in which case errors are
+    recorded like any other diagnostic until ``max_errors`` of them have
+    been seen — the cap then raises to stop a runaway rule.
+    """
 
-    def warn(self, message: str, loc: Optional[SourceLocation] = None) -> None:
-        self.warnings.append(f"{loc}: {message}" if loc else message)
+    def __init__(self, collect_errors: bool = False,
+                 max_errors: int = 25) -> None:
+        if max_errors < 1:
+            raise ValueError("max_errors must be >= 1")
+        self.collect_errors = collect_errors
+        self.max_errors = max_errors
+        self.diagnostics: List[Diagnostic] = []
 
-    def note(self, message: str, loc: Optional[SourceLocation] = None) -> None:
-        self.notes.append(f"{loc}: {message}" if loc else message)
+    # -- emission -----------------------------------------------------------
+    def emit(self, diagnostic: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diagnostic)
+        return diagnostic
 
-    def error(self, message: str, loc: Optional[SourceLocation] = None) -> None:
-        raise CoreDSLError(message, loc)
+    def warn(self, message: str, loc: Optional[SourceLocation] = None,
+             code: str = "", rule: str = "",
+             fix_hint: Optional[str] = None) -> Diagnostic:
+        return self.emit(Diagnostic(code, Severity.WARNING, message, loc,
+                                    rule=rule, fix_hint=fix_hint))
+
+    def note(self, message: str, loc: Optional[SourceLocation] = None,
+             code: str = "", rule: str = "") -> Diagnostic:
+        return self.emit(Diagnostic(code, Severity.NOTE, message, loc,
+                                    rule=rule))
+
+    def error(self, message: str, loc: Optional[SourceLocation] = None,
+              code: str = "", rule: str = "",
+              fix_hint: Optional[str] = None) -> Diagnostic:
+        """Report an error.
+
+        Fail-fast mode (the default) raises :class:`CoreDSLError`.  In
+        collection mode the error is recorded and returned; once
+        ``max_errors`` errors have accumulated the cap raises so callers
+        cannot loop forever on a pathological input.
+        """
+        if not self.collect_errors:
+            raise CoreDSLError(message, loc)
+        diagnostic = self.emit(Diagnostic(code, Severity.ERROR, message, loc,
+                                          rule=rule, fix_hint=fix_hint))
+        if self.error_count >= self.max_errors:
+            raise CoreDSLError(
+                f"too many errors ({self.max_errors}); aborting", loc
+            )
+        return diagnostic
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[str]:
+        """Rendered warning strings (backwards-compatible view)."""
+        return [d.render() for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    @property
+    def notes(self) -> List[str]:
+        """Rendered note strings (backwards-compatible view)."""
+        return [d.render() for d in self.diagnostics
+                if d.severity is Severity.NOTE]
+
+    @property
+    def error_count(self) -> int:
+        return len(self.errors)
+
+    @property
+    def has_errors(self) -> bool:
+        return self.error_count > 0

@@ -1,0 +1,96 @@
+"""The IR verifier wired into the compilation pipeline and fuzz oracles."""
+
+import pytest
+
+from repro.fuzz.oracles import run_oracles
+from repro.hls.longnail import PHASES, compile_isax
+from repro.isaxes import ALL_ISAXES, DOTPROD, ZOL
+from repro.service.executor import run_compile_payload
+from repro.service.jobs import CompileJob
+from repro.service.metrics import BatchMetrics, JobMetrics
+
+
+class TestPhases:
+    def test_lint_and_verify_are_phases(self):
+        assert "lint" in PHASES
+        assert "verify" in PHASES
+        # Flow order preserved around them.
+        assert PHASES.index("parse") < PHASES.index("lint") \
+            < PHASES.index("lower") < PHASES.index("schedule") \
+            < PHASES.index("hwgen") < PHASES.index("verify") \
+            < PHASES.index("emit")
+
+
+class TestCompileIsaxWiring:
+    def test_lint_on_by_default(self):
+        artifact = compile_isax(ZOL, "VexRiscv")
+        assert artifact.diagnostics == []   # zol is lint-clean
+
+    def test_lint_disabled(self):
+        times = {}
+        artifact = compile_isax(
+            ZOL, "VexRiscv", lint=False,
+            phase_hook=lambda p, s: times.setdefault(p, s))
+        assert artifact.diagnostics == []
+        assert "lint" not in times
+
+    def test_verify_ir_explicit_true_runs_verify_phase(self):
+        times = {}
+        compile_isax(ZOL, "VexRiscv", verify_ir=True,
+                     phase_hook=lambda p, s: times.setdefault(p, s))
+        assert "verify" in times
+
+    def test_verify_ir_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_IR_VERIFY", raising=False)
+        times = {}
+        compile_isax(ZOL, "VexRiscv",
+                     phase_hook=lambda p, s: times.setdefault(p, s))
+        assert "verify" not in times
+
+    def test_env_enables_verify(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IR_VERIFY", "1")
+        times = {}
+        compile_isax(DOTPROD, "VexRiscv",
+                     phase_hook=lambda p, s: times.setdefault(p, s))
+        assert "verify" in times
+
+    @pytest.mark.parametrize("name", sorted(ALL_ISAXES))
+    def test_all_benchmark_isaxes_verify_on_all_phases(self, name):
+        compile_isax(ALL_ISAXES[name], "PicoRV32", verify_ir=True)
+
+
+class TestLintFlowsThroughService:
+    def test_payload_record_carries_lint(self):
+        job = CompileJob(isax="zol", source=ZOL, core="VexRiscv")
+        record = run_compile_payload(job.to_payload())
+        assert record["lint"] == []
+        assert record["lint_counts"] == {"error": 0, "warning": 0, "note": 0}
+        assert "lint" in record["phases"]
+
+    def test_batch_metrics_aggregate_lint(self):
+        metrics = BatchMetrics()
+        metrics.add(JobMetrics(
+            job_id="a", isax="a", core="c", status="ok", cached=False,
+            attempts=1, seconds=0.1, phases={}, ilp=[],
+            lint={"error": 0, "warning": 2, "note": 0}))
+        metrics.add(JobMetrics(
+            job_id="b", isax="b", core="c", status="ok", cached=False,
+            attempts=1, seconds=0.1, phases={}, ilp=[],
+            lint={"error": 1, "warning": 1, "note": 0}))
+        assert metrics.lint_totals() == {"error": 1, "warning": 3, "note": 0}
+        assert metrics.to_dict()["lint_totals"]["warning"] == 3
+
+    def test_jobs_without_lint_counts_tolerated(self):
+        # Old cached artifact records predate the lint field.
+        metrics = BatchMetrics()
+        metrics.add(JobMetrics(
+            job_id="old", isax="x", core="c", status="ok", cached=True,
+            attempts=1, seconds=0.0, phases={}, ilp=[]))
+        assert metrics.lint_totals() == {"error": 0, "warning": 0, "note": 0}
+
+
+class TestIrverifyOracle:
+    def test_clean_program_passes_oracle_stack(self):
+        report = run_oracles(ZOL, cores=("VexRiscv",), trials=2)
+        assert report.ok
+        assert "irverify" not in report.kinds

@@ -1,0 +1,311 @@
+"""Positive and negative tests for every LNxxx lint rule."""
+
+import pytest
+
+from repro.analysis.lint import (
+    LINT_RULES,
+    lint_cross_isa,
+    lint_source,
+    run_lints,
+)
+from repro.frontend.elaboration import elaborate
+from repro.isaxes import ALL_ISAXES
+
+
+def isax(body: str, name: str = "X_TEST") -> str:
+    return ('import "RV32I.core_desc"\n'
+            f"InstructionSet {name} extends RV32I {{\n{body}\n}}\n")
+
+
+def instr(behavior: str, funct3: int = 1, name: str = "t") -> str:
+    return f"""
+  instructions {{
+    {name} {{
+        encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd{funct3} :: rd[4:0]
+                  :: 7'b0001011;
+        behavior: {{ {behavior} }}
+    }}
+  }}
+"""
+
+
+def codes(source: str, **kwargs):
+    _isa, diagnostics = lint_source(source, **kwargs)
+    return [d.code for d in diagnostics]
+
+
+class TestRegistry:
+    def test_all_rules_registered_in_order(self):
+        assert sorted(LINT_RULES) == list(LINT_RULES)
+        assert set(LINT_RULES) == {f"LN{n:03d}" for n in range(1, 12)}
+
+    def test_every_rule_has_description(self):
+        for rule in LINT_RULES.values():
+            assert rule.description
+            assert rule.name
+
+
+class TestImplicitTruncation:
+    def test_positive_compound_assign_wider_rhs(self):
+        src = isax(instr("unsigned<8> a = 0; a += X[rs1]; X[rd] = a;"))
+        assert "LN001" in codes(src)
+
+    def test_negative_same_width(self):
+        src = isax(instr("unsigned<32> a = 0; a += X[rs1]; X[rd] = a;"))
+        assert "LN001" not in codes(src)
+
+
+class TestShiftWidth:
+    def test_positive_constant_overshift(self):
+        src = isax(instr(
+            "X[rd] = (unsigned<32>) (X[rs1] << 40);"))
+        assert "LN002" in codes(src)
+
+    def test_negative_in_range_shift(self):
+        src = isax(instr("X[rd] = (unsigned<32>) (X[rs1] << 4);"))
+        assert "LN002" not in codes(src)
+
+    def test_negative_dynamic_shift_amount(self):
+        src = isax(instr(
+            "X[rd] = (unsigned<32>) (X[rs1] << X[rs2][4:0]);"))
+        assert "LN002" not in codes(src)
+
+
+class TestSignCompare:
+    def test_positive_mixed_signedness(self):
+        src = isax(instr(
+            "if ((signed<32>) X[rs1] < X[rs2]) X[rd] = 1; else X[rd] = 0;"))
+        assert "LN003" in codes(src)
+
+    def test_negative_same_signedness(self):
+        src = isax(instr(
+            "if (X[rs1] < X[rs2]) X[rd] = 1; else X[rd] = 0;"))
+        assert "LN003" not in codes(src)
+
+    def test_negative_nonnegative_constant(self):
+        # A non-negative literal is representable either way: quiet.
+        src = isax(instr(
+            "if ((signed<32>) X[rs1] < 5) X[rd] = 1; else X[rd] = 0;"))
+        assert "LN003" not in codes(src)
+
+
+class TestStateReadBeforeWrite:
+    def test_positive_uninitialized_read_only_state(self):
+        src = isax(
+            "  architectural_state { register unsigned<32> ACC; }\n"
+            + instr("X[rd] = ACC;"))
+        assert "LN004" in codes(src)
+
+    def test_negative_written_somewhere(self):
+        src = isax(
+            "  architectural_state { register unsigned<32> ACC; }\n"
+            + instr("ACC = X[rs1]; X[rd] = ACC;"))
+        assert "LN004" not in codes(src)
+
+    def test_negative_initialized(self):
+        src = isax(
+            "  architectural_state { register unsigned<32> ACC = 0; }\n"
+            + instr("X[rd] = ACC;"))
+        assert "LN004" not in codes(src)
+
+
+class TestUnusedState:
+    def test_positive_never_referenced(self):
+        src = isax(
+            "  architectural_state { register unsigned<32> GHOST; }\n"
+            + instr("X[rd] = X[rs1];"))
+        assert "LN005" in codes(src)
+
+    def test_negative_read(self):
+        src = isax(
+            "  architectural_state { register unsigned<32> ACC = 0; }\n"
+            + instr("X[rd] = ACC;"))
+        assert "LN005" not in codes(src)
+
+    def test_negative_only_written(self):
+        src = isax(
+            "  architectural_state { register unsigned<32> ACC; }\n"
+            + instr("ACC = X[rs1];"))
+        assert "LN005" not in codes(src)
+
+    def test_base_register_file_is_exempt(self):
+        # X/PC/MEM come from the base core, not the ISAX: never reported.
+        src = isax(instr("X[rd] = X[rs1];"))
+        assert "LN005" not in codes(src)
+
+
+class TestUnusedFunction:
+    def test_positive_never_called(self):
+        src = isax(
+            "  functions { unsigned<32> orphan(unsigned<32> a) "
+            "{ return a; } }\n"
+            + instr("X[rd] = X[rs1];"))
+        assert "LN006" in codes(src)
+
+    def test_negative_called_from_instruction(self):
+        src = isax(
+            "  functions { unsigned<32> used(unsigned<32> a) "
+            "{ return a; } }\n"
+            + instr("X[rd] = used(X[rs1]);"))
+        assert "LN006" not in codes(src)
+
+    def test_negative_called_transitively(self):
+        src = isax(
+            "  functions {\n"
+            "    unsigned<32> inner(unsigned<32> a) { return a; }\n"
+            "    unsigned<32> outer(unsigned<32> a) { return inner(a); }\n"
+            "  }\n"
+            + instr("X[rd] = outer(X[rs1]);"))
+        assert "LN006" not in codes(src)
+
+
+class TestUnusedField:
+    def test_positive_unreferenced_operand(self):
+        src = isax(instr("X[rd] = X[rs1];"))
+        assert "LN007" in codes(src)      # rs2 unused
+
+    def test_negative_all_fields_used(self):
+        src = isax(instr("X[rd] = X[rs1] ^ X[rs2];"))
+        assert "LN007" not in codes(src)
+
+
+class TestUnreachableCode:
+    def test_positive_statement_after_return(self):
+        src = isax(
+            "  functions { unsigned<32> f(unsigned<32> a) "
+            "{ return a; a = 0; } }\n"
+            + instr("X[rd] = f(X[rs1]);"))
+        assert "LN008" in codes(src)
+
+    def test_negative_return_last(self):
+        src = isax(
+            "  functions { unsigned<32> f(unsigned<32> a) "
+            "{ return a; } }\n"
+            + instr("X[rd] = f(X[rs1]);"))
+        assert "LN008" not in codes(src)
+
+
+class TestDeadBranch:
+    def test_positive_constant_if(self):
+        src = isax(instr("if (1) X[rd] = X[rs1]; else X[rd] = X[rs2];"))
+        assert "LN009" in codes(src)
+
+    def test_positive_constant_conditional_expr(self):
+        src = isax(instr("X[rd] = 0 ? X[rs1] : X[rs2];"))
+        assert "LN009" in codes(src)
+
+    def test_negative_dynamic_condition(self):
+        src = isax(instr(
+            "if (X[rs1] == 0) X[rd] = 1; else X[rd] = X[rs2];"))
+        assert "LN009" not in codes(src)
+
+
+class TestEncodingOverlap:
+    def test_positive_identical_encodings(self):
+        # Two instructions with the same fixed bits.
+        body = """
+  instructions {
+    a {
+        encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd1 :: rd[4:0]
+                  :: 7'b0001011;
+        behavior: { X[rd] = X[rs1] ^ X[rs2]; }
+    }
+    b {
+        encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd1 :: rd[4:0]
+                  :: 7'b0001011;
+        behavior: { X[rd] = X[rs1] & X[rs2]; }
+    }
+  }
+"""
+        _isa, diagnostics = lint_source(isax(body))
+        assert any(d.code == "LN010" and d.is_error for d in diagnostics)
+
+    def test_negative_distinct_funct3(self):
+        body = """
+  instructions {
+    a {
+        encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd1 :: rd[4:0]
+                  :: 7'b0001011;
+        behavior: { X[rd] = X[rs1] ^ X[rs2]; }
+    }
+    b {
+        encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd2 :: rd[4:0]
+                  :: 7'b0001011;
+        behavior: { X[rd] = X[rs1] & X[rs2]; }
+    }
+  }
+"""
+        assert "LN010" not in codes(isax(body))
+
+
+class TestEncodingOverlapCross:
+    def test_positive_two_isas_same_opcode(self):
+        a = elaborate(isax(instr("X[rd] = X[rs1] ^ X[rs2];", funct3=1),
+                           name="X_A"))
+        b = elaborate(isax(instr("X[rd] = X[rs1] & X[rs2];", funct3=1),
+                           name="X_B"))
+        found = lint_cross_isa([a, b])
+        assert [d.code for d in found] == ["LN011"]
+        assert "X_A" in found[0].notes[0].message \
+            or "X_A" in found[0].message
+
+    def test_negative_distinct_funct3(self):
+        a = elaborate(isax(instr("X[rd] = X[rs1] ^ X[rs2];", funct3=1),
+                           name="X_A"))
+        b = elaborate(isax(instr("X[rd] = X[rs1] & X[rs2];", funct3=2),
+                           name="X_B"))
+        assert lint_cross_isa([a, b]) == []
+
+    def test_single_isa_reports_nothing(self):
+        a = elaborate(isax(instr("X[rd] = X[rs1] ^ X[rs2];")))
+        assert lint_cross_isa([a]) == []
+
+    def test_benchmark_isaxes_coordinate_opcodes(self):
+        isas = [elaborate(src, filename=f"{name}.core_desc")
+                for name, src in sorted(ALL_ISAXES.items())]
+        assert lint_cross_isa(isas) == []
+
+
+class TestRuleSelection:
+    SRC = None
+
+    @classmethod
+    def setup_class(cls):
+        cls.SRC = isax(
+            "  architectural_state { register unsigned<32> GHOST; }\n"
+            + instr("X[rd] = X[rs1];"))
+
+    def test_enable_restricts(self):
+        isa = elaborate(self.SRC)
+        only = run_lints(isa, enable=["LN005"])
+        assert {d.code for d in only} == {"LN005"}
+
+    def test_disable_removes(self):
+        isa = elaborate(self.SRC)
+        remaining = run_lints(isa, disable=["LN005", "LN007"])
+        assert remaining == []
+
+    def test_unknown_code_raises(self):
+        isa = elaborate(self.SRC)
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            run_lints(isa, enable=["LN999"])
+
+
+class TestBenchmarkISAXesAreClean:
+    @pytest.mark.parametrize("name", sorted(ALL_ISAXES))
+    def test_no_findings(self, name):
+        isa = elaborate(ALL_ISAXES[name], filename=f"{name}.core_desc")
+        assert run_lints(isa) == []
+
+
+class TestDiagnosticQuality:
+    def test_findings_carry_locations_and_rules(self):
+        src = isax(
+            "  architectural_state { register unsigned<32> GHOST; }\n"
+            + instr("X[rd] = X[rs1];"))
+        _isa, diagnostics = lint_source(src, filename="q.core_desc")
+        assert diagnostics
+        for d in diagnostics:
+            assert d.rule
+            assert d.loc is not None and d.loc.filename == "q.core_desc"
+            assert d.loc.line > 0

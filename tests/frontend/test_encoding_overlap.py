@@ -1,0 +1,77 @@
+"""Unit tests for the encoding-overlap predicate (``Encoding.overlaps``).
+
+The predicate underpins both the intra-ISA LN010 lint and the cross-ISAX
+LN011 lint: two encodings overlap iff some 32-bit instruction word matches
+both, i.e. their fixed bits agree wherever both encodings constrain a bit.
+"""
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.elaboration import Encoding
+
+
+def encoding(*components) -> Encoding:
+    return Encoding(list(components))
+
+
+def bits(width: int, value: int) -> ast.EncBits:
+    return ast.EncBits(width=width, value=value)
+
+
+def field(name: str, hi: int, lo: int) -> ast.EncField:
+    return ast.EncField(name=name, hi=hi, lo=lo)
+
+
+def rtype(opcode: int, funct3: int, funct7: int = 0) -> Encoding:
+    return encoding(
+        bits(7, funct7), field("rs2", 4, 0), field("rs1", 4, 0),
+        bits(3, funct3), field("rd", 4, 0), bits(7, opcode),
+    )
+
+
+class TestOverlapsPredicate:
+    def test_identical_encodings_overlap(self):
+        assert rtype(0x0B, 1).overlaps(rtype(0x0B, 1))
+
+    def test_reflexive(self):
+        enc = rtype(0x2B, 5)
+        assert enc.overlaps(enc)
+
+    def test_symmetric(self):
+        a, b = rtype(0x0B, 1), rtype(0x0B, 1, funct7=3)
+        assert a.overlaps(b) == b.overlaps(a)
+
+    def test_disjoint_fixed_bits_do_not_overlap(self):
+        assert not rtype(0x0B, 1).overlaps(rtype(0x0B, 2))
+        assert not rtype(0x0B, 1).overlaps(rtype(0x2B, 1))
+
+    def test_fully_disjoint_masks_overlap(self):
+        # One encoding fixes only the low opcode bits, the other only the
+        # high funct7 bits: the word 0b0..0_0001011 with funct7==0 matches
+        # both, so they overlap even though their masks share no bit.
+        low_only = encoding(field("imm", 24, 0), bits(7, 0x0B))
+        high_only = encoding(bits(7, 0), field("rest", 24, 0))
+        assert low_only.overlaps(high_only)
+
+    def test_partially_overlapping_dont_care_bits(self):
+        # a fixes funct3 and opcode; b fixes funct7 and opcode with the
+        # funct3 bits as don't-care.  Common fixed bits (the opcode) agree,
+        # so a word with a's funct3 and b's funct7 matches both.
+        a = rtype(0x0B, 3)                       # funct7 = 0 fixed
+        b = encoding(bits(7, 0), field("rs2", 4, 0), field("rs1", 4, 0),
+                     field("f3", 2, 0), field("rd", 4, 0), bits(7, 0x0B))
+        assert a.overlaps(b)
+
+    def test_partial_dont_care_disagreeing_fixed_bits(self):
+        # Same shapes, but the common fixed bits (funct7) disagree.
+        a = rtype(0x0B, 3, funct7=1)
+        b = encoding(bits(7, 2), field("rs2", 4, 0), field("rs1", 4, 0),
+                     field("f3", 2, 0), field("rd", 4, 0), bits(7, 0x0B))
+        assert not a.overlaps(b)
+
+    def test_overlap_witness_word_matches_both(self):
+        a = rtype(0x0B, 1)
+        b = rtype(0x0B, 1, funct7=0)
+        assert a.overlaps(b)
+        # Construct the witness: all operand bits zero.
+        word = a.match
+        assert a.matches(word) and b.matches(word)

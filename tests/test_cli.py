@@ -92,3 +92,83 @@ class TestSimulate:
         assert rc == 0
         out = capsys.readouterr().out
         assert "x7   = 0x0000000c" in out  # 4 lanes of 1*3
+
+
+class TestLint:
+    WARNY = '''
+import "RV32I.core_desc"
+InstructionSet X_WARNY extends RV32I {
+  architectural_state {
+    register unsigned<32> GHOST;
+  }
+  instructions {
+    warny {
+        encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd1 :: rd[4:0]
+                  :: 7'b0001011;
+        behavior: { X[rd] = X[rs1] ^ X[rs2]; }
+    }
+  }
+}
+'''
+
+    @pytest.fixture()
+    def warny_file(self, tmp_path):
+        path = tmp_path / "warny.core_desc"
+        path.write_text(self.WARNY, encoding="utf-8")
+        return path
+
+    def test_lint_reports_warnings_exit_zero(self, warny_file, capsys):
+        rc = main(["lint", str(warny_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[LN005]" in out
+        assert "1 warning" in out
+
+    def test_werror_fails_on_warnings(self, warny_file, capsys):
+        assert main(["lint", str(warny_file), "--werror"]) == 1
+
+    def test_disable_silences_rule(self, warny_file, capsys):
+        rc = main(["lint", str(warny_file), "--disable", "LN005",
+                   "--werror"])
+        assert rc == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_unknown_rule_code(self, warny_file, capsys):
+        rc = main(["lint", str(warny_file), "--enable", "LN999"])
+        assert rc == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_json_format(self, warny_file, capsys):
+        import json as json_mod
+        assert main(["lint", str(warny_file), "--format", "json"]) == 0
+        doc = json_mod.loads(capsys.readouterr().out)
+        assert doc["counts"]["warning"] == 1
+        assert doc["diagnostics"][0]["code"] == "LN005"
+
+    def test_sarif_format(self, warny_file, capsys):
+        import json as json_mod
+        assert main(["lint", str(warny_file), "--format", "sarif"]) == 0
+        doc = json_mod.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "LN005"
+
+    def test_benchmark_isaxes_clean_with_ir_verify(self, capsys):
+        rc = main(["lint", "--all-isaxes", "--core", "PicoRV32",
+                   "--werror"])
+        assert rc == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_nothing_to_lint(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_cross_isax_overlap_detected(self, tmp_path, capsys):
+        a = tmp_path / "a.core_desc"
+        b = tmp_path / "b.core_desc"
+        a.write_text(self.WARNY.replace("X_WARNY", "X_A")
+                     .replace("warny {", "ia {"), encoding="utf-8")
+        b.write_text(self.WARNY.replace("X_WARNY", "X_B")
+                     .replace("warny {", "ib {"), encoding="utf-8")
+        rc = main(["lint", str(a), str(b)])
+        assert rc == 0   # LN011 is a warning
+        assert "[LN011]" in capsys.readouterr().out

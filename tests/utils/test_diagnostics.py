@@ -1,0 +1,151 @@
+"""Tests for the structured diagnostics layer."""
+
+import json
+
+import pytest
+
+from repro.utils.diagnostics import (
+    CoreDSLError,
+    Diagnostic,
+    DiagnosticEngine,
+    Note,
+    Severity,
+    SourceLocation,
+    count_by_severity,
+    render_json,
+    render_sarif,
+    render_text,
+    sort_diagnostics,
+)
+
+
+def diag(code="LN001", severity=Severity.WARNING, message="msg",
+         loc=None, **kwargs):
+    return Diagnostic(code, severity, message, loc, **kwargs)
+
+
+class TestSeverity:
+    def test_rank_orders_most_severe_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.NOTE.rank
+
+    def test_str(self):
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestDiagnostic:
+    def test_render_with_location_and_code(self):
+        d = diag(loc=SourceLocation("a.core_desc", 3, 7))
+        assert d.render() == "a.core_desc:3:7: warning: msg [LN001]"
+
+    def test_render_without_location(self):
+        assert diag(loc=None).render() == "warning: msg [LN001]"
+
+    def test_render_includes_notes_and_hint(self):
+        d = diag(fix_hint="do the thing")
+        d.with_note("declared here", SourceLocation("a", 1, 2))
+        text = d.render()
+        assert "  a:1:2: note: declared here" in text
+        assert "  hint: do the thing" in text
+
+    def test_is_error(self):
+        assert diag(severity=Severity.ERROR).is_error
+        assert not diag(severity=Severity.WARNING).is_error
+
+    def test_to_dict_round_trips_via_json(self):
+        d = diag(loc=SourceLocation("a", 2, 4), rule="some-rule",
+                 fix_hint="h")
+        doc = json.loads(json.dumps(d.to_dict()))
+        assert doc["code"] == "LN001"
+        assert doc["severity"] == "warning"
+        assert doc["rule"] == "some-rule"
+        assert doc["location"] == {"file": "a", "line": 2, "column": 4}
+        assert doc["fix_hint"] == "h"
+
+
+class TestSortingAndCounting:
+    def test_sort_by_file_then_line_then_severity(self):
+        a = diag(loc=SourceLocation("b", 1, 1))
+        b = diag(loc=SourceLocation("a", 9, 1))
+        c = diag(loc=SourceLocation("a", 2, 1), severity=Severity.ERROR)
+        d = diag(loc=SourceLocation("a", 2, 1), severity=Severity.WARNING)
+        assert sort_diagnostics([a, b, d, c]) == [c, d, b, a]
+
+    def test_count_by_severity(self):
+        counts = count_by_severity([
+            diag(severity=Severity.ERROR),
+            diag(severity=Severity.WARNING),
+            diag(severity=Severity.WARNING),
+        ])
+        assert counts == {"error": 1, "warning": 2, "note": 0}
+
+
+class TestRenderers:
+    def test_text_has_summary_line(self):
+        text = render_text([diag(), diag(severity=Severity.ERROR)])
+        assert text.splitlines()[-1] == "1 error, 1 warning"
+
+    def test_text_empty(self):
+        assert render_text([]) == "no findings"
+
+    def test_json_renders_counts_and_records(self):
+        doc = json.loads(render_json([diag()]))
+        assert doc["counts"]["warning"] == 1
+        assert doc["diagnostics"][0]["code"] == "LN001"
+
+    def test_sarif_structure(self):
+        doc = json.loads(render_sarif(
+            [diag(loc=SourceLocation("x.core_desc", 5, 3), rule="r")]))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["rules"][0]["id"] == "LN001"
+        result = run["results"][0]
+        assert result["ruleId"] == "LN001"
+        assert result["level"] == "warning"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 5, "startColumn": 3}
+
+
+class TestDiagnosticEngine:
+    def test_default_mode_raises_on_error(self):
+        engine = DiagnosticEngine()
+        with pytest.raises(CoreDSLError, match="boom"):
+            engine.error("boom")
+
+    def test_warn_and_note_never_raise(self):
+        engine = DiagnosticEngine()
+        engine.warn("w")
+        engine.note("n")
+        assert len(engine.diagnostics) == 2
+        assert not engine.has_errors
+
+    def test_collect_mode_accumulates_errors(self):
+        engine = DiagnosticEngine(collect_errors=True)
+        engine.error("one")
+        engine.error("two")
+        assert engine.error_count == 2
+        assert engine.has_errors
+        assert [d.message for d in engine.errors] == ["one", "two"]
+
+    def test_collect_mode_caps_at_max_errors(self):
+        engine = DiagnosticEngine(collect_errors=True, max_errors=3)
+        engine.error("1")
+        engine.error("2")
+        with pytest.raises(CoreDSLError, match="too many errors"):
+            engine.error("3")
+        assert engine.error_count == 3
+
+    def test_max_errors_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DiagnosticEngine(collect_errors=True, max_errors=0)
+
+    def test_backcompat_string_views(self):
+        engine = DiagnosticEngine()
+        engine.warn("careful", SourceLocation("f", 1, 1))
+        assert engine.warnings == ["f:1:1: warning: careful"]
+
+
+class TestNote:
+    def test_render(self):
+        assert Note("hi", SourceLocation("f", 2, 3)).render() \
+            == "f:2:3: note: hi"
+        assert Note("hi").render() == "note: hi"
