@@ -1,0 +1,385 @@
+"""Load generator for the long-lived compile server.
+
+Drives a compile server (an in-process one by default, or a running one
+via ``--url``) through the traffic patterns the ROADMAP's scale story
+needs, measuring each and writing one JSON artifact
+(``benchmarks/out/bench_compile_server.json``):
+
+1. **coalesce burst** — G identical concurrent requests per cell, made
+   unmistakably fresh with a nonce comment, so every group must collapse
+   to one execution (asserts a nonzero coalesce count and >= the expected
+   floor),
+2. **warm storm** — N mixed-priority requests across the full 8 ISAXes x
+   5 cores grid with bounded concurrency; after first touch every repeat
+   is a warm-tier hit, and the benchmark asserts 100% success — then a
+   low-concurrency **warm probe** over the now-warm grid asserts a
+   warm-cache p50 in the low milliseconds (storm-concurrency wall times
+   measure client-side queueing, not cache latency),
+3. **back-pressure probe** (in-process mode) — a deliberately tiny server
+   (queue depth 4, 1 worker) overloaded with unique jobs must reject the
+   excess with 429 + ``retry_after_s`` instead of buffering unboundedly,
+4. **parity** — server-mode artifacts must be byte-identical to what
+   ``repro-longnail batch`` / :func:`run_compile_payload` produces.
+
+``--smoke`` is the CI gate: >= 50 concurrent mixed-priority requests,
+same assertions, small enough for a PR check.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compile_server.py --smoke
+    PYTHONPATH=src python benchmarks/bench_compile_server.py \
+        --url http://127.0.0.1:8080 --requests 5000 --concurrency 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import time
+import uuid
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.isaxes import ALL_ISAXES                      # noqa: E402
+from repro.scaiev.cores import CORES, EXPERIMENTAL_CORES  # noqa: E402
+from repro.server import (                               # noqa: E402
+    CompileServer,
+    CompileServerApp,
+    CompileServerClient,
+    CompileServerError,
+)
+from repro.service.executor import run_compile_payload   # noqa: E402
+from repro.service.jobs import CompileJob                # noqa: E402
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+GRID_CORES = list(CORES) + list(EXPERIMENTAL_CORES)
+PRIORITY_CYCLE = ("interactive", "batch", "background")
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _summary(samples_ms: List[float]) -> dict:
+    return {
+        "count": len(samples_ms),
+        "p50_ms": round(_percentile(samples_ms, 0.50), 3),
+        "p90_ms": round(_percentile(samples_ms, 0.90), 3),
+        "p99_ms": round(_percentile(samples_ms, 0.99), 3),
+        "max_ms": round(max(samples_ms), 3) if samples_ms else 0.0,
+    }
+
+
+async def _coalesce_burst(client: CompileServerClient, cells, group: int,
+                          nonce: str) -> dict:
+    """Fire ``group`` identical concurrent requests per cell; nonce-fresh
+    sources guarantee they cannot be cache hits, so all but one per cell
+    must coalesce."""
+    before = (await client.metrics())["server"]["counters"]
+
+    async def one(index: int, isax: str, core: str) -> dict:
+        source = ALL_ISAXES[isax] + f"\n// bench nonce {nonce}\n"
+        return await client.compile(
+            source=source, isax=isax, core=core,
+            priority=PRIORITY_CYCLE[index % len(PRIORITY_CYCLE)],
+            wait=True, include_result=False)
+
+    begin = time.perf_counter()
+    jobs = await asyncio.gather(*[
+        one(index, isax, core)
+        for isax, core in cells
+        for index in range(group)
+    ])
+    seconds = time.perf_counter() - begin
+    after = (await client.metrics())["server"]["counters"]
+    coalesced = after["coalesced"] - before["coalesced"]
+    executions = after["executions"] - before["executions"]
+    return {
+        "cells": len(cells),
+        "group_size": group,
+        "requests": len(jobs),
+        "ok": sum(1 for j in jobs if j["state"] == "ok"),
+        "coalesced": coalesced,
+        "executions": executions,
+        "seconds": round(seconds, 3),
+    }
+
+
+async def _warm_storm(client: CompileServerClient, cells, requests: int,
+                      concurrency: int) -> dict:
+    semaphore = asyncio.Semaphore(concurrency)
+    latencies_ms: List[float] = []
+    warm_ms: List[float] = []
+    failures: List[str] = []
+    retried_429 = 0
+
+    async def one(index: int) -> None:
+        nonlocal retried_429
+        isax, core = cells[index % len(cells)]
+        priority = PRIORITY_CYCLE[index % len(PRIORITY_CYCLE)]
+        async with semaphore:
+            begin = time.perf_counter()
+            for _attempt in range(6):
+                try:
+                    job = await client.compile(
+                        isax=isax, core=core, priority=priority,
+                        wait=True, include_result=False)
+                    break
+                except CompileServerError as err:
+                    if err.status != 429:
+                        failures.append(f"{isax}/{core}: {err}")
+                        return
+                    retried_429 += 1
+                    await asyncio.sleep(err.retry_after_s or 0.1)
+            else:
+                failures.append(f"{isax}/{core}: still 429 after retries")
+                return
+            elapsed_ms = (time.perf_counter() - begin) * 1000.0
+            if job["state"] != "ok":
+                failures.append(f"{isax}/{core}: {job.get('error')}")
+                return
+            latencies_ms.append(elapsed_ms)
+            if job.get("cached"):
+                warm_ms.append(elapsed_ms)
+
+    begin = time.perf_counter()
+    await asyncio.gather(*[one(index) for index in range(requests)])
+    seconds = time.perf_counter() - begin
+    return {
+        "requests": requests,
+        "concurrency": concurrency,
+        "ok": len(latencies_ms),
+        "failures": failures,
+        "backpressure_retries": retried_429,
+        "seconds": round(seconds, 3),
+        "throughput_rps": round(len(latencies_ms) / seconds, 1),
+        "latency": _summary(latencies_ms),
+        "warm_latency": _summary(warm_ms),
+    }
+
+
+async def _backpressure_probe(nonce: str) -> dict:
+    """Overload a deliberately tiny in-process server with unique jobs —
+    the bounded queue must answer 429 with a retry hint."""
+    core = CompileServer(workers=1, backend="thread", max_queue_depth=4,
+                         memory_entries=0)
+    app = CompileServerApp(core)
+    host, port = await app.start("127.0.0.1", 0)
+    client = CompileServerClient(f"http://{host}:{port}")
+    accepted = rejected = 0
+    retry_hints: List[float] = []
+    try:
+        async def one(index: int) -> None:
+            nonlocal accepted, rejected
+            source = (ALL_ISAXES["dotprod"]
+                      + f"\n// overload {nonce} {index}\n")
+            try:
+                await client.compile(source=source, isax="dotprod",
+                                     core="VexRiscv", wait=False,
+                                     include_result=False)
+                accepted += 1
+            except CompileServerError as err:
+                if err.status == 429:
+                    rejected += 1
+                    if err.retry_after_s:
+                        retry_hints.append(err.retry_after_s)
+                else:
+                    raise
+
+        await asyncio.gather(*[one(index) for index in range(30)])
+        healthz = await client.healthz()
+    finally:
+        await app.close(drain=True)
+    return {
+        "offered": 30,
+        "accepted": accepted,
+        "rejected_429": rejected,
+        "retry_after_hint_s": retry_hints[0] if retry_hints else None,
+        "queue_depth_limit": 4,
+        "healthz_after": healthz,
+    }
+
+
+async def _parity_check(client: CompileServerClient, cells) -> dict:
+    """Server artifacts must match run_compile_payload byte for byte."""
+    checked = []
+    for isax, core in cells:
+        job = await client.compile(isax=isax, core=core, wait=True,
+                                   include_result=True)
+        local = run_compile_payload(CompileJob(
+            isax=isax, source=ALL_ISAXES[isax], core=core).to_payload())
+        identical = (job["result"]["verilog"] == local["verilog"]
+                     and job["result"]["config_yaml"]
+                     == local["config_yaml"])
+        checked.append({"isax": isax, "core": core,
+                        "identical": identical})
+    return {"cells": checked,
+            "all_identical": all(c["identical"] for c in checked)}
+
+
+async def run_benchmark(args: argparse.Namespace) -> dict:
+    app: Optional[CompileServerApp] = None
+    if args.url:
+        url = args.url
+    else:
+        # "auto" fans compiles out to worker *processes*: CPU-bound
+        # scheduling must not hold the GIL under the event loop, or warm
+        # cache hits queue behind it.
+        core = CompileServer(workers=args.workers, backend="auto",
+                             max_queue_depth=args.queue_depth)
+        app = CompileServerApp(core)
+        host, port = await app.start("127.0.0.1", 0)
+        url = f"http://{host}:{port}"
+
+    client = CompileServerClient(url)
+    await client.wait_ready()
+    nonce = uuid.uuid4().hex
+
+    grid: List[Tuple[str, str]] = [
+        (isax, core_name)
+        for isax in sorted(ALL_ISAXES)
+        for core_name in GRID_CORES
+    ]
+    try:
+        burst = await _coalesce_burst(
+            client, grid[:args.burst_cells], group=args.burst_group,
+            nonce=nonce)
+        storm = await _warm_storm(client, grid, requests=args.requests,
+                                  concurrency=args.concurrency)
+        # Warm-hit latency measured without self-induced client queueing:
+        # at storm concurrency the wall time is dominated by waiting for
+        # the loop to service the other in-flight connections, so the p50
+        # assertion uses a modest-concurrency probe over the now-warm grid.
+        probe = await _warm_storm(client, grid, requests=args.probe_requests,
+                                  concurrency=8)
+        parity = await _parity_check(client, [
+            ("dotprod", "VexRiscv"), ("zol", "ORCA"), ("sbox", "CVA5"),
+        ])
+        overload = None
+        if not args.url or args.overload:
+            overload = await _backpressure_probe(nonce)
+        metrics = await client.metrics()
+    finally:
+        if app is not None:
+            await app.close(drain=True)
+
+    bench: Dict[str, object] = {
+        "bench": "compile_server",
+        "smoke": args.smoke,
+        "url": "in-process" if app is not None else args.url,
+        "grid_cells": len(grid),
+        "coalesce_burst": burst,
+        "warm_storm": storm,
+        "warm_probe": probe,
+        "backpressure": overload,
+        "parity": parity,
+        "server_metrics": metrics.get("server"),
+        "cache": metrics.get("cache"),
+    }
+
+    failures: List[str] = []
+    if storm["failures"]:
+        failures.append(
+            f"{len(storm['failures'])} request(s) failed: "
+            + "; ".join(storm["failures"][:3]))
+    if burst["ok"] != burst["requests"]:
+        failures.append("coalesce burst had failing requests")
+    expected_coalesced = burst["cells"] * (burst["group_size"] - 1)
+    if burst["coalesced"] < expected_coalesced:
+        failures.append(
+            f"coalesced {burst['coalesced']} < expected floor "
+            f"{expected_coalesced} (identical in-flight requests must "
+            "share one execution)")
+    if storm["warm_latency"]["count"] == 0:
+        failures.append("warm storm produced no cache hits")
+    if probe["failures"]:
+        failures.append(
+            f"warm probe failures: {'; '.join(probe['failures'][:3])}")
+    if probe["warm_latency"]["count"] == 0:
+        failures.append("warm probe produced no cache hits")
+    elif probe["warm_latency"]["p50_ms"] > args.max_warm_p50_ms:
+        failures.append(
+            f"warm-cache p50 {probe['warm_latency']['p50_ms']}ms exceeds "
+            f"{args.max_warm_p50_ms}ms")
+    if overload is not None and overload["rejected_429"] == 0:
+        failures.append("overload probe saw no 429 back-pressure")
+    if not parity["all_identical"]:
+        failures.append("server artifacts differ from batch output")
+    bench["failures"] = failures
+    bench["passed"] = not failures
+    return bench
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default=None,
+                        help="benchmark a running server instead of an "
+                             "in-process one")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: small but assertive")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="warm-storm requests (default 2000; smoke 120)")
+    parser.add_argument("--concurrency", type=int, default=None,
+                        help="in-flight cap (default 128; smoke 60)")
+    parser.add_argument("--probe-requests", type=int, default=200,
+                        help="requests in the low-concurrency warm probe")
+    parser.add_argument("--burst-cells", type=int, default=8,
+                        help="grid cells in the coalesce burst")
+    parser.add_argument("--burst-group", type=int, default=8,
+                        help="identical concurrent requests per cell")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="workers for the in-process server")
+    parser.add_argument("--queue-depth", type=int, default=256)
+    parser.add_argument("--max-warm-p50-ms", type=float, default=50.0,
+                        help="warm-cache p50 assertion threshold")
+    parser.add_argument("--overload", action="store_true",
+                        help="run the back-pressure probe even with --url "
+                             "(uses its own tiny in-process server)")
+    parser.add_argument("--out", default=str(
+        OUT_DIR / "bench_compile_server.json"))
+    args = parser.parse_args(argv)
+    if args.requests is None:
+        args.requests = 120 if args.smoke else 2000
+    if args.concurrency is None:
+        args.concurrency = 60 if args.smoke else 128
+
+    bench = asyncio.run(run_benchmark(args))
+
+    out_path = pathlib.Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(bench, indent=2) + "\n",
+                        encoding="utf-8")
+
+    burst = bench["coalesce_burst"]
+    storm = bench["warm_storm"]
+    print(f"[artifact] {out_path}")
+    print(f"coalesce burst: {burst['requests']} requests -> "
+          f"{burst['executions']} executions, "
+          f"{burst['coalesced']} coalesced")
+    probe = bench["warm_probe"]
+    print(f"warm storm: {storm['ok']}/{storm['requests']} ok at "
+          f"concurrency {storm['concurrency']}, "
+          f"{storm['throughput_rps']} req/s")
+    print(f"warm probe: p50 {probe['warm_latency']['p50_ms']}ms "
+          f"(p99 {probe['warm_latency']['p99_ms']}ms) over "
+          f"{probe['warm_latency']['count']} cache hits at concurrency 8")
+    if bench["backpressure"]:
+        bp = bench["backpressure"]
+        print(f"back-pressure: {bp['rejected_429']}/{bp['offered']} "
+              f"rejected with 429 at queue depth {bp['queue_depth_limit']}")
+    print(f"parity: all_identical={bench['parity']['all_identical']}")
+    for failure in bench["failures"]:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 0 if bench["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

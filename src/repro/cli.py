@@ -4,6 +4,7 @@ Usage (``python -m repro ...`` or the ``repro-longnail`` entry point):
 
     repro-longnail compile my_isax.core_desc --core VexRiscv -o build/
     repro-longnail batch --workers 4 -o build/grid
+    repro-longnail serve --port 8080 --workers 4
     repro-longnail datasheet ORCA
     repro-longnail isaxes [name]
     repro-longnail table1 | table3 | table4
@@ -13,7 +14,9 @@ Usage (``python -m repro ...`` or the ``repro-longnail`` entry point):
 configuration file out — exactly like the paper's Figure 9 tool invocation.
 ``batch`` fans a whole (ISAX x core) grid out over the
 :mod:`repro.service` orchestrator with artifact caching and per-phase
-timing metrics.
+timing metrics.  ``serve`` runs the same pipeline as a long-lived HTTP
+service (:mod:`repro.server`) with request coalescing, priority queues
+and streaming observability; it drains gracefully on SIGTERM/SIGINT.
 """
 
 from __future__ import annotations
@@ -104,7 +107,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache = ArtifactCache(pathlib.Path(args.cache_dir).expanduser())
     executor = BatchExecutor(
         workers=args.workers, cache=cache, timeout_s=args.timeout,
-        retries=args.retries,
+        retries=args.retries, backoff_base_s=args.backoff,
     )
     outcomes, metrics = executor.run_compile_jobs(jobs)
 
@@ -160,6 +163,62 @@ def _cmd_batch(args: argparse.Namespace) -> int:
               f"({stats.hit_rate:.0%}), dir {cache.root}")
     print(f"wrote {metrics_path}")
     return 0 if metrics.failed == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.server import CompileServer, CompileServerApp
+    from repro.service import ShardedArtifactCache
+
+    cache = None
+    if not args.no_cache:
+        cache = ShardedArtifactCache(
+            pathlib.Path(args.cache_dir).expanduser(),
+            shards=args.cache_shards,
+            per_shard_entries=args.cache_shard_entries,
+        )
+    core = CompileServer(
+        workers=args.workers,
+        backend=args.backend,
+        max_queue_depth=args.queue_depth,
+        retries=args.retries,
+        backoff_base_s=args.backoff,
+        timeout_s=args.timeout,
+        disk_cache=cache,
+        memory_entries=args.memory_entries,
+    )
+    app = CompileServerApp(core)
+
+    async def _serve() -> None:
+        host, port = await app.start(args.host, args.port)
+        print(f"compile server listening on http://{host}:{port} "
+              f"({args.workers} {core.backend} workers, "
+              f"queue depth {args.queue_depth})")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:     # non-UNIX event loops
+                pass
+        await stop.wait()
+        print("draining: no new jobs accepted, waiting for "
+              f"{core.open_jobs} open job(s) ...")
+        await app.close(drain=True)
+        counters = core.counters
+        print(f"drained after {core.uptime_s:.1f}s: "
+              f"{counters.completed} ok, {counters.failed} failed, "
+              f"{counters.coalesced} coalesced, "
+              f"{counters.cache_hits_memory + counters.cache_hits_disk} "
+              f"cache hits")
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -414,6 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-job timeout in seconds")
     batch_p.add_argument("--retries", type=int, default=1,
                          help="retries per failed job (default 1)")
+    batch_p.add_argument("--backoff", type=float, default=0.05,
+                         metavar="S",
+                         help="base retry backoff in seconds, doubled per "
+                              "round with deterministic jitter (default "
+                              "0.05; 0 disables)")
     batch_p.add_argument("--cache-dir", default=str(_default_cache_dir()),
                          help="artifact cache directory")
     batch_p.add_argument("--no-cache", action="store_true",
@@ -424,6 +488,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-phase timing JSON path (default: "
                               "<output>/batch_metrics.json)")
     batch_p.set_defaults(func=_cmd_batch)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the long-lived compile server (HTTP/JSON API "
+                      "with request coalescing, priority queues, "
+                      "back-pressure and streaming job events)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8080,
+                         help="TCP port (0 picks a free one; default 8080)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="concurrent executions (default 2)")
+    serve_p.add_argument("--backend", default="auto",
+                         choices=("auto", "thread", "process"),
+                         help="execution pool (auto: process when "
+                              "--workers > 1)")
+    serve_p.add_argument("--queue-depth", type=int, default=256,
+                         help="bounded queue depth; beyond it submissions "
+                              "are rejected with HTTP 429 (default 256)")
+    serve_p.add_argument("--retries", type=int, default=1,
+                         help="retries per failed job (default 1)")
+    serve_p.add_argument("--backoff", type=float, default=0.05,
+                         metavar="S",
+                         help="base retry backoff seconds (default 0.05)")
+    serve_p.add_argument("--timeout", type=float, default=None,
+                         help="per-job execution timeout in seconds")
+    serve_p.add_argument("--cache-dir", default=str(_default_cache_dir()),
+                         help="sharded artifact cache directory")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="disable the on-disk artifact cache")
+    serve_p.add_argument("--cache-shards", type=int, default=8,
+                         help="number of disk cache shards (default 8)")
+    serve_p.add_argument("--cache-shard-entries", type=int, default=None,
+                         metavar="N",
+                         help="eviction budget per shard (default "
+                              "unbounded)")
+    serve_p.add_argument("--memory-entries", type=int, default=2048,
+                         help="in-memory warm-tier entries (default 2048; "
+                              "0 disables)")
+    serve_p.set_defaults(func=_cmd_serve)
 
     lint_p = sub.add_parser(
         "lint", help="run the CoreDSL lint rules (and, with --core, the "

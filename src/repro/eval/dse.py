@@ -23,6 +23,12 @@ candidate, fanned out over worker processes and served from the
 content-addressed artifact cache on repeat sweeps.  The default executor
 is in-process and uncached, so `explore()` behaves exactly as before for
 casual callers.
+
+With ``server_url`` (or ``python -m repro.eval.dse --server URL``) the
+sweep instead becomes a *client* of the long-lived compile server
+(:mod:`repro.server`): every candidate is a ``POST /v1/tasks`` submission
+sharing the server's warm caches and coalescing with identical concurrent
+sweeps — the "everything becomes a client" direction of the ROADMAP.
 """
 
 from __future__ import annotations
@@ -129,7 +135,9 @@ def explore(source: str,
             instruction: Optional[str] = None,
             tech: Optional[TechLibrary] = None,
             executor: Optional[BatchExecutor] = None,
-            engine: str = "auto") -> List[DesignPoint]:
+            engine: str = "auto",
+            server_url: Optional[str] = None,
+            priority: str = "batch") -> List[DesignPoint]:
     """Sweep the design space of one ISAX instruction on one core.
 
     ``cycle_scales`` multiply the core's native cycle time (a scale > 1
@@ -143,6 +151,11 @@ def explore(source: str,
     engine per candidate; the in-process default additionally shares the
     cross-sweep schedule cache, so candidates whose chain-breaker sets
     coincide are never re-solved.
+
+    ``server_url`` routes every candidate through a running compile
+    server instead (see :mod:`repro.server`): concurrent sweeps coalesce
+    on identical candidates and repeat sweeps are served from the
+    server's warm cache tier.  ``priority`` is the server queue level.
     """
     datasheet = core_datasheet(core) if isinstance(core, str) else core
     datasheet_yaml = datasheet.to_yaml()
@@ -156,7 +169,6 @@ def explore(source: str,
             ))
         return points
 
-    executor = executor or BatchExecutor(workers=1)
     specs = []
     for scale in cycle_scales:
         cycle = datasheet.cycle_time_ns * scale
@@ -176,6 +188,11 @@ def explore(source: str,
                        repr(instruction), engine),
             label=f"dse@{cycle:g}ns",
         ))
+
+    if server_url is not None:
+        return _explore_via_server(server_url, specs, priority=priority)
+
+    executor = executor or BatchExecutor(workers=1)
     outcomes = executor.run_specs(specs)
     points = []
     for outcome in outcomes:
@@ -188,6 +205,36 @@ def explore(source: str,
     return points
 
 
+def _explore_via_server(url: str, specs: Sequence[TaskSpec],
+                        priority: str = "batch") -> List[DesignPoint]:
+    """Submit every candidate to a running compile server concurrently and
+    assemble the DesignPoints from the job results (input order kept)."""
+    import asyncio
+
+    from repro.server.client import CompileServerClient
+
+    async def _sweep() -> List[dict]:
+        client = CompileServerClient(url)
+        return await asyncio.gather(*[
+            client.submit_task(
+                runner=spec.runner, payload=spec.payload, key=spec.key,
+                label=spec.label, priority=priority, wait=True,
+            )
+            for spec in specs
+        ])
+
+    points: List[DesignPoint] = []
+    for spec, job in zip(specs, asyncio.run(_sweep())):
+        if job.get("state") != "ok":
+            raise RuntimeError(
+                f"DSE candidate {spec.label} failed on the server: "
+                f"{job.get('error')}"
+            )
+        points.extend(DesignPoint(**entry)
+                      for entry in job["result"]["points"])
+    return points
+
+
 def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
     """Non-dominated subset, sorted by area."""
     frontier = [
@@ -195,6 +242,60 @@ def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
         if not any(q.dominates(p) for q in points if q is not p)
     ]
     return sorted(frontier, key=lambda p: (p.area_um2, p.latency_ns))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.eval.dse``: sweep one ISAX, locally or — with
+    ``--server URL`` — as a client of a running compile server."""
+    import argparse
+
+    from repro.isaxes import ALL_ISAXES
+
+    parser = argparse.ArgumentParser(
+        prog="repro.eval.dse",
+        description="design-space exploration over cycle time x II",
+    )
+    parser.add_argument("--isax", default="dotprod",
+                        choices=sorted(ALL_ISAXES),
+                        help="benchmark ISAX to sweep (default dotprod)")
+    parser.add_argument("--core", default="VexRiscv")
+    parser.add_argument("--cycle-scale", action="append", type=float,
+                        default=[], metavar="S",
+                        help="cycle-time scale (repeatable; default "
+                             "1.0 1.5 2.0 3.0 4.0)")
+    parser.add_argument("--ii", action="append", type=int, default=[],
+                        help="initiation interval (repeatable; "
+                             "default 1 2 4)")
+    parser.add_argument("--engine", default="auto",
+                        choices=("auto", "fastpath", "milp", "asap"))
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="run the sweep through a compile server "
+                             "(e.g. http://127.0.0.1:8080)")
+    parser.add_argument("--priority", default="batch",
+                        choices=("interactive", "batch", "background"),
+                        help="server queue priority (with --server)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="local executor workers (without --server)")
+    args = parser.parse_args(argv)
+
+    executor = None
+    if args.server is None and args.workers > 1:
+        executor = BatchExecutor(workers=args.workers)
+    points = explore(
+        ALL_ISAXES[args.isax],
+        core=args.core,
+        cycle_scales=args.cycle_scale or (1.0, 1.5, 2.0, 3.0, 4.0),
+        initiation_intervals=args.ii or (1, 2, 4),
+        engine=args.engine,
+        executor=executor,
+        server_url=args.server,
+        priority=args.priority,
+    )
+    via = f"server {args.server}" if args.server else "local executor"
+    print(f"# {args.isax} on {args.core} via {via}: "
+          f"{len(points)} design points")
+    print(render_design_space(points))
+    return 0
 
 
 def render_design_space(points: Sequence[DesignPoint],
@@ -212,3 +313,9 @@ def render_design_space(points: Sequence[DesignPoint],
             f"{'*' if id(point) in chosen else '':>7}"
         )
     return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -13,11 +13,12 @@ package turns :func:`repro.hls.longnail.compile_isax` into a batch engine:
 CLI entry point: ``repro-longnail batch``.
 """
 
-from repro.service.cache import ArtifactCache, CacheStats
+from repro.service.cache import ArtifactCache, CacheStats, ShardedArtifactCache
 from repro.service.executor import (
     BatchExecutor,
     JobOutcome,
     TaskSpec,
+    retry_backoff_s,
     run_compile_payload,
 )
 from repro.service.jobs import CompileJob, job_grid, load_manifest
@@ -32,8 +33,10 @@ __all__ = [
     "JobMetrics",
     "JobOutcome",
     "PhaseRecorder",
+    "ShardedArtifactCache",
     "TaskSpec",
     "job_grid",
     "load_manifest",
+    "retry_backoff_s",
     "run_compile_payload",
 ]

@@ -13,7 +13,15 @@ several batch invocations sharing one cache) can never expose a torn
 record; the worst case is both doing the same work and one rename winning.
 
 The cache keeps hit/miss/put/evict accounting and supports a bounded
-``max_entries`` with oldest-first (mtime) eviction.
+``max_entries`` with least-recently-used eviction: every ``get`` hit
+touches the record's mtime, and eviction drops the oldest mtime first with
+a deterministic filename tie-break (mtime granularity is coarse on some
+filesystems, so equal-mtime victims must not depend on directory order).
+
+:class:`ShardedArtifactCache` layers N independent shards over this store,
+routed by content digest, each with its own eviction budget — the warm
+tier the compile server serves thousands of concurrent clients from
+(eviction pressure in one shard cannot wipe the whole working set).
 """
 
 from __future__ import annotations
@@ -97,6 +105,10 @@ class ArtifactCache:
             path.unlink(missing_ok=True)
             return None
         self.stats.hits += 1
+        # LRU touch: a hit refreshes the record's mtime so hot entries
+        # survive `_evict_to` even when they were written long ago.
+        with contextlib.suppress(OSError):
+            os.utime(path, None)
         return record
 
     def put(self, key: str, record: dict) -> pathlib.Path:
@@ -125,6 +137,8 @@ class ArtifactCache:
         entries = self._entries()
         if len(entries) <= limit:
             return
+        # LRU by mtime; the filename (== cache key) breaks ties so that
+        # coarse-grained mtimes still evict deterministically.
         entries.sort(key=lambda p: (p.stat().st_mtime, p.name))
         for victim in entries[:len(entries) - limit]:
             victim.unlink(missing_ok=True)
@@ -137,3 +151,79 @@ class ArtifactCache:
             entry.unlink(missing_ok=True)
             dropped += 1
         return dropped
+
+
+class ShardedArtifactCache:
+    """A digest-sharded warm cache tier over :class:`ArtifactCache`.
+
+    Keys route to ``int(key[:8], 16) % shards``, so one content digest
+    always lands in the same shard (stable across restarts and across
+    processes sharing the directory).  Each shard is an independent
+    :class:`ArtifactCache` under ``<root>/shard-NN`` with its own
+    ``per_shard_entries`` eviction budget: hot traffic concentrated on a
+    few digests can evict at most its own shard, and shards can be served
+    concurrently without a global lock (disk writes are already atomic).
+
+    Accounting aggregates across shards (plus per-shard breakdown via
+    :meth:`stats_by_shard`) — the compile server folds it into
+    ``/v1/metrics``.
+    """
+
+    def __init__(self, root: os.PathLike, shards: int = 8,
+                 per_shard_entries: Optional[int] = None) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.root = pathlib.Path(root)
+        self.shards: List[ArtifactCache] = [
+            ArtifactCache(self.root / f"shard-{index:02d}",
+                          max_entries=per_shard_entries)
+            for index in range(shards)
+        ]
+
+    def shard_for(self, key: str) -> ArtifactCache:
+        if len(key) < 8:
+            raise ValueError(f"cache key too short: {key!r}")
+        return self.shards[int(key[:8], 16) % len(self.shards)]
+
+    def shard_index(self, key: str) -> int:
+        return self.shards.index(self.shard_for(key))
+
+    def get(self, key: str) -> Optional[dict]:
+        return self.shard_for(key).get(key)
+
+    def put(self, key: str, record: dict) -> pathlib.Path:
+        return self.shard_for(key).put(key, record)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.shard_for(key)
+
+    def clear(self) -> int:
+        return sum(shard.clear() for shard in self.shards)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate accounting over every shard (fresh object per call)."""
+        total = CacheStats()
+        for shard in self.shards:
+            total.hits += shard.stats.hits
+            total.misses += shard.stats.misses
+            total.puts += shard.stats.puts
+            total.evictions += shard.stats.evictions
+        return total
+
+    def stats_by_shard(self) -> List[dict]:
+        return [
+            {"shard": index, "entries": len(shard),
+             **shard.stats.to_dict()}
+            for index, shard in enumerate(self.shards)
+        ]
+
+    def to_dict(self) -> dict:
+        doc = self.stats.to_dict()
+        doc["shards"] = len(self.shards)
+        doc["entries"] = len(self)
+        doc["by_shard"] = self.stats_by_shard()
+        return doc

@@ -14,7 +14,9 @@ Features:
   failed and the pool is torn down (a stuck solver cannot wedge the whole
   batch),
 * **retry-once-on-failure** (configurable ``retries``) — transient
-  failures get a fresh round in a fresh pool,
+  failures get a fresh round in a fresh pool, separated by exponential
+  backoff with deterministic jitter (:func:`retry_backoff_s`) so a flaky
+  shared resource is not hammered in lock-step,
 * ``workers <= 1`` degrades to in-process serial execution through the
   *same* code path, which is what the unit tests and the default
   :func:`repro.eval.dse.explore` use.
@@ -28,6 +30,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import hashlib
 import importlib
 import time
 import traceback
@@ -41,6 +44,25 @@ from repro.utils.diagnostics import count_by_severity
 
 #: Runner reference for plain compile jobs.
 COMPILE_RUNNER = "repro.service.executor:run_compile_payload"
+
+
+def retry_backoff_s(token: str, attempt: int, base_s: float,
+                    cap_s: float = 30.0) -> float:
+    """Backoff before retry ``attempt`` (1-based): exponential growth with
+    deterministic jitter.
+
+    The raw delay doubles per attempt (``base_s * 2**(attempt-1)``, capped
+    at ``cap_s``) and is then scaled into ``[0.5, 1.0)`` of itself by a
+    jitter derived from ``sha256(token:attempt)`` — so two jobs retrying at
+    the same moment desynchronise, yet the same job retries after the same
+    delay on every run (reproducible batches, testable schedules).
+    """
+    if base_s <= 0.0 or attempt <= 0:
+        return 0.0
+    raw = min(cap_s, base_s * (2.0 ** (attempt - 1)))
+    seed = hashlib.sha256(f"{token}:{attempt}".encode("utf-8")).digest()
+    jitter = 0.5 + int.from_bytes(seed[:8], "big") / 2.0 ** 65
+    return raw * jitter
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,6 +86,7 @@ class JobOutcome:
     seconds: float
     result: Optional[dict] = None
     error: Optional[str] = None
+    backoff_seconds: float = 0.0   # total retry backoff this job waited
 
     @property
     def ok(self) -> bool:
@@ -91,15 +114,24 @@ class BatchExecutor:
     def __init__(self, workers: int = 1,
                  cache: Optional[ArtifactCache] = None,
                  timeout_s: Optional[float] = None,
-                 retries: int = 1) -> None:
+                 retries: int = 1,
+                 backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 30.0) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
         self.workers = workers
         self.cache = cache
         self.timeout_s = timeout_s
         self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+
+    def _backoff_token(self, spec: TaskSpec, index: int) -> str:
+        return spec.key or spec.label or f"{spec.runner}#{index}"
 
     # -- generic spec execution --------------------------------------------
     def run_specs(self, specs: Sequence[TaskSpec]) -> List[JobOutcome]:
@@ -121,8 +153,25 @@ class BatchExecutor:
         attempts: Dict[int, int] = {i: 0 for i in pending}
         errors: Dict[int, str] = {}
         timings: Dict[int, float] = {i: 0.0 for i in pending}
+        backoffs: Dict[int, float] = {i: 0.0 for i in pending}
         remaining = pending
         while remaining and min(attempts[i] for i in remaining) <= self.retries:
+            if any(attempts[i] > 0 for i in remaining):
+                # Retry round: per-job exponential backoff (deterministic
+                # jitter); the rounds are batched so one sleep covers the
+                # longest delay of the round.
+                delays = {
+                    i: retry_backoff_s(
+                        self._backoff_token(specs[i], i), attempts[i],
+                        self.backoff_base_s, self.backoff_cap_s,
+                    )
+                    for i in remaining
+                }
+                for i, delay in delays.items():
+                    backoffs[i] += delay
+                pause = max(delays.values())
+                if pause > 0:
+                    time.sleep(pause)
             round_results = self._run_round(
                 [(i, specs[i]) for i in remaining]
             )
@@ -135,7 +184,7 @@ class BatchExecutor:
                     outcomes[index] = JobOutcome(
                         spec=specs[index], status="ok", cached=False,
                         attempts=attempts[index], seconds=timings[index],
-                        result=value,
+                        result=value, backoff_seconds=backoffs[index],
                     )
                     if self.cache is not None and specs[index].key:
                         self.cache.put(specs[index].key, value)
@@ -147,7 +196,7 @@ class BatchExecutor:
                         outcomes[index] = JobOutcome(
                             spec=specs[index], status="failed", cached=False,
                             attempts=attempts[index], seconds=timings[index],
-                            error=value,
+                            error=value, backoff_seconds=backoffs[index],
                         )
             remaining = still_failing
         return [outcome for outcome in outcomes if outcome is not None]

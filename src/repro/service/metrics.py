@@ -74,6 +74,9 @@ class BatchMetrics:
     jobs: List[JobMetrics] = dataclasses.field(default_factory=list)
     cache_stats: Optional[dict] = None
     workers: int = 1
+    #: Extra section contributed by the long-lived compile server
+    #: (queue/coalesce/latency counters); absent for plain batch runs.
+    server: Optional[dict] = None
 
     def add(self, job: JobMetrics) -> None:
         self.jobs.append(job)
@@ -140,7 +143,7 @@ class BatchMetrics:
         return totals
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "workers": self.workers,
             "jobs_total": len(self.jobs),
             "jobs_ok": self.ok,
@@ -152,6 +155,9 @@ class BatchMetrics:
             "cache": self.cache_stats,
             "jobs": [job.to_dict() for job in self.jobs],
         }
+        if self.server is not None:
+            doc["server"] = self.server
+        return doc
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)

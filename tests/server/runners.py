@@ -1,0 +1,38 @@
+"""Module-level task runners for compile-server tests (importable by the
+pool workers, hence not defined inside test functions).
+
+``gated`` gives tests deterministic control over *when* a job finishes:
+it marks the log the moment it starts executing, then blocks until the
+gate file appears — so a test can hold the single worker busy, build up a
+known queue state (coalesced followers, priority backlog, full queue),
+and only then let execution proceed.  ``logged`` just records that (and
+in which order) it ran.
+"""
+
+import pathlib
+import time
+
+
+def _append(log_path: str, line: str) -> None:
+    with open(log_path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+def gated(payload: dict) -> dict:
+    """Log ``start:<label>``, block until the gate file exists, then log
+    ``run:<label>``."""
+    _append(payload["log_path"], f"start:{payload['label']}")
+    gate = pathlib.Path(payload["gate_path"])
+    deadline = time.monotonic() + float(payload.get("timeout_s", 10.0))
+    while not gate.exists():
+        if time.monotonic() > deadline:
+            raise RuntimeError("gate never opened")
+        time.sleep(0.005)
+    _append(payload["log_path"], f"run:{payload['label']}")
+    return {"ran": payload["label"]}
+
+
+def logged(payload: dict) -> dict:
+    """Log ``run:<label>`` immediately — execution-order probe."""
+    _append(payload["log_path"], f"run:{payload['label']}")
+    return {"ran": payload["label"]}

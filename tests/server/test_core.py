@@ -1,0 +1,318 @@
+"""Scheduling-core tests: coalescing, priority, back-pressure, drain,
+warm cache tiers, retry/backoff — all against :class:`CompileServer`
+directly (no HTTP), driven with ``asyncio.run`` from sync tests."""
+
+import asyncio
+import pathlib
+
+import pytest
+
+from repro.server.core import (
+    CompileServer,
+    DrainingError,
+    QueueFullError,
+    UnknownJobError,
+)
+from repro.service.cache import ShardedArtifactCache
+from repro.service.executor import TaskSpec
+from repro.service.jobs import digest
+
+ECHO = "tests.service.runners:echo"
+FLAKY = "tests.service.runners:flaky"
+GATED = "tests.server.runners:gated"
+LOGGED = "tests.server.runners:logged"
+
+
+def run_async(coro_fn, **server_kwargs):
+    """Run one async test body against a started thread-backend server."""
+    server_kwargs.setdefault("backend", "thread")
+
+    async def _body():
+        server = CompileServer(**server_kwargs)
+        await server.start()
+        try:
+            await coro_fn(server)
+        finally:
+            await server.close(drain=False)
+
+    asyncio.run(_body())
+
+
+def _gated_spec(tmp_path: pathlib.Path, label: str,
+                key=None) -> TaskSpec:
+    return TaskSpec(
+        runner=GATED,
+        payload={
+            "log_path": str(tmp_path / "log.txt"),
+            "gate_path": str(tmp_path / "gate"),
+            "label": label,
+        },
+        key=key,
+        label=label,
+    )
+
+
+def _log_lines(tmp_path: pathlib.Path):
+    log = tmp_path / "log.txt"
+    if not log.exists():
+        return []
+    return [line for line in log.read_text().splitlines() if line]
+
+
+async def _wait_for_start(tmp_path: pathlib.Path, label: str) -> None:
+    for _ in range(1000):
+        if f"start:{label}" in _log_lines(tmp_path):
+            return
+        await asyncio.sleep(0.005)
+    raise AssertionError(f"worker never started {label}")
+
+
+def _open_gate(tmp_path: pathlib.Path) -> None:
+    (tmp_path / "gate").write_text("open")
+
+
+class TestCoalescing:
+    def test_identical_concurrent_requests_share_one_execution(
+            self, tmp_path):
+        """8 identical submissions -> 1 execution, 8 results."""
+        key = digest("coalesce-me")
+
+        async def body(server):
+            records = [await server.submit(_gated_spec(tmp_path, "a", key),
+                                           priority="batch")
+                       for _ in range(8)]
+            try:
+                assert server.counters.coalesced == 7
+                followers = [r for r in records if r.coalesced_into]
+                assert len(followers) == 7
+                assert all(f.coalesced_into == records[0].job_id
+                           for f in followers)
+            finally:
+                _open_gate(tmp_path)
+            await asyncio.gather(*[r.wait() for r in records])
+            assert all(r.state == "ok" for r in records)
+            assert all(r.result == {"ran": "a"} for r in records)
+            # The log proves a single execution reached the runner.
+            assert _log_lines(tmp_path).count("run:a") == 1
+            assert server.counters.executions == 1
+            assert server.counters.completed == 8
+            # Followers inherit the primary's attempt count and report
+            # themselves as coalesced.
+            assert followers[0].to_dict()["coalesced"] is True
+
+        run_async(body, workers=2)
+
+    def test_coalescing_requires_a_content_key(self, tmp_path):
+        async def body(server):
+            spec = _gated_spec(tmp_path, "nokey", key=None)
+            first = await server.submit(spec)
+            second = await server.submit(spec)
+            _open_gate(tmp_path)
+            await asyncio.gather(first.wait(), second.wait())
+            assert server.counters.coalesced == 0
+            assert server.counters.executions == 2
+
+        run_async(body, workers=2)
+
+
+class TestPriorityAndBackPressure:
+    def test_priority_order_beats_submission_order(self, tmp_path):
+        """With the lone worker pinned, a backlog drains interactive ->
+        batch -> background regardless of arrival order."""
+
+        async def body(server):
+            blocker = await server.submit(_gated_spec(tmp_path, "blocker"))
+            await _wait_for_start(tmp_path, "blocker")
+            backlog = []
+            for label, priority in (("bg", "background"),
+                                    ("bt", "batch"),
+                                    ("ia", "interactive")):
+                spec = TaskSpec(
+                    runner=LOGGED,
+                    payload={"log_path": str(tmp_path / "log.txt"),
+                             "label": label},
+                    label=label)
+                backlog.append(await server.submit(spec, priority=priority))
+            _open_gate(tmp_path)
+            await asyncio.gather(blocker.wait(),
+                                 *[r.wait() for r in backlog])
+            runs = [line for line in _log_lines(tmp_path)
+                    if line.startswith("run:")]
+            assert runs == ["run:blocker", "run:ia", "run:bt", "run:bg"]
+
+        run_async(body, workers=1)
+
+    def test_full_queue_rejects_with_retry_hint(self, tmp_path):
+        async def body(server):
+            blocker = await server.submit(_gated_spec(tmp_path, "blocker"))
+            await _wait_for_start(tmp_path, "blocker")
+            queued = []
+            for index in range(2):
+                spec = TaskSpec(
+                    runner=LOGGED,
+                    payload={"log_path": str(tmp_path / "log.txt"),
+                             "label": f"q{index}"},
+                    label=f"q{index}")
+                queued.append(await server.submit(spec))
+            assert server.queue_depth == 2
+            overflow = TaskSpec(
+                runner=LOGGED,
+                payload={"log_path": str(tmp_path / "log.txt"),
+                         "label": "overflow"},
+                label="overflow")
+            with pytest.raises(QueueFullError) as excinfo:
+                await server.submit(overflow)
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after_s > 0
+            assert server.counters.rejected_queue_full == 1
+            # The rejected request leaves no job record behind.
+            assert server.counters.submitted == 4
+            _open_gate(tmp_path)
+            await asyncio.gather(blocker.wait(),
+                                 *[r.wait() for r in queued])
+            assert server.open_jobs == 0
+            assert "run:overflow" not in _log_lines(tmp_path)
+
+        run_async(body, workers=1, max_queue_depth=2)
+
+    def test_unknown_priority_is_a_value_error(self, tmp_path):
+        async def body(server):
+            with pytest.raises(ValueError):
+                await server.submit(
+                    TaskSpec(runner=ECHO, payload={"value": 1}),
+                    priority="urgent")
+
+        run_async(body)
+
+
+class TestDrain:
+    def test_drain_finishes_accepted_work_and_rejects_new(self, tmp_path):
+        async def body(server):
+            blocker = await server.submit(_gated_spec(tmp_path, "blocker"))
+            drain_task = asyncio.ensure_future(server.drain())
+            await asyncio.sleep(0)          # let drain() flip the flag
+            assert server.draining
+            with pytest.raises(DrainingError):
+                await server.submit(
+                    TaskSpec(runner=ECHO, payload={"value": 1}))
+            assert server.counters.rejected_draining == 1
+            assert not drain_task.done()    # blocker still running
+            _open_gate(tmp_path)
+            await drain_task
+            assert blocker.state == "ok"
+            assert server.open_jobs == 0
+            assert server.healthz()["status"] == "draining"
+
+        run_async(body, workers=1)
+
+
+class TestWarmTiers:
+    def test_memory_then_disk_hits(self, tmp_path):
+        cache_root = tmp_path / "cache"
+        key = digest("warm-tier")
+        spec = TaskSpec(runner=ECHO, payload={"value": 42}, key=key,
+                        label="warm")
+
+        async def first_lifetime(server):
+            executed = await server.submit(spec)
+            await executed.wait()
+            assert executed.state == "ok"
+            assert executed.cached is None
+            assert server.counters.cache_misses == 1
+            # Same key again: answered from memory at submit time.
+            warm = await server.submit(spec)
+            assert warm.done and warm.cached == "memory"
+            assert warm.result == {"echo": 42}
+            assert server.counters.cache_hits_memory == 1
+            assert server.counters.executions == 1
+
+        run_async(first_lifetime, workers=1,
+                  disk_cache=ShardedArtifactCache(cache_root, shards=4))
+
+        async def second_lifetime(server):
+            # Fresh process-equivalent: memory empty, disk warm.
+            record = await server.submit(spec)
+            assert record.done and record.cached == "disk"
+            assert record.result == {"echo": 42}
+            assert server.counters.cache_hits_disk == 1
+            assert server.counters.executions == 0
+            # ...and the disk hit repopulated the memory tier.
+            again = await server.submit(spec)
+            assert again.cached == "memory"
+
+        run_async(second_lifetime, workers=1,
+                  disk_cache=ShardedArtifactCache(cache_root, shards=4))
+
+    def test_results_without_key_are_never_cached(self, tmp_path):
+        async def body(server):
+            spec = TaskSpec(runner=ECHO, payload={"value": 7})
+            first = await server.submit(spec)
+            await first.wait()
+            second = await server.submit(spec)
+            await second.wait()
+            assert server.counters.executions == 2
+            assert server.counters.cache_hits_memory == 0
+
+        run_async(body, workers=1)
+
+
+class TestRetryAndTrace:
+    def test_transient_failure_retries_with_backoff(self, tmp_path):
+        counter = tmp_path / "counter"
+        spec = TaskSpec(
+            runner=FLAKY,
+            payload={"counter_path": str(counter), "fail_times": 1},
+            key=digest("flaky-job"),
+            label="flaky",
+        )
+
+        async def body(server):
+            record = await server.submit(spec)
+            await record.wait()
+            assert record.state == "ok"
+            assert record.attempts == 2
+            assert record.backoff_seconds > 0
+            retry_events = [e for e in record.events
+                            if e["event"] == "retry"]
+            assert len(retry_events) == 1
+            assert retry_events[0]["backoff_s"] > 0
+
+        run_async(body, workers=1, retries=1, backoff_base_s=0.001)
+
+    def test_exhausted_retries_fail_the_job(self, tmp_path):
+        counter = tmp_path / "counter"
+        spec = TaskSpec(
+            runner=FLAKY,
+            payload={"counter_path": str(counter), "fail_times": 5},
+            label="doomed",
+        )
+
+        async def body(server):
+            record = await server.submit(spec)
+            await record.wait()
+            assert record.state == "failed"
+            assert record.attempts == 2
+            assert "transient failure" in record.error
+            assert server.counters.failed == 1
+
+        run_async(body, workers=1, retries=1, backoff_base_s=0.001)
+
+    def test_job_trace_and_metrics_document(self, tmp_path):
+        async def body(server):
+            record = await server.submit(
+                TaskSpec(runner=ECHO, payload={"value": 5}, label="traced"))
+            await record.wait()
+            names = [e["event"] for e in record.events]
+            assert names == ["submitted", "queued", "started", "finished"]
+            assert record.queue_wait_s is not None
+            assert server.job(record.job_id) is record
+            with pytest.raises(UnknownJobError):
+                server.job("j99999999")
+            doc = server.metrics()
+            assert doc["server"]["counters"]["completed"] == 1
+            assert doc["server"]["queue"]["max_depth"] == \
+                server.max_queue_depth
+            assert doc["server"]["latency"]["executed"]["count"] == 1
+            assert doc["jobs_total"] == 1
+
+        run_async(body, workers=1)

@@ -1,0 +1,46 @@
+"""Server answers must be byte-identical to the batch CLI's artifacts —
+the server is a scheduling layer, never a different compiler."""
+
+import asyncio
+
+from repro.cli import main
+from repro.server import CompileServer, CompileServerApp, CompileServerClient
+
+
+def _server_artifacts(cells):
+    async def _run():
+        core = CompileServer(workers=2, backend="thread")
+        app = CompileServerApp(core)
+        host, port = await app.start("127.0.0.1", 0)
+        client = CompileServerClient(f"http://{host}:{port}")
+        try:
+            jobs = await asyncio.gather(*[
+                client.compile(isax=isax, core=core_name, wait=True)
+                for isax, core_name in cells
+            ])
+        finally:
+            await app.close(drain=True)
+        return jobs
+
+    return asyncio.run(_run())
+
+
+def test_server_artifacts_match_batch_cli_byte_for_byte(tmp_path):
+    cells = [("dotprod", "VexRiscv"), ("zol", "Piccolo")]
+    out = tmp_path / "out"
+    assert main([
+        "batch",
+        "--isax", "dotprod", "--isax", "zol",
+        "--core", "VexRiscv", "--core", "Piccolo",
+        "--workers", "1",
+        "--cache-dir", str(tmp_path / "cache"),
+        "-o", str(out),
+    ]) == 0
+
+    for (isax, core_name), job in zip(cells, _server_artifacts(cells)):
+        assert job["state"] == "ok"
+        base = out / core_name / isax
+        assert job["result"]["verilog"] == \
+            base.with_suffix(".sv").read_text()
+        assert job["result"]["config_yaml"] == \
+            base.with_suffix(".scaiev.yaml").read_text()

@@ -1,12 +1,13 @@
 """Artifact cache: content addressing, accounting, eviction, atomicity."""
 
 import json
+import os
 
 import pytest
 
 from repro.isaxes import ALL_ISAXES
 from repro.scaiev.cores import core_datasheet
-from repro.service.cache import ArtifactCache
+from repro.service.cache import ArtifactCache, ShardedArtifactCache
 from repro.service.jobs import CompileJob, digest
 
 
@@ -75,6 +76,99 @@ class TestEviction:
             cache.put(digest(f"c{i}"), {})
         assert cache.clear() == 3
         assert len(cache) == 0
+
+
+class TestLRUTouchAndTieBreak:
+    def test_get_refreshes_recency_against_eviction(self, tmp_path):
+        """A bounded cache must keep what is *used*, not what is merely
+        recent-by-put: getting the oldest entry saves it."""
+        cache = ArtifactCache(tmp_path, max_entries=2)
+        first, second, third = (digest(f"lru{i}") for i in range(3))
+        os.utime(cache.put(first, {"i": 0}), (100, 100))
+        os.utime(cache.put(second, {"i": 1}), (200, 200))
+        assert cache.get(first) == {"i": 0}      # touch: now newest
+        cache.put(third, {"i": 2})
+        assert first in cache
+        assert second not in cache               # LRU victim
+        assert third in cache
+
+    def test_equal_mtime_eviction_is_deterministic_by_name(self, tmp_path):
+        """Coarse filesystem timestamps collide; the victim must still be
+        deterministic (mtime, then path name)."""
+        for _ in range(2):
+            cache = ArtifactCache(tmp_path / "c", max_entries=2)
+            cache.clear()
+            first, second = digest("tie0"), digest("tie1")
+            os.utime(cache.put(first, {}), (100, 100))
+            os.utime(cache.put(second, {}), (100, 100))
+            expected_victim = min(
+                (cache.path_for(first).name, first),
+                (cache.path_for(second).name, second))[1]
+            survivor = second if expected_victim == first else first
+            cache.put(digest("tie2"), {})
+            assert expected_victim not in cache
+            assert survivor in cache
+
+
+class TestShardedCache:
+    def test_routing_is_deterministic_digest_prefix(self, tmp_path):
+        cache = ShardedArtifactCache(tmp_path, shards=4)
+        for key in (digest(f"route{i}") for i in range(16)):
+            shard = cache.shard_for(key)
+            assert shard is cache.shards[int(key[:8], 16) % 4]
+            assert cache.shard_for(key) is shard   # stable
+
+    def test_short_key_is_rejected(self, tmp_path):
+        cache = ShardedArtifactCache(tmp_path, shards=2)
+        with pytest.raises(ValueError):
+            cache.shard_for("abc")
+
+    def test_roundtrip_len_contains_clear(self, tmp_path):
+        cache = ShardedArtifactCache(tmp_path, shards=4)
+        keys = [digest(f"s{i}") for i in range(10)]
+        for index, key in enumerate(keys):
+            cache.put(key, {"i": index})
+        assert len(cache) == 10
+        assert all(key in cache for key in keys)
+        assert cache.get(keys[3]) == {"i": 3}
+        assert cache.get(digest("absent")) is None
+        assert cache.clear() == 10
+        assert len(cache) == 0
+
+    def test_stats_aggregate_across_shards(self, tmp_path):
+        cache = ShardedArtifactCache(tmp_path, shards=4)
+        keys = [digest(f"agg{i}") for i in range(6)]
+        for key in keys:
+            cache.put(key, {})
+        for key in keys:
+            assert cache.get(key) == {}
+        cache.get(digest("nope"))
+        stats = cache.stats
+        assert stats.puts == 6
+        assert stats.hits == 6
+        assert stats.misses == 1
+        doc = cache.to_dict()
+        assert doc["shards"] == 4
+        assert doc["entries"] == 6
+        assert len(doc["by_shard"]) == 4
+        assert sum(s["puts"] for s in doc["by_shard"]) == 6
+
+    def test_per_shard_eviction_budget(self, tmp_path):
+        cache = ShardedArtifactCache(tmp_path, shards=2,
+                                     per_shard_entries=1)
+        # Find two keys that land in the same shard.
+        keys, index = [], 0
+        while len(keys) < 2:
+            key = digest(f"collide{index}")
+            index += 1
+            if cache.shard_for(key) is cache.shards[0]:
+                keys.append(key)
+        os.utime(cache.put(keys[0], {"i": 0}), (100, 100))
+        cache.put(keys[1], {"i": 1})
+        assert len(cache.shards[0]) == 1
+        assert keys[0] not in cache
+        assert keys[1] in cache
+        assert cache.stats.evictions == 1
 
 
 class TestKeyComposition:

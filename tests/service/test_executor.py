@@ -3,6 +3,7 @@
 import pytest
 
 from repro.service import ArtifactCache, BatchExecutor, TaskSpec, job_grid
+from repro.service.executor import retry_backoff_s
 from repro.service.jobs import digest
 
 ECHO = "tests.service.runners:echo"
@@ -101,6 +102,53 @@ class TestRetryAndFailure:
         assert not outcomes[0].ok
         assert "timed out" in outcomes[0].error
         assert outcomes[1].ok
+
+
+class TestBackoff:
+    """Exponential backoff with deterministic jitter between retry
+    rounds (the compile server shares this exact function)."""
+
+    def test_backoff_is_deterministic_per_token_and_attempt(self):
+        assert retry_backoff_s("job-a", 1, 0.05) \
+            == retry_backoff_s("job-a", 1, 0.05)
+        assert retry_backoff_s("job-a", 1, 0.05) \
+            != retry_backoff_s("job-b", 1, 0.05)
+        assert retry_backoff_s("job-a", 1, 0.05) \
+            != retry_backoff_s("job-a", 2, 0.05)
+
+    def test_backoff_grows_exponentially_within_jitter_bounds(self):
+        for attempt in range(1, 6):
+            raw = 0.1 * 2.0 ** (attempt - 1)
+            delay = retry_backoff_s("t", attempt, 0.1, cap_s=1e9)
+            # Jitter scales the raw delay into [0.5, 1.0).
+            assert raw * 0.5 <= delay < raw
+
+    def test_backoff_respects_cap_and_zero_base(self):
+        assert retry_backoff_s("t", 30, 1.0, cap_s=2.0) <= 2.0
+        assert retry_backoff_s("t", 1, 0.0) == 0.0
+        assert retry_backoff_s("t", 0, 1.0) == 0.0
+
+    def test_retried_job_reports_backoff_seconds(self, tmp_path):
+        counter = tmp_path / "attempts"
+        spec = TaskSpec(runner=FLAKY, payload={
+            "counter_path": str(counter), "fail_times": 1,
+        }, key=digest("flaky-backoff"))
+        executor = BatchExecutor(workers=1, retries=1,
+                                 backoff_base_s=0.001)
+        (outcome,) = executor.run_specs([spec])
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.backoff_seconds > 0
+
+    def test_unretried_job_reports_zero_backoff(self):
+        (outcome,) = BatchExecutor(workers=1).run_specs(
+            [TaskSpec(runner=ECHO, payload={"value": 1})])
+        assert outcome.ok
+        assert outcome.backoff_seconds == 0.0
+
+    def test_constructor_rejects_negative_backoff(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(backoff_base_s=-0.1)
 
 
 class TestValidation:
