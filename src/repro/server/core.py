@@ -417,7 +417,14 @@ class CompileServer:
                 self._note_metrics(record)
                 return record
             if self.disk_cache is not None:
-                disk_hit = self.disk_cache.get(spec.key)
+                try:
+                    disk_hit = self.disk_cache.get(spec.key)
+                except ValueError:
+                    # The cache refuses to address this key (malformed
+                    # digest).  Reject the submission and leave no
+                    # phantom queued record behind.
+                    del self._jobs[record.job_id]
+                    raise
                 if disk_hit is not None:
                     self.counters.cache_hits_disk += 1
                     self._memory_put(spec.key, disk_hit)
@@ -472,9 +479,28 @@ class CompileServer:
                 record = self._jobs.get(job_id)
                 if record is None:
                     continue
-                await self._execute(record)
+                try:
+                    await self._execute(record)
+                except Exception as err:    # noqa: BLE001
+                    # _execute reports job failures through finalize();
+                    # anything escaping it would otherwise kill this
+                    # worker and leave the job (and drain()) hanging.
+                    self._fail_crashed(record, err)
             finally:
                 self._queue.task_done()
+
+    def _fail_crashed(self, record: JobRecord, err: BaseException) -> None:
+        """Safety net for an exception escaping :meth:`_execute`: finalize
+        the job and its followers so every waiter unblocks, the in-flight
+        slot frees, and the worker stays alive."""
+        message = f"internal error: {type(err).__name__}: {err}"
+        if record.spec.key:
+            self._inflight.pop(record.spec.key, None)
+        followers, record.followers = record.followers, []
+        for rec in (record, *followers):
+            if not rec.done:
+                rec.finalize("failed", error=message)
+                self._settle(rec)
 
     async def _call_backend(self, spec: TaskSpec) -> dict:
         loop = asyncio.get_running_loop()
@@ -516,8 +542,15 @@ class CompileServer:
         if error is None and value is not None and spec.key:
             self._memory_put(spec.key, value)
             if self.disk_cache is not None:
-                await asyncio.get_running_loop().run_in_executor(
-                    None, self.disk_cache.put, spec.key, value)
+                try:
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, self.disk_cache.put, spec.key, value)
+                except Exception as err:    # noqa: BLE001
+                    # A cache-write failure (disk full, permissions) must
+                    # not fail a job that already computed its result.
+                    record.add_event(
+                        "cache_write_failed",
+                        error=f"{type(err).__name__}: {err}")
         if spec.key:
             self._inflight.pop(spec.key, None)
 

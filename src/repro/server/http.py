@@ -31,6 +31,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
+import re
 import urllib.parse
 from typing import Any, Dict, Optional, Tuple
 
@@ -53,6 +54,11 @@ DEFAULT_ALLOWED_RUNNERS = frozenset({
 })
 
 _MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Client-supplied cache keys must look like content digests.  Every key
+#: the shipped clients send is a sha256 hexdigest; anything looser would
+#: flow into the on-disk cache's path construction.
+_KEY_RE = re.compile(r"[0-9a-f]{16,128}")
 
 
 class HttpError(Exception):
@@ -284,14 +290,20 @@ class CompileServerApp:
                     + ", ".join(sorted(ALL_ISAXES)))
             source = ALL_ISAXES[isax]
         cycle_time = body.get("cycle_time_ns")
+        if cycle_time is not None:
+            try:
+                cycle_time = float(cycle_time)
+            except (TypeError, ValueError):
+                raise HttpError(
+                    400, f"'cycle_time_ns' must be a number, "
+                    f"got {cycle_time!r}")
         job = CompileJob(
             isax=isax or "inline",
             source=source,
             core=body.get("core", "" if body.get("datasheet_yaml")
                           else "VexRiscv"),
             engine=body.get("engine", "auto"),
-            cycle_time_ns=float(cycle_time) if cycle_time is not None
-            else None,
+            cycle_time_ns=cycle_time,
             top=body.get("top"),
             datasheet_yaml=body.get("datasheet_yaml"),
         )
@@ -315,8 +327,14 @@ class CompileServerApp:
         payload = body.get("payload")
         if not isinstance(payload, dict):
             raise HttpError(400, "'payload' must be a JSON object")
+        key = body.get("key")
+        if key is not None and (not isinstance(key, str)
+                                or not _KEY_RE.fullmatch(key)):
+            raise HttpError(
+                400, "'key' must be a lowercase hex content digest "
+                "(16-128 chars) or omitted")
         spec = TaskSpec(runner=runner, payload=payload,
-                        key=body.get("key"), label=body.get("label", ""))
+                        key=key, label=body.get("label", ""))
         await self._submit_and_respond(request, body, spec, writer)
 
     async def _route_drain(self, request: Request,

@@ -31,8 +31,13 @@ import dataclasses
 import json
 import os
 import pathlib
+import re
 import tempfile
 from typing import List, Optional
+
+#: Keys are content digests; a key that could name a path component
+#: (separators, dot segments) must never reach filesystem layout code.
+_SAFE_KEY_RE = re.compile(r"[0-9a-zA-Z][0-9a-zA-Z_-]*")
 
 
 @dataclasses.dataclass
@@ -75,6 +80,8 @@ class ArtifactCache:
     def path_for(self, key: str) -> pathlib.Path:
         if len(key) < 3:
             raise ValueError(f"cache key too short: {key!r}")
+        if not _SAFE_KEY_RE.fullmatch(key):
+            raise ValueError(f"unsafe cache key: {key!r}")
         return self.root / key[:2] / f"{key}.json"
 
     def _entries(self) -> List[pathlib.Path]:

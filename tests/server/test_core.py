@@ -297,6 +297,86 @@ class TestRetryAndTrace:
 
         run_async(body, workers=1, retries=1, backoff_base_s=0.001)
 
+    def test_malformed_key_rejected_without_phantom_record(self, tmp_path):
+        """A key the disk cache cannot address is refused outright and
+        leaves no queued record behind (no unbounded _jobs growth)."""
+
+        async def body(server):
+            bad = TaskSpec(runner=ECHO, payload={"value": 1},
+                           key="00abcdef/../../../tmp/evil", label="bad")
+            for _ in range(3):
+                with pytest.raises(ValueError):
+                    await server.submit(bad)
+            assert server.open_jobs == 0
+            assert not server._jobs
+            # The server still accepts well-formed work afterwards.
+            good = await server.submit(
+                TaskSpec(runner=ECHO, payload={"value": 2},
+                         key=digest("still-works"), label="good"))
+            await good.wait()
+            assert good.state == "ok"
+
+        run_async(body, workers=1,
+                  disk_cache=ShardedArtifactCache(tmp_path / "cache",
+                                                  shards=2))
+
+    def test_disk_cache_write_failure_does_not_fail_job_or_worker(
+            self, tmp_path):
+        """A put() that raises (disk full, permissions) must neither fail
+        the computed job nor kill the worker task."""
+
+        class BrokenCache:
+            def get(self, key):
+                return None
+
+            def put(self, key, record):
+                raise OSError("disk full")
+
+        async def body(server):
+            first = await server.submit(
+                TaskSpec(runner=ECHO, payload={"value": 1},
+                         key=digest("broken-1"), label="first"))
+            await first.wait()
+            assert first.state == "ok"
+            assert any(e["event"] == "cache_write_failed"
+                       for e in first.events)
+            # The worker survived: a second distinct job still executes,
+            # and drain() does not hang on a lost slot.
+            second = await server.submit(
+                TaskSpec(runner=ECHO, payload={"value": 2},
+                         key=digest("broken-2"), label="second"))
+            await second.wait()
+            assert second.state == "ok"
+            assert server.counters.executions == 2
+            await asyncio.wait_for(server.drain(), timeout=5)
+            assert server.open_jobs == 0
+
+        run_async(body, workers=1, disk_cache=BrokenCache())
+
+    def test_crash_in_execute_finalizes_job_and_followers(self, tmp_path):
+        """An exception escaping _execute is a server bug, but it must
+        finalize the record (and coalesced followers) instead of hanging
+        every waiter and silently losing the worker."""
+
+        async def body(server):
+            def boom(key, value):
+                raise RuntimeError("boom")
+
+            server._memory_put = boom
+            key = digest("crashy")
+            primary = await server.submit(_gated_spec(tmp_path, "c", key))
+            follower = await server.submit(_gated_spec(tmp_path, "c", key))
+            _open_gate(tmp_path)
+            await asyncio.wait_for(
+                asyncio.gather(primary.wait(), follower.wait()), timeout=5)
+            assert primary.state == "failed"
+            assert follower.state == "failed"
+            assert "internal error" in primary.error
+            assert server.open_jobs == 0
+            await asyncio.wait_for(server.drain(), timeout=5)
+
+        run_async(body, workers=1)
+
     def test_job_trace_and_metrics_document(self, tmp_path):
         async def body(server):
             record = await server.submit(

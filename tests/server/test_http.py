@@ -9,6 +9,8 @@ import asyncio
 import pytest
 
 from repro.isaxes import ALL_ISAXES
+from repro.service.cache import ShardedArtifactCache
+from repro.service.jobs import digest
 from repro.server import (
     CompileServer,
     CompileServerApp,
@@ -143,7 +145,47 @@ class TestErrorPaths:
                 await client._request("POST", "/v1/tasks", {"runner": ECHO})
             assert excinfo.value.status == 400     # payload missing
 
+            with pytest.raises(CompileServerError) as excinfo:
+                await client._request(
+                    "POST", "/v1/compile",
+                    {"isax": "dotprod", "cycle_time_ns": "fast"})
+            assert excinfo.value.status == 400
+            assert "cycle_time_ns" in str(excinfo.value)
+
         run_http(body, workers=1)
+
+    def test_task_keys_must_be_content_digests(self, tmp_path):
+        """The cache key is a filesystem path component downstream — the
+        server only accepts hex digests, never client-chosen paths."""
+
+        async def body(client, core):
+            for hostile in (
+                "00abcdef/../../../tmp/evil",   # traversal (hex shard
+                                                # prefix, escaping suffix)
+                "../../etc/passwd",
+                "short",
+                "G" * 32,                       # right length, not hex
+                42,                             # not even a string
+            ):
+                with pytest.raises(CompileServerError) as excinfo:
+                    await client.submit_task(runner=ECHO,
+                                             payload={"value": 1},
+                                             key=hostile, wait=False)
+                assert excinfo.value.status == 400
+            assert core.counters.submitted == 0
+            # Nothing was ever written outside (or inside) the cache root.
+            escape = tmp_path / "tmp" / "evil"
+            assert not escape.exists()
+            # A genuine digest is accepted and cached.
+            job = await client.submit_task(runner=ECHO,
+                                           payload={"value": 3},
+                                           key=digest("good-key"),
+                                           wait=True)
+            assert job["state"] == "ok"
+
+        run_http(body, workers=1,
+                 disk_cache=ShardedArtifactCache(tmp_path / "cache",
+                                                 shards=2))
 
     def test_full_queue_answers_429_with_retry_hint(self, tmp_path):
         async def body(client, core):

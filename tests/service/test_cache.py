@@ -55,6 +55,23 @@ class TestStore:
         on_disk = json.loads(cache.path_for(key).read_text())
         assert on_disk == {"nested": {"a": [1, 2]}}
 
+    def test_unsafe_keys_never_reach_the_filesystem(self, cache, tmp_path):
+        """Keys are digests; anything that could name a path component
+        (separators, dot segments) is refused before layout math."""
+        for hostile in (
+            "00abcdef/../../../tmp/evil",
+            "../../escape",
+            "..", "a/b", "a\\b", ".hidden-key", "key.json",
+        ):
+            with pytest.raises(ValueError):
+                cache.path_for(hostile)
+            with pytest.raises(ValueError):
+                cache.put(hostile, {"v": 1})
+            with pytest.raises(ValueError):
+                cache.get(hostile)
+        assert not (tmp_path / "tmp" / "evil").exists()
+        assert len(cache) == 0
+
 
 class TestEviction:
     def test_bounded_cache_evicts_oldest(self, tmp_path):
