@@ -29,6 +29,7 @@ from typing import List, Optional
 
 from repro.hls.longnail import compile_isax
 from repro.isaxes import ALL_ISAXES
+from repro.opt.pipeline import PASS_ORDER, OptOptions
 from repro.scaiev.cores import CORES, EXPERIMENTAL_CORES, core_datasheet
 from repro.scheduling.problem import ScheduleError
 from repro.utils.diagnostics import CoreDSLError
@@ -36,6 +37,45 @@ from repro.utils.diagnostics import CoreDSLError
 #: Every targetable host core: the four Table 4 MCUs plus the Section 7
 #: application-class outlook core.
 ALL_CORES = CORES + EXPERIMENTAL_CORES
+
+#: Oracle kinds `fuzz --oracle` accepts ("all" expands to every kind).
+ORACLE_CHOICES = ("compile", "schedule", "irverify", "cosim", "simengine",
+                  "determinism", "optequiv", "all")
+
+
+def _add_opt_arguments(parser: argparse.ArgumentParser) -> None:
+    """The optimizer-pipeline flags shared by compile/batch/lint."""
+    parser.add_argument("-O", "--opt-level", type=int, choices=(0, 1, 2),
+                        default=0, dest="opt_level", metavar="N",
+                        help="optimizer level: 0 off, 1 clean-up "
+                             "(canonicalize/propagate/CSE/DCE), 2 adds "
+                             "strength reduction and resource sharing")
+    parser.add_argument("--opt-pass", action="append", default=[],
+                        choices=PASS_ORDER, metavar="PASS",
+                        dest="opt_pass",
+                        help="enable an optimizer pass on top of -ON "
+                             "(repeatable; passes: "
+                             + ", ".join(PASS_ORDER) + ")")
+    parser.add_argument("--no-opt-pass", action="append", default=[],
+                        choices=PASS_ORDER, metavar="PASS",
+                        dest="no_opt_pass",
+                        help="disable an optimizer pass (repeatable)")
+
+
+def _opt_flags(args: argparse.Namespace) -> tuple:
+    """CLI pass overrides -> the '+name'/'-name' flag tuple."""
+    return tuple(list(args.opt_pass)
+                 + ["-" + name for name in args.no_opt_pass])
+
+
+def _print_optimizer_summary(report) -> None:
+    if report is None:
+        return
+    print(f"optimizer: -O{report.level} over {report.graphs} graph(s), "
+          f"{report.nodes_before} -> {report.nodes_after} ops "
+          f"(-{report.node_reduction_pct:.1f}%), "
+          f"{report.ops_removed} removed / {report.ops_rewritten} rewritten "
+          f"in {report.seconds:.3f}s")
 
 
 def _read_source(path_str: str) -> str:
@@ -57,6 +97,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     artifact = compile_isax(
         source, core=datasheet, top=args.top, engine=args.engine,
         cycle_time_ns=args.cycle_time,
+        opt=OptOptions.from_flags(args.opt_level, _opt_flags(args)),
     )
     out_dir = pathlib.Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -69,6 +110,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         print(diag.render(), file=sys.stderr)
     print(f"ISAX '{artifact.name}' compiled for {artifact.core_name} "
           f"({artifact.datasheet.cycle_time_ns:.2f} ns cycle)")
+    _print_optimizer_summary(artifact.optimizer)
     for name, functionality in artifact.functionalities.items():
         print(f"  {functionality.kind:<12} {name:<16} "
               f"mode={functionality.mode.value:<16} "
@@ -100,7 +142,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cores = args.core or list(ALL_CORES)
         scales = args.cycle_scale or [None]
         jobs = job_grid(isaxes, cores, cycle_scales=scales,
-                        engine=args.engine)
+                        engine=args.engine, opt_level=args.opt_level,
+                        opt_passes=_opt_flags(args))
 
     cache = None
     if not args.no_cache:
@@ -153,6 +196,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
               f"{sched['schedule_cache_misses']} misses "
               f"({sched['schedule_cache_hit_rate']:.0%}), "
               f"solve {sched['solve_seconds']:.3f}s")
+    opt_totals = metrics.optimizer_totals()
+    if opt_totals["jobs"]:
+        print(f"optimizer: {opt_totals['graphs']} graphs, "
+              f"{opt_totals['nodes_before']} -> {opt_totals['nodes_after']} "
+              f"ops (-{opt_totals['node_reduction_pct']:.1f}%), "
+              f"{opt_totals['ops_removed']} removed / "
+              f"{opt_totals['ops_rewritten']} rewritten "
+              f"in {opt_totals['seconds']:.3f}s")
     lint_totals = metrics.lint_totals()
     if any(lint_totals.values()):
         print("lint: " + "  ".join(f"{sev}={n}"
@@ -266,12 +317,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     # Optional Tier B: compile for the requested cores and run the IR
     # verifier over every produced graph, schedule and module.
+    opt_options = OptOptions.from_flags(args.opt_level, _opt_flags(args))
     for core in args.core:
         datasheet = core_datasheet(core)
         for (label, _source), isa in zip(targets, isas):
             try:
                 artifact = compile_isax(isa, datasheet, lint=False,
-                                        verify_ir=False)
+                                        verify_ir=False, opt=opt_options)
             except (CoreDSLError, ScheduleError) as err:
                 from repro.utils.diagnostics import Diagnostic, Severity
                 diagnostics.append(Diagnostic(
@@ -310,7 +362,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         report = run_oracles(source, cores=cores, trials=args.trials,
                              cosim_seed=args.cosim_seed,
                              vcd_dir=args.out,
-                             sim_engine=args.sim_engine)
+                             sim_engine=args.sim_engine,
+                             oracles=tuple(args.oracle))
         print(report)
         for failure in report.failures:
             print(f"  {failure}")
@@ -327,6 +380,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         workers=args.workers,
         out_dir=args.out,
         reduce=not args.no_reduce,
+        oracles=tuple(args.oracle),
     )
     result = run_campaign(config, log=print)
     print(result)
@@ -444,6 +498,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "core's f_max)")
     compile_p.add_argument("-o", "--output", default=".",
                            help="output directory")
+    _add_opt_arguments(compile_p)
     compile_p.set_defaults(func=_cmd_compile)
 
     batch_p = sub.add_parser(
@@ -487,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch_p.add_argument("--metrics", default=None,
                          help="per-phase timing JSON path (default: "
                               "<output>/batch_metrics.json)")
+    _add_opt_arguments(batch_p)
     batch_p.set_defaults(func=_cmd_batch)
 
     serve_p = sub.add_parser(
@@ -557,6 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--disable", action="append", default=[],
                         metavar="CODE",
                         help="skip these rule codes (repeatable)")
+    _add_opt_arguments(lint_p)
     lint_p.set_defaults(func=_cmd_lint)
 
     fuzz_p = sub.add_parser(
@@ -592,6 +649,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--replay", default=None, metavar="FILE",
                         help="re-run the oracle stack on a saved "
                              "reproducer instead of fuzzing")
+    fuzz_p.add_argument("--oracle", action="append", default=[],
+                        choices=ORACLE_CHOICES, metavar="KIND",
+                        help="oracle to run (repeatable; default: the six "
+                             "classic oracles; 'optequiv' adds -O2 "
+                             "optimized-vs-unoptimized trace equivalence; "
+                             "'all' enables everything)")
     fuzz_p.set_defaults(func=_cmd_fuzz)
 
     verify_p = sub.add_parser(

@@ -23,11 +23,19 @@ Entry points: ``repro-longnail fuzz`` on the command line, or
 from repro.fuzz.campaign import CampaignResult, FuzzConfig, run_campaign
 from repro.fuzz.corpus import FuzzCorpus
 from repro.fuzz.generator import FuzzBudget, FuzzProgram, generate_program
-from repro.fuzz.oracles import OracleFailure, OracleReport, run_oracles
+from repro.fuzz.oracles import (
+    ALL_ORACLES,
+    DEFAULT_ORACLES,
+    OracleFailure,
+    OracleReport,
+    run_oracles,
+)
 from repro.fuzz.reduce import reduce_program
 
 __all__ = [
+    "ALL_ORACLES",
     "CampaignResult",
+    "DEFAULT_ORACLES",
     "FuzzBudget",
     "FuzzConfig",
     "FuzzCorpus",

@@ -39,6 +39,7 @@ class FuzzConfig:
     out_dir: str = "fuzz-out"
     reduce: bool = True
     max_reduce_steps: int = 500
+    oracles: Tuple[str, ...] = ()            # () => DEFAULT_ORACLES
 
     def resolved_cores(self) -> Tuple[str, ...]:
         return tuple(self.cores) if self.cores else DEFAULT_CORES
@@ -117,7 +118,8 @@ def run_fuzz_payload(payload: dict) -> dict:
             program.source, cores=cores,
             trials=int(payload.get("trials", 8)),
             cosim_seed=int(payload.get("cosim_seed", 0)),
-            sim_engine=str(payload.get("sim_engine", "auto")))
+            sim_engine=str(payload.get("sim_engine", "auto")),
+            oracles=tuple(payload.get("oracles") or ()) or None)
     except Exception as exc:
         record["invalid"] = f"{type(exc).__name__}: {exc}"
         return record
@@ -136,7 +138,8 @@ def _reduction_predicate(config: FuzzConfig,
         try:
             report = run_oracles(text, cores=(core,), trials=config.trials,
                                  cosim_seed=config.cosim_seed,
-                                 sim_engine=config.sim_engine)
+                                 sim_engine=config.sim_engine,
+                                 oracles=tuple(config.oracles) or None)
         except Exception:
             return False        # candidate no longer elaborates: invalid
         return any(f.kind == kind for f in report.failures)
@@ -179,6 +182,7 @@ def run_campaign(config: FuzzConfig,
                 "trials": config.trials,
                 "cosim_seed": config.cosim_seed,
                 "sim_engine": config.sim_engine,
+                "oracles": list(config.oracles),
             },
             label=f"fuzz seed {seed}",
         )
@@ -246,6 +250,7 @@ def run_campaign(config: FuzzConfig,
         "trials": config.trials,
         "cosim_seed": config.cosim_seed,
         "sim_engine": config.sim_engine,
+        "oracles": list(config.oracles),
         "status_counts": by_status,
         "failing_seeds": [o.seed for o in outcomes if o.status == "fail"],
         "invalid_seeds": [o.seed for o in outcomes

@@ -1,6 +1,6 @@
 """The per-program differential oracle stack.
 
-Five oracles, run per core (paper Sections 4.4 and 5.3 provide the first
+The oracles, run per core (paper Sections 4.4 and 5.3 provide the first
 two as fixed-corpus spot checks; here they become programmable):
 
 * **schedule** — compile with the LP-free fastpath *and* the MILP engine
@@ -22,6 +22,10 @@ two as fixed-corpus spot checks; here they become programmable):
 * **irverify** — run the IR verifier (:mod:`repro.analysis.verifier`) over
   every functionality's lil graph, solved schedule and hardware module;
   any ``IVxxx`` finding on a valid program is a lowering/scheduling bug.
+* **optequiv** (opt-in via ``oracles``) — recompile at ``-O2`` and require
+  the optimized artifact's architectural trace
+  (:func:`repro.opt.equiv.architectural_trace`) to be byte-identical to the
+  unoptimized one: the optimizer must never change observable behaviour.
 
 Elaboration errors (parse/typecheck) are *not* oracle failures: generated
 programs are well-typed by construction, so an elaboration error is a
@@ -46,13 +50,35 @@ from repro.sim.cosim import verify_artifact
 #: evaluation cores; CVA5 stays opt-in, as everywhere else in the repo).
 DEFAULT_CORES: Tuple[str, ...] = ("ORCA", "Piccolo", "PicoRV32", "VexRiscv")
 
+#: The classic oracle stack run when no explicit selection is given.
+DEFAULT_ORACLES: Tuple[str, ...] = (
+    "compile", "schedule", "irverify", "cosim", "simengine", "determinism",
+)
+
+#: Every oracle kind, including the opt-in optimizer-equivalence check.
+ALL_ORACLES: Tuple[str, ...] = DEFAULT_ORACLES + ("optequiv",)
+
+
+def _resolve_oracles(oracles: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    if not oracles:
+        return DEFAULT_ORACLES
+    if "all" in oracles:
+        return ALL_ORACLES
+    unknown = sorted(set(oracles) - set(ALL_ORACLES))
+    if unknown:
+        raise ValueError(
+            f"unknown oracle kinds {unknown}; available: "
+            + ", ".join(ALL_ORACLES) + ", all")
+    # Keep canonical order regardless of how the flags were given.
+    return tuple(k for k in ALL_ORACLES if k in set(oracles))
+
 
 @dataclasses.dataclass
 class OracleFailure:
     """One oracle violation; picklable and JSON-able."""
 
     kind: str  # "compile" | "schedule" | "cosim" | "determinism"
-               # | "simengine" | "irverify"
+               # | "simengine" | "irverify" | "optequiv"
     core: str
     detail: str
 
@@ -70,6 +96,7 @@ class OracleReport:
     trials: int = 0             # cosim trials per core
     cosim_seed: int = 0
     vcd_paths: List[str] = dataclasses.field(default_factory=list)
+    oracles: Tuple[str, ...] = DEFAULT_ORACLES
 
     @property
     def ok(self) -> bool:
@@ -93,14 +120,22 @@ def run_oracles(source: str,
                 trials: int = 8,
                 cosim_seed: int = 0,
                 vcd_dir: Optional[str] = None,
-                sim_engine: str = "auto") -> OracleReport:
-    """Run the full oracle stack on one CoreDSL source string.
+                sim_engine: str = "auto",
+                oracles: Optional[Sequence[str]] = None) -> OracleReport:
+    """Run the oracle stack on one CoreDSL source string.
+
+    ``oracles`` selects which oracles run (default:
+    :data:`DEFAULT_ORACLES`; the literal ``"all"`` enables everything,
+    including the opt-in ``optequiv`` optimizer-equivalence check).
+    Compile failures are always reported — a program the toolchain cannot
+    compile fails every selection.
 
     Raises :class:`repro.utils.diagnostics.CoreDSLError` if the program
     does not elaborate (generator-validity errors are the caller's
     problem, not an oracle verdict).
     """
     cores = tuple(cores) if cores else DEFAULT_CORES
+    selected = _resolve_oracles(oracles)
     # Elaborate once, standalone: separates "program is invalid" (raises)
     # from "toolchain failed on a valid program" (compile failure below).
     elaborate(source)
@@ -112,8 +147,9 @@ def run_oracles(source: str,
         try:
             fast = compile_isax(source, core, engine="fastpath",
                                 schedule_cache=False)
-            milp = compile_isax(source, core, engine="milp",
-                                schedule_cache=False)
+            milp = (compile_isax(source, core, engine="milp",
+                                 schedule_cache=False)
+                    if "schedule" in selected else None)
         except Exception as exc:  # lowering legality, infeasible schedule
             failures.append(OracleFailure(
                 kind="compile", core=core,
@@ -121,52 +157,81 @@ def run_oracles(source: str,
             continue
 
         # Oracle 1: engine-independent schedule quality.
-        for name, f_fast in fast.functionalities.items():
-            functionalities += 1
-            f_milp = milp.functionalities[name]
-            w_fast = ilp.weighted_objective_value(f_fast.schedule.problem)
-            w_milp = ilp.weighted_objective_value(f_milp.schedule.problem)
-            if abs(w_fast - w_milp) > 1e-6:
-                failures.append(OracleFailure(
-                    kind="schedule", core=core,
-                    detail=(f"{name}: fastpath objective {w_fast} != "
-                            f"milp objective {w_milp}")))
+        if milp is not None:
+            for name, f_fast in fast.functionalities.items():
+                functionalities += 1
+                f_milp = milp.functionalities[name]
+                w_fast = ilp.weighted_objective_value(f_fast.schedule.problem)
+                w_milp = ilp.weighted_objective_value(f_milp.schedule.problem)
+                if abs(w_fast - w_milp) > 1e-6:
+                    failures.append(OracleFailure(
+                        kind="schedule", core=core,
+                        detail=(f"{name}: fastpath objective {w_fast} != "
+                                f"milp objective {w_milp}")))
 
         # Oracle 2: every IR invariant holds on the compiled artifact.
-        for diag in verify_artifact_ir(fast):
-            failures.append(OracleFailure(
-                kind="irverify", core=core,
-                detail=diag.render().splitlines()[0]))
+        if "irverify" in selected:
+            for diag in verify_artifact_ir(fast):
+                failures.append(OracleFailure(
+                    kind="irverify", core=core,
+                    detail=diag.render().splitlines()[0]))
 
         # Oracle 3: interpreter vs RTL co-simulation.
-        report = verify_artifact(fast, trials=trials, seed=cosim_seed,
-                                 vcd_dir=vcd_dir, sim_engine=sim_engine)
-        vcd_paths.extend(report.vcd_paths)
-        for result in report.failures:
-            failures.append(OracleFailure(
-                kind="cosim", core=core, detail=str(result)))
+        if "cosim" in selected:
+            report = verify_artifact(fast, trials=trials, seed=cosim_seed,
+                                     vcd_dir=vcd_dir, sim_engine=sim_engine)
+            vcd_paths.extend(report.vcd_paths)
+            for result in report.failures:
+                failures.append(OracleFailure(
+                    kind="cosim", core=core, detail=str(result)))
 
         # Oracle 4: compiled vs interpreted RTL-simulation engines.
-        for name, functionality in fast.functionalities.items():
-            mismatch = crosscheck_engines(
-                functionality.module, cycles=max(trials, 8), seed=cosim_seed)
-            if mismatch is not None:
-                failures.append(OracleFailure(
-                    kind="simengine", core=core,
-                    detail=f"{name}: {mismatch}"))
+        if "simengine" in selected:
+            for name, functionality in fast.functionalities.items():
+                mismatch = crosscheck_engines(
+                    functionality.module, cycles=max(trials, 8),
+                    seed=cosim_seed)
+                if mismatch is not None:
+                    failures.append(OracleFailure(
+                        kind="simengine", core=core,
+                        detail=f"{name}: {mismatch}"))
 
         # Oracle 5: byte-identical artifacts across two runs.
-        again = compile_isax(source, core, engine="fastpath",
-                             schedule_cache=False)
-        if again.verilog != fast.verilog:
-            failures.append(OracleFailure(
-                kind="determinism", core=core,
-                detail="SystemVerilog differs between two identical runs"))
-        if again.config_yaml != fast.config_yaml:
-            failures.append(OracleFailure(
-                kind="determinism", core=core,
-                detail="config YAML differs between two identical runs"))
+        if "determinism" in selected:
+            again = compile_isax(source, core, engine="fastpath",
+                                 schedule_cache=False)
+            if again.verilog != fast.verilog:
+                failures.append(OracleFailure(
+                    kind="determinism", core=core,
+                    detail="SystemVerilog differs between two "
+                           "identical runs"))
+            if again.config_yaml != fast.config_yaml:
+                failures.append(OracleFailure(
+                    kind="determinism", core=core,
+                    detail="config YAML differs between two identical runs"))
+
+        # Oracle 6 (opt-in): the -O2 optimizer preserves the architectural
+        # trace bit-for-bit.
+        if "optequiv" in selected:
+            from repro.opt.equiv import compare_artifacts
+
+            try:
+                optimized = compile_isax(source, core, engine="fastpath",
+                                         schedule_cache=False, opt=2)
+            except Exception as exc:
+                failures.append(OracleFailure(
+                    kind="optequiv", core=core,
+                    detail=f"-O2 compile failed: "
+                           f"{type(exc).__name__}: {exc}"))
+            else:
+                mismatch = compare_artifacts(
+                    fast, optimized, trials=max(2, trials // 2),
+                    seed=cosim_seed, sim_engine=sim_engine)
+                if mismatch is not None:
+                    failures.append(OracleFailure(
+                        kind="optequiv", core=core, detail=mismatch))
 
     return OracleReport(cores=cores, failures=failures,
                         functionalities=functionalities, trials=trials,
-                        cosim_seed=cosim_seed, vcd_paths=vcd_paths)
+                        cosim_seed=cosim_seed, vcd_paths=vcd_paths,
+                        oracles=selected)

@@ -145,9 +145,13 @@ class _ModuleBuilder:
                 self.recipes[op.result] = _Recipe(op)
             elif op.name == "lil.rom":
                 index = self.operand_at(op.operands[0], stage)
+                rom_attrs = {"values": op.attr("values"),
+                             "name": op.attr("reg")}
+                if op.attr("shared_unit") is not None:
+                    rom_attrs["shared_unit"] = op.attr("shared_unit")
                 new = self._append(
                     "comb.rom", [index], [(op.result.width, None)],
-                    {"values": op.attr("values"), "name": op.attr("reg")},
+                    rom_attrs,
                 )
                 self.record(op.result, new.result, stage)
             else:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import time
-from typing import Callable, Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.analysis.lint import run_lints
 from repro.analysis.verifier import (
@@ -34,6 +34,7 @@ from repro.hls.hwgen import generate_module
 from repro.hls.verilog import emit_modules
 from repro.ir.core import Graph
 from repro.lowering import convert_to_lil, lower_isa
+from repro.opt.pipeline import OptimizerReport, OptOptions, optimize_graphs
 from repro.scaiev.config import (
     Functionality,
     IsaxConfig,
@@ -58,9 +59,11 @@ PhaseHook = Callable[[str, float], None]
 
 #: The compilation phases, in flow order (paper Figure 9 left-to-right).
 #: ``lint`` (frontend lint rules) and ``verify`` (the IR verifier under
-#: ``REPRO_IR_VERIFY=1``) are instrumentation phases of this PR's static
-#: analysis subsystem; both may report zero time when disabled.
-PHASES = ("parse", "lint", "lower", "schedule", "hwgen", "verify", "emit")
+#: ``REPRO_IR_VERIFY=1``) are instrumentation phases of the static
+#: analysis subsystem; both may report zero time when disabled.  ``opt``
+#: is the CDFG optimizer pipeline (:mod:`repro.opt`), active at -O1/-O2.
+PHASES = ("parse", "lint", "lower", "opt", "schedule", "hwgen", "verify",
+          "emit")
 
 
 @contextlib.contextmanager
@@ -107,6 +110,8 @@ class IsaxArtifact:
     #: Frontend lint findings (never fail the compile; see ``--werror`` in
     #: the CLI for a strict mode).
     diagnostics: List[Diagnostic] = dataclasses.field(default_factory=list)
+    #: Per-pass optimizer accounting (None when compiled at -O0).
+    optimizer: Optional[OptimizerReport] = None
 
     @property
     def name(self) -> str:
@@ -183,6 +188,7 @@ def compile_isax(
     schedule_cache=None,
     lint: bool = True,
     verify_ir: Optional[bool] = None,
+    opt: Union[OptOptions, int, None] = None,
 ) -> IsaxArtifact:
     """Compile a CoreDSL description (text or elaborated ISA) for a core.
 
@@ -199,6 +205,12 @@ def compile_isax(
     phases and raises :class:`repro.analysis.IRVerifyError` on any
     violated invariant; ``None`` defers to the ``REPRO_IR_VERIFY``
     environment variable.
+
+    ``opt`` selects the CDFG optimizer configuration: an
+    :class:`repro.opt.OptOptions`, a bare -O level int, or ``None``
+    (-O0, no optimization — byte-identical to the historical flow).  The
+    per-pass accounting lands on ``artifact.optimizer``; with the verifier
+    enabled, every pass application is IV-checked individually.
     """
     if isinstance(source, ElaboratedISA):
         isa = source
@@ -213,11 +225,18 @@ def compile_isax(
             diagnostics = run_lints(isa)
     verify = ir_verify_enabled() if verify_ir is None else verify_ir
 
+    opt_options = OptOptions.coerce(opt)
+    opt_pipeline = opt_options.pipeline()
+
     with _timed("lower", phase_hook):
         lowered = lower_isa(isa)
     scheduler = LongnailScheduler(
         datasheet, delay_model=delay_model, cycle_time_ns=cycle_time_ns,
         engine=engine, schedule_cache=schedule_cache,
+        # Optimized graphs may hash to the same delay-insensitive
+        # fingerprint as their unoptimized siblings only by accident; the
+        # salt keeps cached schedules from crossing -O configurations.
+        fingerprint_salt=opt_options.fingerprint() if opt_pipeline else "",
     )
 
     functionalities: Dict[str, FunctionalityArtifact] = {}
@@ -229,46 +248,48 @@ def compile_isax(
         with _timed("verify", phase_hook):
             require_valid(stage, check())
 
+    converted: List[Tuple[str, str, Graph]] = []
     for name, container in lowered.instructions.items():
         with _timed("lower", phase_hook):
             graph = convert_to_lil(isa, container)
         _verified(f"lower:{name}", lambda: verify_graph(graph))
-        with _timed("schedule", phase_hook):
-            schedule = scheduler.schedule(graph)
-        _verified(f"schedule:{name}", lambda: verify_schedule(schedule))
-        with _timed("hwgen", phase_hook):
-            module = generate_module(graph, schedule)
-        _verified(f"hwgen:{name}", lambda: verify_module(module))
-        functionality = Functionality(
-            kind="instruction",
-            name=name,
-            mask=isa.instructions[name].encoding.pattern,
-            schedule=_schedule_entries(graph, schedule, datasheet, False),
-        )
-        config_functionalities.append(functionality)
-        functionalities[name] = FunctionalityArtifact(
-            name=name, kind="instruction", graph=graph, schedule=schedule,
-            module=module, functionality=functionality,
-        )
-
+        converted.append((name, "instruction", graph))
     for name, container in lowered.always_blocks.items():
         with _timed("lower", phase_hook):
             graph = convert_to_lil(isa, container)
         _verified(f"lower:{name}", lambda: verify_graph(graph))
+        converted.append((name, "always", graph))
+
+    optimizer_report: Optional[OptimizerReport] = None
+    if opt_pipeline:
+        with _timed("opt", phase_hook):
+            optimizer_report = optimize_graphs(
+                converted, opt_options, verify=verify)
+
+    for name, kind, graph in converted:
         with _timed("schedule", phase_hook):
             schedule = scheduler.schedule(graph)
         _verified(f"schedule:{name}", lambda: verify_schedule(schedule))
         with _timed("hwgen", phase_hook):
             module = generate_module(graph, schedule)
         _verified(f"hwgen:{name}", lambda: verify_module(module))
-        functionality = Functionality(
-            kind="always",
-            name=name,
-            schedule=_schedule_entries(graph, schedule, datasheet, True),
-        )
+        if kind == "instruction":
+            functionality = Functionality(
+                kind="instruction",
+                name=name,
+                mask=isa.instructions[name].encoding.pattern,
+                schedule=_schedule_entries(graph, schedule, datasheet,
+                                           False),
+            )
+        else:
+            functionality = Functionality(
+                kind="always",
+                name=name,
+                schedule=_schedule_entries(graph, schedule, datasheet, True),
+            )
         config_functionalities.append(functionality)
         functionalities[name] = FunctionalityArtifact(
-            name=name, kind="always", graph=graph, schedule=schedule,
+            name=name, kind=kind, graph=graph, schedule=schedule,
             module=module, functionality=functionality,
         )
 
@@ -288,6 +309,7 @@ def compile_isax(
         functionalities=functionalities,
         config=config,
         diagnostics=diagnostics,
+        optimizer=optimizer_report,
     )
 
 

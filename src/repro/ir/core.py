@@ -276,6 +276,17 @@ class Graph:
             visit(op)
         return order
 
+    def op_counts(self) -> Dict[str, int]:
+        """Histogram of operation names, sorted by name for stable output.
+
+        Used by the optimizer benchmark and tests to diff graphs before and
+        after a pass pipeline without depending on SSA value identity.
+        """
+        counts: Dict[str, int] = {}
+        for op in self.operations:
+            counts[op.name] = counts.get(op.name, 0) + 1
+        return dict(sorted(counts.items()))
+
     def remove_dead_code(self) -> int:
         """Erase side-effect-free operations without uses; returns count."""
         removed = 0

@@ -33,18 +33,21 @@ def _simplify_algebraic(op: Operation) -> Optional[Value]:
         rhs = _constant_value(op.operands[1])
         if rhs == 0 and op.operands[0].width == op.result.width:
             return op.operands[0]
-    if name == "comb.add":
+    if name in ("comb.add", "comb.or", "comb.xor"):
         lhs = _constant_value(op.operands[0])
         if lhs == 0 and op.operands[1].width == op.result.width:
             return op.operands[1]
     if name == "comb.mul":
-        rhs = _constant_value(op.operands[1])
-        if rhs == 1 and op.operands[0].width == op.result.width:
+        if _constant_value(op.operands[1]) == 1:
             return op.operands[0]
+        if _constant_value(op.operands[0]) == 1:
+            return op.operands[1]
     if name == "comb.and":
-        rhs = _constant_value(op.operands[1])
-        if rhs is not None and rhs == (1 << op.result.width) - 1:
+        all_ones = (1 << op.result.width) - 1
+        if _constant_value(op.operands[1]) == all_ones:
             return op.operands[0]
+        if _constant_value(op.operands[0]) == all_ones:
+            return op.operands[1]
     if name == "comb.mux":
         cond = _constant_value(op.operands[0])
         if cond is not None:

@@ -1,0 +1,43 @@
+"""CDFG optimizer: pass manager, -O pipelines, and per-pass metrics.
+
+``repro.opt.equiv`` (optimized-vs-unoptimized trace equivalence) is
+deliberately not imported here: it pulls in the simulator and the HLS
+pipeline, which itself imports this package.
+"""
+
+from repro.opt.passes import (
+    canonicalize_pass,
+    cse_pass,
+    dce_pass,
+    propagate_pass,
+    share_pass,
+    strength_pass,
+)
+from repro.opt.pipeline import (
+    LEVEL_PIPELINES,
+    OptimizerReport,
+    OptOptions,
+    PASS_ORDER,
+    PassManager,
+    PassStats,
+    optimize_graphs,
+)
+from repro.opt.share import mux_push, pool_cross_isax
+
+__all__ = [
+    "LEVEL_PIPELINES",
+    "OptOptions",
+    "OptimizerReport",
+    "PASS_ORDER",
+    "PassManager",
+    "PassStats",
+    "canonicalize_pass",
+    "cse_pass",
+    "dce_pass",
+    "mux_push",
+    "optimize_graphs",
+    "pool_cross_isax",
+    "propagate_pass",
+    "share_pass",
+    "strength_pass",
+]

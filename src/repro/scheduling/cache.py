@@ -35,8 +35,14 @@ from repro.scheduling.fastpath import scaled_weight
 from repro.scheduling.problem import INFINITY, LongnailProblem
 
 
-def schedule_fingerprint(problem: LongnailProblem) -> str:
-    """Canonical digest of everything the exact solution depends on."""
+def schedule_fingerprint(problem: LongnailProblem, salt: str = "") -> str:
+    """Canonical digest of everything the exact solution depends on.
+
+    ``salt`` partitions the cache namespace: callers whose problems embed
+    configuration that the structural fingerprint cannot see (the -O
+    optimizer pipeline rewrites graphs *before* scheduling) pass their
+    config fingerprint so entries never cross configurations.
+    """
     index: Dict[Hashable, int] = {
         op: i for i, op in enumerate(problem.operations)
     }
@@ -51,7 +57,7 @@ def schedule_fingerprint(problem: LongnailProblem) -> str:
         (index[d.source], index[d.target], 1 if d.is_chain_breaker else 0)
         for d in problem.dependences
     )
-    blob = repr((op_parts, dep_parts)).encode("utf-8")
+    blob = repr((op_parts, dep_parts, salt)).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()
 
 

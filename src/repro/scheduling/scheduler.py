@@ -334,7 +334,8 @@ def _resolve_cache(cache: Union[ScheduleCache, None, bool]
 
 
 def solve_problem(problem: LongnailProblem, engine: str = "auto",
-                  cache: Union[ScheduleCache, None, bool] = None
+                  cache: Union[ScheduleCache, None, bool] = None,
+                  fingerprint_salt: str = ""
                   ) -> SolveStats:
     """Solve a LongnailProblem in place through the full fast-path stack:
     component decomposition, the cross-sweep schedule cache, the selected
@@ -369,7 +370,7 @@ def solve_problem(problem: LongnailProblem, engine: str = "auto",
     for sub in components:
         key = None
         if live_cache is not None:
-            key = schedule_fingerprint(sub)
+            key = schedule_fingerprint(sub, salt=fingerprint_salt)
             hit = live_cache.get(key)
             if hit is not None:
                 start_time = dict(zip(sub.operations, hit))
@@ -400,12 +401,16 @@ class LongnailScheduler:
                  delay_model: Optional[DelayModel] = None,
                  cycle_time_ns: Optional[float] = None,
                  engine: str = "auto",
-                 schedule_cache: Union[ScheduleCache, None, bool] = None):
+                 schedule_cache: Union[ScheduleCache, None, bool] = None,
+                 fingerprint_salt: str = ""):
         self.datasheet = datasheet
         self.delay_model = delay_model or default_delay_model()
         self.cycle_time_ns = cycle_time_ns or datasheet.cycle_time_ns
         self.engine = engine
         self.schedule_cache = schedule_cache
+        #: Extra cache-key component (e.g. the optimizer config) so cached
+        #: schedules never leak across compile configurations.
+        self.fingerprint_salt = fingerprint_salt
 
     def schedule(self, graph: Graph) -> ScheduleResult:
         problem = build_problem(
@@ -413,7 +418,8 @@ class LongnailScheduler:
         )
         try:
             stats = solve_problem(problem, self.engine,
-                                  cache=self.schedule_cache)
+                                  cache=self.schedule_cache,
+                                  fingerprint_salt=self.fingerprint_salt)
         except ScheduleError as err:
             if graph.attributes.get("kind") == lil.KIND_ALWAYS:
                 raise ScheduleError(

@@ -24,7 +24,7 @@ from __future__ import annotations
 import asyncio
 import json
 import urllib.parse
-from typing import Any, AsyncIterator, Dict, Optional, Tuple
+from typing import Any, AsyncIterator, Dict, Optional, Sequence, Tuple
 
 
 class CompileServerError(Exception):
@@ -131,10 +131,16 @@ class CompileServerClient:
                       top: Optional[str] = None,
                       datasheet_yaml: Optional[str] = None,
                       priority: str = "batch",
+                      opt_level: int = 0,
+                      opt_passes: Optional[Sequence[str]] = None,
                       wait: bool = True,
                       include_result: bool = True) -> dict:
         body: Dict[str, Any] = {"priority": priority, "wait": wait,
                                 "result": include_result}
+        if opt_level:
+            body["opt_level"] = opt_level
+        if opt_passes:
+            body["opt_passes"] = list(opt_passes)
         if isax is not None:
             body["isax"] = isax
         if source is not None:

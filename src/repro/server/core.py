@@ -622,6 +622,7 @@ class CompileServer:
             phases=result.get("phases", {}),
             ilp=result.get("ilp", []),
             lint=result.get("lint_counts", {}),
+            optimizer=result.get("optimizer", {}),
             error=record.error,
         ))
 

@@ -42,6 +42,7 @@ from repro.server.core import (
     TaskSpec,
     UnknownJobError,
 )
+from repro.opt.pipeline import PASS_ORDER
 from repro.service.jobs import CompileJob
 from repro.utils.diagnostics import CoreDSLError
 
@@ -297,6 +298,20 @@ class CompileServerApp:
                 raise HttpError(
                     400, f"'cycle_time_ns' must be a number, "
                     f"got {cycle_time!r}")
+        opt_level = body.get("opt_level", 0)
+        if isinstance(opt_level, bool) or not isinstance(opt_level, int) \
+                or opt_level not in (0, 1, 2):
+            raise HttpError(
+                400, f"'opt_level' must be 0, 1 or 2, got {opt_level!r}")
+        opt_passes = body.get("opt_passes") or []
+        if not isinstance(opt_passes, list) \
+                or not all(isinstance(p, str) for p in opt_passes):
+            raise HttpError(400, "'opt_passes' must be a list of pass names")
+        if not all(p.lstrip("-") in PASS_ORDER for p in opt_passes):
+            raise HttpError(
+                400, "'opt_passes' entries must be optimizer pass names "
+                "(optionally '-'-prefixed to disable): "
+                + ", ".join(PASS_ORDER))
         job = CompileJob(
             isax=isax or "inline",
             source=source,
@@ -306,6 +321,8 @@ class CompileServerApp:
             cycle_time_ns=cycle_time,
             top=body.get("top"),
             datasheet_yaml=body.get("datasheet_yaml"),
+            opt_level=opt_level,
+            opt_passes=tuple(opt_passes),
         )
         try:
             key = job.cache_key()       # also validates the core name

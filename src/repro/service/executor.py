@@ -293,6 +293,7 @@ class BatchExecutor:
                 phases=record.get("phases", {}),
                 ilp=record.get("ilp", []),
                 lint=record.get("lint_counts", {}),
+                optimizer=record.get("optimizer", {}),
                 error=outcome.error,
             ))
         return outcomes, metrics
@@ -310,6 +311,7 @@ def run_compile_payload(payload: dict) -> dict:
     artifact = compile_isax(
         job.source, datasheet, top=job.top, engine=job.engine,
         cycle_time_ns=job.cycle_time_ns, phase_hook=recorder,
+        opt=job.opt_options(),
     )
     emit_start = time.perf_counter()
     verilog = artifact.verilog
@@ -359,4 +361,6 @@ def run_compile_payload(payload: dict) -> dict:
         "ilp": ilp_stats,
         "lint": [diag.to_dict() for diag in artifact.diagnostics],
         "lint_counts": count_by_severity(artifact.diagnostics),
+        "optimizer": (artifact.optimizer.to_dict()
+                      if artifact.optimizer is not None else {}),
     }

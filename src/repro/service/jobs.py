@@ -23,16 +23,18 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.opt.pipeline import OptOptions
 from repro.scaiev.cores import core_datasheet
 from repro.scaiev.datasheet import VirtualDatasheet
 from repro.utils import yaml_lite
 from repro.utils.diagnostics import CoreDSLError
 
 #: Bump when the cached artifact record layout changes; part of every cache
-#: key so stale-format entries simply miss.
-CACHE_FORMAT_VERSION = "1"
+#: key so stale-format entries simply miss.  "2" added the optimizer
+#: configuration (opt_level / opt_passes) to records and keys.
+CACHE_FORMAT_VERSION = "2"
 
 
 def digest(*parts: str) -> str:
@@ -57,6 +59,12 @@ class CompileJob:
     cycle_time_ns: Optional[float] = None
     top: Optional[str] = None
     datasheet_yaml: Optional[str] = None   # overrides `core` when set
+    opt_level: int = 0                     # -O level (0/1/2)
+    opt_passes: Tuple[str, ...] = ()       # "+name"/"-name" overrides
+
+    def opt_options(self) -> OptOptions:
+        """The optimizer configuration this job compiles under."""
+        return OptOptions.from_flags(self.opt_level, self.opt_passes)
 
     @property
     def job_id(self) -> str:
@@ -91,6 +99,7 @@ class CompileJob:
             self.engine,
             repr(self.cycle_time_ns),
             repr(self.top),
+            self.opt_options().fingerprint(),
         )
 
     def to_payload(self) -> dict:
@@ -103,6 +112,8 @@ class CompileJob:
             "cycle_time_ns": self.cycle_time_ns,
             "top": self.top,
             "datasheet_yaml": self.datasheet_yaml,
+            "opt_level": self.opt_level,
+            "opt_passes": list(self.opt_passes),
         }
 
     @classmethod
@@ -115,6 +126,8 @@ class CompileJob:
             cycle_time_ns=payload.get("cycle_time_ns"),
             top=payload.get("top"),
             datasheet_yaml=payload.get("datasheet_yaml"),
+            opt_level=int(payload.get("opt_level", 0)),
+            opt_passes=tuple(payload.get("opt_passes") or ()),
         )
 
 
@@ -137,13 +150,17 @@ def job_grid(
     cycle_scales: Sequence[Optional[float]] = (None,),
     engine: str = "auto",
     sources: Optional[Dict[str, str]] = None,
+    opt_level: int = 0,
+    opt_passes: Sequence[str] = (),
 ) -> List[CompileJob]:
     """Cross product (ISAX x core x cycle scale) -> deterministic job list.
 
     ``cycle_scales`` multiply each core's native cycle time; ``None`` keeps
     the core's f_max target.  ``sources`` maps ISAX labels to CoreDSL text
-    and overrides the built-in Table 3 set.
+    and overrides the built-in Table 3 set.  ``opt_level``/``opt_passes``
+    select the optimizer pipeline every job compiles under.
     """
+    OptOptions.from_flags(opt_level, opt_passes)   # validates early
     jobs: List[CompileJob] = []
     for isax in isaxes:
         source = _resolve_source(isax, sources)
@@ -155,6 +172,7 @@ def job_grid(
                 jobs.append(CompileJob(
                     isax=isax, source=source, core=core,
                     engine=engine, cycle_time_ns=cycle,
+                    opt_level=opt_level, opt_passes=tuple(opt_passes),
                 ))
     return jobs
 
@@ -174,6 +192,8 @@ def load_manifest(text: str,
     if not isinstance(doc, dict):
         raise CoreDSLError("batch manifest must be a YAML mapping")
     jobs: List[CompileJob] = []
+    doc_level = int(doc.get("opt_level") or 0)
+    doc_passes = tuple(doc.get("opt_passes") or ())
     if "isaxes" in doc or "cores" in doc:
         isaxes = doc.get("isaxes") or []
         cores = doc.get("cores") or []
@@ -185,6 +205,7 @@ def load_manifest(text: str,
         jobs.extend(job_grid(
             isaxes, cores, cycle_scales=scales,
             engine=doc.get("engine", "auto"), sources=sources,
+            opt_level=doc_level, opt_passes=doc_passes,
         ))
     for entry in doc.get("jobs") or []:
         if not isinstance(entry, dict) or "isax" not in entry \
@@ -201,6 +222,8 @@ def load_manifest(text: str,
             engine=entry.get("engine", "auto"),
             cycle_time_ns=float(cycle) if cycle is not None else None,
             top=entry.get("top"),
+            opt_level=int(entry.get("opt_level", doc_level)),
+            opt_passes=tuple(entry.get("opt_passes") or doc_passes),
         ))
     if not jobs:
         raise CoreDSLError("batch manifest describes no jobs")

@@ -47,6 +47,8 @@ class JobMetrics:
     phases: Dict[str, float]           # per-phase seconds (compile jobs)
     ilp: List[dict]                    # per-functionality scheduler stats
     lint: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Optimizer report (``OptimizerReport.to_dict``); empty at -O0.
+    optimizer: Dict[str, object] = dataclasses.field(default_factory=dict)
     error: Optional[str] = None
 
     def to_dict(self) -> dict:
@@ -61,6 +63,7 @@ class JobMetrics:
             "phases": {k: round(v, 6) for k, v in self.phases.items()},
             "ilp": self.ilp,
             "lint": self.lint,
+            "optimizer": self.optimizer,
         }
         if self.error:
             doc["error"] = self.error
@@ -134,6 +137,49 @@ class BatchMetrics:
             "solve_seconds": round(seconds, 6),
         }
 
+    def optimizer_totals(self) -> Dict[str, object]:
+        """Optimizer activity summed over every job in the batch: graphs
+        rewritten, node counts before/after, per-pass op counts and time."""
+        jobs = graphs = 0
+        nodes_before = nodes_after = removed = rewritten = 0
+        seconds = 0.0
+        passes: Dict[str, Dict[str, float]] = {}
+        for job in self.jobs:
+            report = job.optimizer or {}
+            if not report:
+                continue
+            jobs += 1
+            graphs += int(report.get("graphs", 0))
+            nodes_before += int(report.get("nodes_before", 0))
+            nodes_after += int(report.get("nodes_after", 0))
+            removed += int(report.get("ops_removed", 0))
+            rewritten += int(report.get("ops_rewritten", 0))
+            seconds += float(report.get("seconds", 0.0))
+            for name, stats in (report.get("passes") or {}).items():
+                entry = passes.setdefault(
+                    name, {"runs": 0, "ops_removed": 0,
+                           "ops_rewritten": 0, "seconds": 0.0},
+                )
+                entry["runs"] += int(stats.get("runs", 0))
+                entry["ops_removed"] += int(stats.get("ops_removed", 0))
+                entry["ops_rewritten"] += int(stats.get("ops_rewritten", 0))
+                entry["seconds"] += float(stats.get("seconds", 0.0))
+        reduction = (100.0 * (nodes_before - nodes_after) / nodes_before
+                     if nodes_before else 0.0)
+        for entry in passes.values():
+            entry["seconds"] = round(entry["seconds"], 6)
+        return {
+            "jobs": jobs,
+            "graphs": graphs,
+            "nodes_before": nodes_before,
+            "nodes_after": nodes_after,
+            "node_reduction_pct": round(reduction, 2),
+            "ops_removed": removed,
+            "ops_rewritten": rewritten,
+            "seconds": round(seconds, 6),
+            "passes": passes,
+        }
+
     def lint_totals(self) -> Dict[str, int]:
         """Lint findings summed over every job in the batch, by severity."""
         totals: Dict[str, int] = {"error": 0, "warning": 0, "note": 0}
@@ -151,6 +197,7 @@ class BatchMetrics:
             "jobs_cached": self.cached,
             "phase_totals_s": self.phase_totals(),
             "scheduler": self.scheduler_totals(),
+            "optimizer": self.optimizer_totals(),
             "lint_totals": self.lint_totals(),
             "cache": self.cache_stats,
             "jobs": [job.to_dict() for job in self.jobs],

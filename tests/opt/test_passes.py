@@ -1,0 +1,359 @@
+"""Positive/negative unit tests for each optimizer pass."""
+
+import repro.dialects  # noqa: F401
+from repro.ir.builder import Builder
+from repro.ir.core import Graph
+from repro.opt.passes import (
+    canonicalize_pass,
+    cse_pass,
+    dce_pass,
+    propagate_pass,
+    share_pass,
+    strength_pass,
+)
+
+
+def make_graph(name="test"):
+    graph = Graph(name)
+    return graph, Builder.at(graph)
+
+
+def _inputs(builder, count=2):
+    ops = ("lil.read_rs1", "lil.read_rs2", "lil.instr_word")
+    return [builder.create(ops[i], [], [(32, None)]).result
+            for i in range(count)]
+
+
+def _sink(builder, value, width=32):
+    pred = builder.constant(1, 1)
+    if width != 32:
+        pad = builder.constant(0, 32 - width)
+        value = builder.create("comb.concat", [pad, value],
+                               [(32, None)]).result
+    builder.create("lil.write_rd", [value, pred], [])
+
+
+def _names(graph):
+    return [op.name for op in graph.operations]
+
+
+class TestCanonicalize:
+    def test_commutative_constant_moves_right(self):
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        c = builder.constant(5, 32)
+        add = builder.create("comb.add", [c, x], [(32, None)])
+        _sink(builder, add.result)
+        canonicalize_pass(graph)
+        assert add.operands[1] is c or add.parent is None
+
+    def test_xor_self_is_zero(self):
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        xor = builder.create("comb.xor", [x, x], [(32, None)])
+        _sink(builder, xor.result)
+        removed, rewritten = canonicalize_pass(graph)
+        # The xor is erased but its replacement constant is minted, so
+        # the net ``removed`` count may be zero; the firing must still
+        # be visible as a rewrite.
+        assert removed + rewritten >= 1
+        assert "comb.xor" not in _names(graph)
+
+    def test_extract_of_extract_merges(self):
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        outer = builder.create("comb.extract", [x], [(16, None)], {"low": 8})
+        inner = builder.create("comb.extract", [outer.result], [(8, None)],
+                               {"low": 4})
+        _sink(builder, inner.result, width=8)
+        canonicalize_pass(graph)
+        dce_pass(graph)
+        extracts = [op for op in graph.operations
+                    if op.name == "comb.extract"]
+        assert len(extracts) == 1
+        assert extracts[0].attr("low") == 12
+        assert extracts[0].operands[0] is x
+
+    def test_extract_of_concat_selects_operand(self):
+        graph, builder = make_graph()
+        x, y = _inputs(builder, 2)
+        cat = builder.create("comb.concat", [x, y], [(64, None)])
+        # Bits [32, 64) of the concat are exactly x.
+        ext = builder.create("comb.extract", [cat.result], [(32, None)],
+                             {"low": 32})
+        _sink(builder, ext.result)
+        canonicalize_pass(graph)
+        write = next(op for op in graph.operations
+                     if op.name == "lil.write_rd")
+        assert write.operands[0] is x
+
+    def test_double_not_cancels(self):
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        n1 = builder.create("comb.not", [x], [(32, None)])
+        n2 = builder.create("comb.not", [n1.result], [(32, None)])
+        _sink(builder, n2.result)
+        canonicalize_pass(graph)
+        write = next(op for op in graph.operations
+                     if op.name == "lil.write_rd")
+        assert write.operands[0] is x
+
+    def test_interface_ops_untouched(self):
+        graph, builder = make_graph()
+        x, y = _inputs(builder, 2)
+        add = builder.create("comb.add", [x, y], [(32, None)])
+        _sink(builder, add.result)
+        before = [op for op in graph.operations
+                  if op.name.startswith("lil.")]
+        canonicalize_pass(graph)
+        after = [op for op in graph.operations if op.name.startswith("lil.")]
+        assert before == after
+
+
+class TestPropagate:
+    def test_constant_chain_folds(self):
+        graph, builder = make_graph()
+        a = builder.constant(3, 32)
+        b = builder.constant(4, 32)
+        add = builder.create("comb.add", [a, b], [(32, None)])
+        mul = builder.create("comb.mul", [add.result, add.result],
+                             [(32, None)])
+        _sink(builder, mul.result)
+        propagate_pass(graph)
+        dce_pass(graph)
+        assert "comb.add" not in _names(graph)
+        assert "comb.mul" not in _names(graph)
+        values = {op.attr("value") for op in graph.operations
+                  if op.name == "comb.constant"}
+        assert 49 in values
+
+    def test_duplicate_constants_merge(self):
+        graph, builder = make_graph()
+        a = builder.create("comb.constant", [], [(8, None)], {"value": 7})
+        b = builder.create("comb.constant", [], [(8, None)], {"value": 7})
+        add = builder.create("comb.add", [a.result, b.result], [(8, None)])
+        _sink(builder, add.result, width=8)
+        removed, _ = propagate_pass(graph)
+        assert removed >= 1
+
+    def test_non_constant_not_folded(self):
+        graph, builder = make_graph()
+        x, y = _inputs(builder, 2)
+        add = builder.create("comb.add", [x, y], [(32, None)])
+        _sink(builder, add.result)
+        _, rewritten = propagate_pass(graph)
+        assert rewritten == 0
+        assert "comb.add" in _names(graph)
+
+
+class TestCSE:
+    def test_identical_ops_merge(self):
+        graph, builder = make_graph()
+        x, y = _inputs(builder, 2)
+        add1 = builder.create("comb.add", [x, y], [(32, None)])
+        add2 = builder.create("comb.add", [x, y], [(32, None)])
+        xor = builder.create("comb.xor", [add1.result, add2.result],
+                             [(32, None)])
+        _sink(builder, xor.result)
+        removed, _ = cse_pass(graph)
+        assert removed == 1
+        assert _names(graph).count("comb.add") == 1
+        assert xor.operands[0] is xor.operands[1]
+
+    def test_different_attrs_not_merged(self):
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        e1 = builder.create("comb.extract", [x], [(8, None)], {"low": 0})
+        e2 = builder.create("comb.extract", [x], [(8, None)], {"low": 8})
+        cat = builder.create("comb.concat", [e1.result, e2.result],
+                             [(16, None)])
+        _sink(builder, cat.result, width=16)
+        removed, _ = cse_pass(graph)
+        assert removed == 0
+
+    def test_side_effecting_never_merged(self):
+        graph, builder = make_graph()
+        r1 = builder.create("lil.read_rs1", [], [(32, None)])
+        r2 = builder.create("lil.read_rs1", [], [(32, None)])
+        add = builder.create("comb.add", [r1.result, r2.result],
+                             [(32, None)])
+        _sink(builder, add.result)
+        removed, _ = cse_pass(graph)
+        assert removed == 0
+        assert _names(graph).count("lil.read_rs1") == 2
+
+
+class TestStrength:
+    def test_mul_by_power_of_two_becomes_wiring(self):
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        c = builder.constant(8, 32)
+        mul = builder.create("comb.mul", [x, c], [(32, None)])
+        _sink(builder, mul.result)
+        _, rewritten = strength_pass(graph)
+        assert rewritten >= 1
+        assert "comb.mul" not in _names(graph)
+        assert "comb.concat" in _names(graph)
+
+    def test_mul_by_repunit_becomes_shift_sub(self):
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        c = builder.constant(7, 32)     # 2^3 - 1
+        mul = builder.create("comb.mul", [x, c], [(32, None)])
+        _sink(builder, mul.result)
+        strength_pass(graph)
+        assert "comb.mul" not in _names(graph)
+        assert "comb.sub" in _names(graph)
+
+    def test_mul_by_six_untouched(self):
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        c = builder.constant(6, 32)
+        mul = builder.create("comb.mul", [x, c], [(32, None)])
+        _sink(builder, mul.result)
+        _, rewritten = strength_pass(graph)
+        assert "comb.mul" in _names(graph)
+
+    def test_divu_by_power_of_two_becomes_wiring(self):
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        c = builder.constant(4, 32)
+        div = builder.create("comb.divu", [x, c], [(32, None)])
+        _sink(builder, div.result)
+        strength_pass(graph)
+        assert "comb.divu" not in _names(graph)
+
+    def test_divs_by_power_of_two_untouched(self):
+        # Signed division by 2^k rounds toward zero; an arithmetic shift
+        # rounds toward minus infinity.  Must NOT be rewritten.
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        c = builder.constant(4, 32)
+        div = builder.create("comb.divs", [x, c], [(32, None)])
+        _sink(builder, div.result)
+        strength_pass(graph)
+        assert "comb.divs" in _names(graph)
+
+    def test_modu_by_power_of_two_becomes_mask(self):
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        c = builder.constant(16, 32)
+        mod = builder.create("comb.modu", [x, c], [(32, None)])
+        _sink(builder, mod.result)
+        strength_pass(graph)
+        assert "comb.modu" not in _names(graph)
+        assert "comb.and" in _names(graph)
+
+    def test_div_by_one_is_identity(self):
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        c = builder.constant(1, 32)
+        div = builder.create("comb.divu", [x, c], [(32, None)])
+        _sink(builder, div.result)
+        strength_pass(graph)
+        write = next(op for op in graph.operations
+                     if op.name == "lil.write_rd")
+        assert write.operands[0] is x
+
+    def test_icmp_reflexive_folds(self):
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        cmp_op = builder.create("comb.icmp", [x, x], [(1, None)],
+                                {"predicate": "eq"})
+        mux = builder.create("comb.mux", [cmp_op.result, x, x],
+                             [(32, None)])
+        _sink(builder, mux.result)
+        strength_pass(graph)
+        assert "comb.icmp" not in _names(graph)
+
+    def test_icmp_constant_lhs_swaps(self):
+        graph, builder = make_graph()
+        (x,) = _inputs(builder, 1)
+        c = builder.constant(5, 32)
+        cmp_op = builder.create("comb.icmp", [c, x], [(1, None)],
+                                {"predicate": "ult"})
+        pad = builder.constant(0, 31)
+        wide = builder.create("comb.concat", [pad, cmp_op.result],
+                              [(32, None)])
+        _sink(builder, wide.result)
+        strength_pass(graph)
+        assert cmp_op.operands[0] is x
+        assert cmp_op.attr("predicate") == "ugt"
+
+    def test_not_of_icmp_inverts_predicate(self):
+        graph, builder = make_graph()
+        x, y = _inputs(builder, 2)
+        cmp_op = builder.create("comb.icmp", [x, y], [(1, None)],
+                                {"predicate": "ult"})
+        inv = builder.create("comb.not", [cmp_op.result], [(1, None)])
+        pad = builder.constant(0, 31)
+        wide = builder.create("comb.concat", [pad, inv.result], [(32, None)])
+        _sink(builder, wide.result)
+        strength_pass(graph)
+        dce_pass(graph)
+        assert "comb.not" not in _names(graph)
+        icmp = next(op for op in graph.operations if op.name == "comb.icmp")
+        assert icmp.attr("predicate") == "uge"
+
+
+class TestShare:
+    def test_mux_of_two_muls_shares_one_unit(self):
+        graph, builder = make_graph()
+        x, y = _inputs(builder, 2)
+        sel = builder.create("comb.extract", [x], [(1, None)], {"low": 0})
+        m1 = builder.create("comb.mul", [x, y], [(32, None)])
+        m2 = builder.create("comb.mul", [y, x], [(32, None)])
+        mux = builder.create("comb.mux", [sel.result, m1.result, m2.result],
+                             [(32, None)])
+        _sink(builder, mux.result)
+        removed, rewritten = share_pass(graph)
+        assert removed == 2 and rewritten == 1
+        assert _names(graph).count("comb.mul") == 1
+        # The steering muxes sit in front of the shared multiplier.
+        assert _names(graph).count("comb.mux") == 2
+        graph.verify()
+
+    def test_cheap_ops_not_shared(self):
+        graph, builder = make_graph()
+        x, y = _inputs(builder, 2)
+        sel = builder.create("comb.extract", [x], [(1, None)], {"low": 0})
+        a1 = builder.create("comb.add", [x, y], [(32, None)])
+        a2 = builder.create("comb.add", [y, x], [(32, None)])
+        mux = builder.create("comb.mux", [sel.result, a1.result, a2.result],
+                             [(32, None)])
+        _sink(builder, mux.result)
+        removed, rewritten = share_pass(graph)
+        assert (removed, rewritten) == (0, 0)
+
+    def test_multi_use_arm_not_shared(self):
+        graph, builder = make_graph()
+        x, y = _inputs(builder, 2)
+        sel = builder.create("comb.extract", [x], [(1, None)], {"low": 0})
+        m1 = builder.create("comb.mul", [x, y], [(32, None)])
+        m2 = builder.create("comb.mul", [y, x], [(32, None)])
+        mux = builder.create("comb.mux", [sel.result, m1.result, m2.result],
+                             [(32, None)])
+        xor = builder.create("comb.xor", [mux.result, m1.result],
+                             [(32, None)])
+        _sink(builder, xor.result)
+        removed, rewritten = share_pass(graph)
+        assert (removed, rewritten) == (0, 0)
+
+
+class TestDCE:
+    def test_dead_chain_removed(self):
+        graph, builder = make_graph()
+        x, y = _inputs(builder, 2)
+        dead = builder.create("comb.add", [x, y], [(32, None)])
+        builder.create("comb.mul", [dead.result, dead.result], [(32, None)])
+        live = builder.create("comb.xor", [x, y], [(32, None)])
+        _sink(builder, live.result)
+        removed, _ = dce_pass(graph)
+        assert removed == 2
+        assert "comb.add" not in _names(graph)
+
+    def test_interface_ops_survive_without_uses(self):
+        graph, builder = make_graph()
+        builder.create("lil.read_rs1", [], [(32, None)])
+        dce_pass(graph)
+        assert "lil.read_rs1" in _names(graph)
