@@ -40,7 +40,7 @@ ALL_CORES = CORES + EXPERIMENTAL_CORES
 
 #: Oracle kinds `fuzz --oracle` accepts ("all" expands to every kind).
 ORACLE_CHOICES = ("compile", "schedule", "irverify", "cosim", "simengine",
-                  "determinism", "optequiv", "all")
+                  "determinism", "optequiv", "discover", "all")
 
 
 def _add_opt_arguments(parser: argparse.ArgumentParser) -> None:
@@ -475,6 +475,49 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_discover(args: argparse.Namespace) -> int:
+    from repro.discover import (DiscoveryConfig, discover, render_report,
+                                write_report)
+    from repro.discover.kernel import kernel_names
+
+    if args.list_kernels:
+        for name in kernel_names():
+            print(name)
+        return 0
+
+    params = {}
+    for item in args.param:
+        name, separator, value = item.partition("=")
+        if not separator:
+            print(f"error: --param needs NAME=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        params[name.strip()] = int(value, 0)
+
+    config = DiscoveryConfig(
+        kernel=args.kernel,
+        params=params,
+        core=args.core,
+        trials=args.trials,
+        seed=args.cosim_seed,
+        max_mem=args.max_mem,
+        promote_state=not args.no_state,
+        try_fold=not args.no_fold,
+        budget=args.budget,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        server_url=args.server,
+        priority=args.priority,
+    )
+    report = discover(config)
+    print(render_report(report))
+    paths = write_report(report, pathlib.Path(args.out))
+    print(f"# report: {paths['report']}")
+    if "winner" in paths:
+        print(f"# winner: {paths['winner']}")
+    return 0 if report.winner is not None else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-longnail",
@@ -711,6 +754,54 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_p.add_argument("--max-instructions", type=int,
                             default=1_000_000)
     simulate_p.set_defaults(func=_cmd_simulate)
+
+    discover_p = sub.add_parser(
+        "discover", help="mine candidate custom instructions from a loop "
+                         "kernel and price them with the real toolchain"
+    )
+    discover_p.add_argument("--kernel", default="array_sum",
+                            help="registered kernel fixture (see "
+                                 "--list-kernels; default array_sum)")
+    discover_p.add_argument("--list-kernels", action="store_true",
+                            help="list registered kernels and exit")
+    discover_p.add_argument("--param", action="append", default=[],
+                            metavar="NAME=VALUE",
+                            help="kernel parameter, e.g. n=64 "
+                                 "(repeatable)")
+    discover_p.add_argument("--core", default="VexRiscv",
+                            choices=ALL_CORES, metavar="CORE",
+                            help="host core (default VexRiscv)")
+    discover_p.add_argument("--budget", type=int, default=24,
+                            help="max candidate variants to price "
+                                 "(default 24)")
+    discover_p.add_argument("--trials", type=int, default=5,
+                            help="cosim trials per candidate (default 5)")
+    discover_p.add_argument("--cosim-seed", type=int, default=0,
+                            help="RNG seed for the cosim gate")
+    discover_p.add_argument("--max-mem", type=int, default=1,
+                            help="memory ops per candidate (SCAIE-V "
+                                 "allows one RdMem; default 1)")
+    discover_p.add_argument("--no-fold", action="store_true",
+                            help="skip the zero-overhead-loop variants")
+    discover_p.add_argument("--no-state", action="store_true",
+                            help="disable custom-state promotion of "
+                                 "loop carries")
+    discover_p.add_argument("--workers", type=int, default=1,
+                            help="pricing worker processes (<=1: "
+                                 "in-process serial)")
+    discover_p.add_argument("--cache-dir",
+                            default=str(_default_cache_dir()),
+                            help="artifact cache for priced candidates")
+    discover_p.add_argument("--server", default=None, metavar="URL",
+                            help="price candidates through a running "
+                                 "compile server instead")
+    discover_p.add_argument("--priority", default="batch",
+                            choices=("interactive", "batch", "background"),
+                            help="server queue priority (with --server)")
+    discover_p.add_argument("-o", "--out", default="build/discover",
+                            help="report + winning .core_desc directory "
+                                 "(default build/discover)")
+    discover_p.set_defaults(func=_cmd_discover)
     return parser
 
 

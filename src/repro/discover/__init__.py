@@ -1,0 +1,37 @@
+"""Automatic ISAX discovery: mine candidate custom instructions from loop
+kernels, emit CoreDSL for each, and price them with the real toolchain.
+
+Layers (each its own module, consumed top-down by :mod:`.search`):
+
+- :mod:`.kernel` — per-iteration dataflow IR + registry of kernel fixtures
+- :mod:`.enumerate` — convex, I/O-constrained subgraph enumeration with
+  canonical-digest dedup
+- :mod:`.emit` — candidate graph → CoreDSL instruction-set backend
+- :mod:`.codegen` — kernel → RV32 assembly (baseline and rewritten to use
+  a mined candidate, optionally loop-folded via a generated always block)
+- :mod:`.pricing` — one candidate through ``compile_isax`` at ``-O2``:
+  lint/IR-verify/cosim gates, fastpath schedule length, Table-4 area,
+  measured cycles on the compiled simulator (a service-executor runner)
+- :mod:`.search` — orchestration: enumerate → dedup → price (fan-out via
+  :class:`repro.service.executor.BatchExecutor` or a compile server) →
+  Pareto selection → report + winning ``.core_desc``
+"""
+
+from repro.discover.kernel import (  # noqa: F401
+    Kernel,
+    KernelBuilder,
+    KernelError,
+    kernel_names,
+    register_kernel,
+    resolve_kernel,
+    run_reference,
+)
+from repro.discover.enumerate import Candidate, enumerate_candidates  # noqa: F401
+from repro.discover.search import (  # noqa: F401
+    DiscoveryConfig,
+    DiscoveryReport,
+    discover,
+    pareto_front,
+    render_report,
+    write_report,
+)

@@ -1,0 +1,484 @@
+"""Kernel -> RV32 assembly, baseline and candidate-rewritten.
+
+The baseline program is what a decent compiler would emit for the kernel
+loop (mirroring the hand-written baselines in :mod:`repro.workloads`):
+word loads through per-stream pointers, shift-based field extraction,
+RV32M multiplies, and software loop control.  The candidate program
+replaces the covered subgraph with the mined instruction(s) emitted by
+:mod:`repro.discover.emit` — setup instructions before the loop, the
+``*_step`` instruction at the covered position, and (with ``fold_loop``)
+the generated zero-overhead-loop setup instead of the counter/branch
+pair, so measured cycle savings come from the same
+:class:`~repro.sim.riscv.core_model.CoreTimingModel` used everywhere
+else in the repo.
+
+Both programs leave the kernel result in ``a0`` and terminate with
+``ecall``; :func:`run_program` loads the stream/table data segments and
+returns the timing report plus the architectural result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.discover.emit import EmittedISAX
+from repro.discover.enumerate import Candidate
+from repro.discover.kernel import BINARY_OPS, Kernel, KNode
+
+#: where codegen places constant lookup tables (above the stream bases
+#: used by the built-in kernels).
+TABLE_REGION = 0x7000
+
+_BIN_MNEMONIC = {"add": "add", "sub": "sub", "mul": "mul",
+                 "and": "and", "or": "or", "xor": "xor"}
+_SHIFT_MNEMONIC = {"shl": "slli", "shru": "srli", "shrs": "srai"}
+
+
+class CodegenError(Exception):
+    """Kernel does not fit the simple code generator."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Program:
+    """Assembled-ready program text plus its data segments."""
+
+    text: str
+    data: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    loop_body_words: int                 # instruction words inside the loop
+
+
+class _Registers:
+    """Static persistent registers + linear-scan temporaries."""
+
+    _PERSISTENT = ("s1", "s2", "s3", "s4", "s5", "s6",
+                   "s7", "s8", "s9", "s10", "s11")
+    _TEMPS = ("t0", "t1", "t2", "t3", "t4", "t5", "t6",
+              "a1", "a2", "a3", "a4", "a5", "a6", "a7")
+
+    def __init__(self) -> None:
+        self._next_persistent = 0
+        self._free = list(self._TEMPS)
+
+    def persistent(self) -> str:
+        if self._next_persistent >= len(self._PERSISTENT):
+            raise CodegenError("out of persistent registers")
+        reg = self._PERSISTENT[self._next_persistent]
+        self._next_persistent += 1
+        return reg
+
+    def temp(self) -> str:
+        if not self._free:
+            raise CodegenError("out of temporary registers")
+        return self._free.pop(0)
+
+    def release(self, reg: str) -> None:
+        if reg in self._TEMPS and reg not in self._free:
+            self._free.append(reg)
+
+
+def _table_bases(kernel: Kernel) -> Dict[str, int]:
+    bases = {}
+    for index, name in enumerate(sorted(kernel.tables)):
+        bases[name] = TABLE_REGION + index * 0x1000
+    return bases
+
+
+def _pack_table(values: Sequence[int]) -> List[int]:
+    words = []
+    for start in range(0, len(values), 4):
+        word = 0
+        for lane in range(4):
+            if start + lane < len(values):
+                word |= (values[start + lane] & 0xFF) << (8 * lane)
+        words.append(word)
+    return words
+
+
+def data_segments(kernel: Kernel) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+    segments = []
+    for name in sorted(kernel.arrays):
+        spec = kernel.arrays[name]
+        segments.append((spec.base, tuple(spec.data)))
+    bases = _table_bases(kernel)
+    for name in sorted(kernel.tables):
+        segments.append((bases[name], tuple(_pack_table(kernel.tables[name]))))
+    return tuple(segments)
+
+
+class _Emitter:
+    """Shared machinery for both program flavors."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        kernel.validate()
+        self.kernel = kernel
+        self.by_id = kernel.node_by_id
+        self.regs = _Registers()
+        self.prologue: List[str] = []
+        self.body: List[str] = []
+        self.epilogue: List[str] = []
+        self.table_bases = _table_bases(kernel)
+        self.carry_updates = {spec.update: name
+                              for name, spec in kernel.carries.items()}
+        # remaining-use counts drive temp recycling inside the body
+        self.uses: Dict[int, int] = {n.id: 0 for n in kernel.nodes}
+        for node in kernel.nodes:
+            for operand in node.operands:
+                self.uses[operand] += 1
+        for spec in kernel.carries.values():
+            self.uses[spec.update] += 1
+
+        self.counter = "s0"
+        self.pointer: Dict[str, str] = {}
+        self.carry_reg: Dict[str, str] = {}
+        self.table_reg: Dict[str, str] = {}
+        self.value: Dict[int, str] = {}
+        self.emitted: set = set()
+        self.users = kernel.users()
+        # loads this emitter will itself lower, per stream: the pointer
+        # bump is scheduled right after a stream's last load, filling the
+        # load-use slot instead of stalling on it
+        self.pending_loads: Dict[str, int] = {}
+        for node in kernel.nodes:
+            if node.op == "load":
+                array = node.attr("array")
+                self.pending_loads[array] = (
+                    self.pending_loads.get(array, 0) + 1)
+        self.bumped: set = set()
+        self.carry_leaf: Dict[str, int] = {
+            node.attr("name"): node.id
+            for node in kernel.nodes if node.op == "carry"}
+
+    # ---- prologue helpers -------------------------------------------------
+    def setup_pointer(self, array: str) -> str:
+        if array not in self.pointer:
+            spec = self.kernel.arrays[array]
+            reg = self.regs.persistent()
+            self.pointer[array] = reg
+            self.prologue.append(f"li   {reg}, {spec.base + spec.offset}")
+        return self.pointer[array]
+
+    def setup_carry(self, name: str) -> str:
+        if name not in self.carry_reg:
+            reg = self.regs.persistent()
+            self.carry_reg[name] = reg
+            init = self.kernel.carries[name].init
+            self.prologue.append(f"li   {reg}, {_imm(init)}")
+        return self.carry_reg[name]
+
+    def setup_table(self, name: str) -> str:
+        if name not in self.table_reg:
+            reg = self.regs.persistent()
+            self.table_reg[name] = reg
+            self.prologue.append(f"li   {reg}, {self.table_bases[name]}")
+        return self.table_reg[name]
+
+    def hoist_leaf(self, node: KNode) -> str:
+        """Loop-invariant const/input -> persistent register."""
+        reg = self.regs.persistent()
+        value = node.attr("value")
+        self.prologue.append(f"li   {reg}, {_imm(value)}")
+        return reg
+
+    # ---- body helpers -----------------------------------------------------
+    def operand_reg(self, node_id: int) -> str:
+        node = self.by_id[node_id]
+        if node_id in self.value:
+            return self.value[node_id]
+        if node.op == "carry":
+            return self.setup_carry(node.attr("name"))
+        if node.op in ("const", "input"):
+            reg = self.hoist_leaf(node)
+            self.value[node_id] = reg
+            return reg
+        raise CodegenError(
+            f"node {node_id} ({node.op}) used before it was computed")
+
+    def consume(self, node_id: int) -> None:
+        """Register that one pending use of a value happened; recycle the
+        temp when none remain."""
+        node = self.by_id[node_id]
+        if node.op in ("const", "input", "carry"):
+            return                       # persistent, never recycled
+        self.uses[node_id] -= 1
+        if self.uses[node_id] <= 0 and node_id in self.value:
+            self.regs.release(self.value[node_id])
+
+    def _direct_carry_dest(self, node: KNode) -> Optional[str]:
+        """A carry update whose old value has no reader left may be
+        computed straight into the carry register, saving the ``mv`` the
+        parallel-update semantics would otherwise require."""
+        name = self.carry_updates.get(node.id)
+        if name is None or self.uses[node.id] != 1:
+            return None
+        leaf = self.carry_leaf.get(name)
+        if leaf is not None and any(
+                user != node.id and user not in self.emitted
+                for user in self.users[leaf]):
+            return None
+        return self.setup_carry(name)
+
+    def emit_op(self, node: KNode) -> None:
+        """One computed node into a fresh temp."""
+        sources = [self.operand_reg(i) for i in node.operands]
+        direct = self._direct_carry_dest(node)
+        dest = direct if direct is not None else self.regs.temp()
+        body = self.body
+        if node.op == "load":
+            array = node.attr("array")
+            pointer = self.setup_pointer(array)
+            body.append(f"lw   {dest}, 0({pointer})")
+            self.pending_loads[array] -= 1
+            if self.pending_loads[array] == 0:
+                spec = self.kernel.arrays[array]
+                body.append(f"addi {pointer}, {pointer}, {spec.stride}")
+                self.bumped.add(array)
+        elif node.op in BINARY_OPS:
+            mnemonic = _BIN_MNEMONIC[node.op]
+            body.append(f"{mnemonic}  {dest}, {sources[0]}, {sources[1]}")
+        elif node.op in _SHIFT_MNEMONIC:
+            mnemonic = _SHIFT_MNEMONIC[node.op]
+            body.append(f"{mnemonic} {dest}, {sources[0]}, "
+                        f"{node.attr('amount')}")
+        elif node.op == "extract":
+            lo, width = node.attr("lo"), node.attr("width")
+            if lo + width == 32:
+                body.append(f"srli {dest}, {sources[0]}, {lo}")
+            elif width <= 11:
+                mask = (1 << width) - 1
+                if lo:
+                    body.append(f"srli {dest}, {sources[0]}, {lo}")
+                    body.append(f"andi {dest}, {dest}, {mask}")
+                else:
+                    body.append(f"andi {dest}, {sources[0]}, {mask}")
+            else:
+                left = 32 - lo - width
+                body.append(f"slli {dest}, {sources[0]}, {left}")
+                body.append(f"srli {dest}, {dest}, {32 - width}")
+        elif node.op == "sext":
+            width = node.attr("width")
+            if width == 32:
+                body.append(f"mv   {dest}, {sources[0]}")
+            else:
+                shift = 32 - width
+                body.append(f"slli {dest}, {sources[0]}, {shift}")
+                body.append(f"srai {dest}, {dest}, {shift}")
+        elif node.op == "table":
+            table = self.setup_table(node.attr("table"))
+            mask = len(self.kernel.tables[node.attr("table")]) - 1
+            if mask > 2047:
+                raise CodegenError("table too large for andi index mask")
+            body.append(f"andi {dest}, {sources[0]}, {mask}")
+            body.append(f"add  {dest}, {table}, {dest}")
+            body.append(f"lbu  {dest}, 0({dest})")
+        else:
+            raise CodegenError(f"op {node.op!r} has no RV32 lowering")
+        for operand in node.operands:
+            self.consume(operand)
+        self.value[node.id] = dest
+        self.emitted.add(node.id)
+
+    def commit_carries(self, skip=()) -> None:
+        for name, spec in self.kernel.carries.items():
+            if name in skip:
+                continue
+            reg = self.setup_carry(name)
+            source = self.value[spec.update]
+            if source != reg:
+                self.body.append(f"mv   {reg}, {source}")
+            self.consume(spec.update)
+
+    def bump_pointers(self) -> None:
+        for array in sorted(self.pointer):
+            if array in self.bumped:
+                continue
+            spec = self.kernel.arrays[array]
+            self.body.append(f"addi {self.pointer[array]}, "
+                             f"{self.pointer[array]}, {spec.stride}")
+
+    # ---- assembly ---------------------------------------------------------
+    def render(self, fold_loop: bool, loop_setup: Optional[str]) -> Program:
+        trips = self.kernel.trip_count
+        lines = list(self.prologue)
+        if fold_loop:
+            if loop_setup is None:
+                raise CodegenError("fold_loop without a loop instruction")
+            body_words = _count_words(self.body)
+            uimm_s = 2 + 2 * body_words
+            if uimm_s > 31:
+                raise CodegenError(
+                    f"loop body of {body_words} words exceeds the 5-bit "
+                    f"zero-overhead-loop span")
+            if trips - 1 > 4095:
+                raise CodegenError("trip count exceeds uimmL[11:0]")
+            lines.append(f"{loop_setup} uimmS={uimm_s}, uimmL={trips - 1}")
+            lines.extend(self.body)
+        else:
+            lines.append(f"li   {self.counter}, {trips}")
+            lines.append("loop:")
+            lines.extend(self.body)
+            lines.append(f"addi {self.counter}, {self.counter}, -1")
+            lines.append(f"bne  {self.counter}, zero, loop")
+            body_words = _count_words(self.body) + 2
+        lines.extend(self.epilogue)
+        lines.append("ecall")
+        text = "\n".join("  " + line if not line.endswith(":") else line
+                         for line in lines)
+        return Program(text=text, data=data_segments(self.kernel),
+                       loop_body_words=body_words)
+
+
+def _imm(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value
+
+
+def _count_words(lines: List[str]) -> int:
+    """Instruction words in a body: everything here is one word — the
+    code generator never places ``li`` (the only multi-word pseudo it
+    uses) inside a loop body."""
+    words = 0
+    for line in lines:
+        if line.endswith(":"):
+            continue
+        if line.split()[0] == "li":
+            raise CodegenError("li inside a counted loop body")
+        words += 1
+    return words
+
+
+# ---------------------------------------------------------------------------
+# Program flavors
+# ---------------------------------------------------------------------------
+
+def baseline_program(kernel: Kernel) -> Program:
+    """Software-only RV32IM lowering of the kernel loop."""
+    emitter = _Emitter(kernel)
+    for node in kernel.nodes:
+        if node.op in ("const", "input", "carry"):
+            continue
+        emitter.emit_op(node)
+    emitter.commit_carries()
+    emitter.bump_pointers()
+    result = emitter.setup_carry(kernel.result)
+    emitter.epilogue.append(f"mv   a0, {result}")
+    return emitter.render(fold_loop=False, loop_setup=None)
+
+
+def _contracted_order(kernel: Kernel,
+                      candidate: Candidate) -> List[object]:
+    """Topological order of the loop body with the covered subgraph
+    contracted to a single "step" position (convexity guarantees one
+    exists); items are node ids or the string ``"step"``."""
+    subset = set(candidate.nodes)
+    external = [n.id for n in kernel.op_nodes() if n.id not in subset]
+    vertices = external + ["step"]
+
+    def vertex_of(node_id: int):
+        return "step" if node_id in subset else node_id
+
+    edges: Dict[object, set] = {v: set() for v in vertices}    # v -> deps
+    for node in kernel.op_nodes():
+        target = vertex_of(node.id)
+        for operand in node.operands:
+            if kernel.node_by_id[operand].op in ("const", "input", "carry"):
+                continue
+            source = vertex_of(operand)
+            if source != target:
+                edges[target].add(source)
+
+    order: List[object] = []
+    emitted: set = set()
+    pending = list(vertices)
+    while pending:
+        ready = [v for v in pending if edges[v] <= emitted]
+        if not ready:
+            raise CodegenError("covered subgraph is not convex")
+        ready.sort(key=lambda v: (v == "step", v if v != "step" else 0))
+        vertex = ready[0]
+        order.append(vertex)
+        emitted.add(vertex)
+        pending.remove(vertex)
+    return order
+
+
+def candidate_program(kernel: Kernel, candidate: Candidate,
+                      emitted: EmittedISAX) -> Program:
+    """The kernel loop rewritten to use the mined instruction(s)."""
+    emitter = _Emitter(kernel)
+    subset = set(candidate.nodes)
+
+    # covered loads execute inside the ISAX — they never reach emit_op,
+    # so the inline-bump bookkeeping must not wait for them
+    for load_id in candidate.loads:
+        emitter.pending_loads[emitter.by_id[load_id].attr("array")] -= 1
+
+    # setup instructions: stream pointers and accumulator seeds via rs1
+    for setup in emitted.setups:
+        if setup.kind == "load":
+            spec = kernel.arrays[setup.target]
+            emitter.prologue.append(f"li   t0, {spec.base + spec.offset}")
+            emitter.prologue.append(f"{setup.mnemonic} t0")
+        else:
+            init = kernel.carries[setup.target].init
+            emitter.prologue.append(f"li   t0, {_imm(init)}")
+            emitter.prologue.append(f"{setup.mnemonic} t0")
+
+    for item in _contracted_order(kernel, candidate):
+        if item != "step":
+            emitter.emit_op(emitter.by_id[item])
+            continue
+        operands: List[str] = []
+        output_reg: Optional[str] = None
+        if emitted.step_output is not None:
+            output_reg = emitter.regs.temp()
+            operands.append(output_reg)
+        for input_id in emitted.step_inputs:
+            operands.append(emitter.operand_reg(input_id))
+        emitter.body.append(f"{emitted.step} " + ", ".join(operands))
+        emitter.emitted.update(candidate.nodes)
+        for input_id in emitted.step_inputs:
+            emitter.consume(input_id)
+        if emitted.step_output is not None:
+            emitter.value[emitted.step_output] = output_reg
+            # internal uses are satisfied inside the instruction
+            internal = sum(1 for user in kernel.users()[emitted.step_output]
+                           if user in subset)
+            emitter.uses[emitted.step_output] -= internal
+
+    emitter.commit_carries(skip=candidate.carries)
+    # Streams consumed by covered loads advance inside the ISAX; only
+    # pointers serving external loads exist in ``emitter.pointer``, so
+    # bumping them all is exactly right.
+    emitter.bump_pointers()
+
+    if emitted.get is not None:
+        emitter.epilogue.append(f"{emitted.get} a0")
+    else:
+        result = emitter.setup_carry(kernel.result)
+        emitter.epilogue.append(f"mv   a0, {result}")
+    return emitter.render(fold_loop=emitted.fold_loop,
+                          loop_setup=emitted.loop)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def run_program(kernel: Kernel, program: Program, core: str,
+                artifacts: Sequence[object] = (),
+                max_instructions: int = 2_000_000):
+    """Assemble + run on the cycle-accurate core model; returns
+    ``(timing_report, result_value)`` with the result read from ``a0``."""
+    from repro.scaiev.cores import core_datasheet
+    from repro.sim.riscv.assembler import assemble
+    from repro.sim.riscv.core_model import CoreTimingModel
+
+    model = CoreTimingModel(core_datasheet(core),
+                            artifacts=list(artifacts))
+    model.load_program(assemble(
+        program.text, isaxes=[a.isa for a in artifacts]))
+    for base, words in program.data:
+        model.load_data(list(words), base)
+    report = model.run(max_instructions=max_instructions)
+    return report, report.state.read_x(10)

@@ -1,0 +1,326 @@
+"""Candidate graph -> CoreDSL backend.
+
+Turns one mined :class:`~repro.discover.enumerate.Candidate` into a
+self-contained CoreDSL ``InstructionSet`` on the custom-0 opcode
+(``7'b0001011``), styled after the hand-written benchmark ISAXes in
+:mod:`repro.isaxes.sources` so the emitted source is valid — and lint
+clean — by construction:
+
+- each covered load gets an auto-incremented ``ADDR<k>`` custom register
+  plus a ``*_ld<k>`` setup instruction (the AUTOINC pattern);
+- each promoted carry gets an ``ACC_<name>`` custom register, seeded
+  from ``rs1`` by a ``*_st_<name>`` setup and read back by ``*_get``;
+- the ``*_step`` instruction evaluates the covered dataflow once:
+  locals in topological order, explicit ``(unsigned<32>)`` casts on
+  every width-changing operation, ``MEM[ADDR+3:ADDR]`` word loads, and
+  pointer bumps by the stream stride;
+- with ``fold_loop`` a ``*_loop`` setup plus an always block replicate
+  the ZOL redirect (PULP-style zero-overhead loop), so the rewritten
+  kernel needs no counter or branch instructions at all.
+
+Every instruction takes a distinct ``funct3`` (no encoding overlap,
+LN010/LN011), encodes only the operand fields its behavior reads
+(LN007), and avoids compound assignments in behaviors (LN001).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.discover.enumerate import Candidate
+from repro.discover.kernel import BINARY_OPS, Kernel
+
+OPCODE = "7'b0001011"
+
+
+class EmitError(Exception):
+    """Candidate cannot be expressed as a single ISAX instruction."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SetupInfo:
+    """One setup instruction and what its ``rs1`` must carry."""
+
+    mnemonic: str
+    kind: str               # "load" or "carry"
+    target: str             # array name or carry name
+
+
+@dataclasses.dataclass(frozen=True)
+class EmittedISAX:
+    """CoreDSL for one candidate plus the binding info codegen needs."""
+
+    set_name: str
+    prefix: str
+    source: str
+    setups: Tuple[SetupInfo, ...]
+    step: str                           # step-instruction mnemonic
+    step_inputs: Tuple[int, ...]        # node ids bound to rs1[, rs2]
+    step_output: Optional[int]          # node id written to rd (or None)
+    get: Optional[str]                  # accumulator readout mnemonic
+    loop: Optional[str]                 # zero-overhead-loop setup mnemonic
+    fold_loop: bool
+
+
+def _encoding(funct3: int, *, rs1: bool, rs2: bool, rd: bool,
+              imm: bool = False) -> str:
+    """An R/I-shaped encoding holding exactly the fields the behavior
+    uses; absent fields become zero literals of the same width."""
+    f3 = f"3'b{funct3:03b}"
+    if imm:
+        return f"uimmL[11:0] :: uimmS[4:0] :: {f3} :: 5'b00000 :: {OPCODE}"
+    rd_bits = "rd[4:0]" if rd else "5'd0"
+    if rs2:
+        rs1_bits = "rs1[4:0]" if rs1 else "5'd0"
+        return (f"7'd0 :: rs2[4:0] :: {rs1_bits} :: {f3} "
+                f":: {rd_bits} :: {OPCODE}")
+    if rs1:
+        return f"12'd0 :: rs1[4:0] :: {f3} :: {rd_bits} :: {OPCODE}"
+    return f"12'd0 :: 5'd0 :: {f3} :: {rd_bits} :: {OPCODE}"
+
+
+def _emit_node_expr(kernel: Kernel, node_id: int,
+                    value_of: Dict[int, str]) -> Tuple[str, List[str]]:
+    """Expression (and any helper lines) computing one covered node into
+    an ``unsigned<32>`` local.  All semantics match
+    :func:`repro.discover.kernel.eval_node` bit for bit."""
+    node = kernel.node_by_id[node_id]
+    op = node.op
+    operands = [value_of[i] for i in node.operands]
+    if op in BINARY_OPS:
+        a, b = operands
+        symbol = {"add": "+", "sub": "-", "mul": "*",
+                  "and": "&", "or": "|", "xor": "^"}[op]
+        if op in ("and", "or", "xor"):
+            return f"{a} {symbol} {b}", []
+        return f"(unsigned<32>) ({a} {symbol} {b})", []
+    if op == "shl":
+        return f"(unsigned<32>) ({operands[0]} << {node.attr('amount')})", []
+    if op == "shru":
+        return f"{operands[0]} >> {node.attr('amount')}", []
+    if op == "shrs":
+        amount = node.attr("amount")
+        return (f"(unsigned<32>) (((signed) {operands[0]}) >> {amount})",
+                [])
+    if op == "extract":
+        lo = node.attr("lo")
+        width = node.attr("width")
+        if lo == 0 and width == 32:
+            return operands[0], []
+        return f"(unsigned<32>) {operands[0]}[{lo + width - 1}:{lo}]", []
+    if op == "sext":
+        width = node.attr("width")
+        if width == 32:
+            return operands[0], []
+        # two certainly-supported steps: reinterpret the low bits as
+        # signed<w>, then widen with sign extension via a signed local.
+        helper = (f"signed<32> s{node_id} = "
+                  f"(signed) {operands[0]}[{width - 1}:0];")
+        return f"(unsigned) s{node_id}", [helper]
+    if op == "table":
+        table = kernel.tables[node.attr("table")]
+        bits = max(1, (len(table) - 1).bit_length())
+        return (f"(unsigned<32>) TBL_{node.attr('table')}"
+                f"[{operands[0]}[{bits - 1}:0]]"), []
+    raise EmitError(f"op {op!r} has no CoreDSL emission")
+
+
+def emit_candidate(kernel: Kernel, candidate: Candidate,
+                   fold_loop: bool = False,
+                   prefix: Optional[str] = None) -> EmittedISAX:
+    """Emit a complete CoreDSL instruction set for one candidate."""
+    by_id = kernel.node_by_id
+    prefix = prefix or ("m" + candidate.digest[:6])
+    subset = set(candidate.nodes)
+
+    if candidate.output is None and not candidate.carries:
+        raise EmitError("candidate has no architecturally visible effect")
+    if len(candidate.inputs) > 2:
+        raise EmitError("more than two register inputs")
+
+    # ---- architectural state ---------------------------------------------
+    state_lines: List[str] = []
+    load_addr: Dict[int, str] = {}
+    for index, load_id in enumerate(candidate.loads):
+        load_addr[load_id] = f"ADDR{index}"
+        state_lines.append(f"    register unsigned<32> ADDR{index};")
+    carry_state: Dict[str, str] = {}
+    for name in candidate.carries:
+        carry_state[name] = f"ACC_{name}"
+        state_lines.append(f"    register unsigned<32> ACC_{name};")
+    tables_used = sorted({by_id[i].attr("table") for i in subset
+                          if by_id[i].op == "table"})
+    for table_name in tables_used:
+        values = kernel.tables[table_name]
+        rows = []
+        for start in range(0, len(values), 12):
+            chunk = ", ".join(f"0x{v:02x}"
+                              for v in values[start:start + 12])
+            rows.append("      " + chunk)
+        state_lines.append(
+            f"    const unsigned<8> TBL_{table_name}[{len(values)}] = {{\n"
+            + ",\n".join(rows) + "\n    };")
+    if fold_loop:
+        state_lines.append(
+            "    register unsigned<32> LSTART, LEND, LCOUNT;")
+
+    # ---- instructions -----------------------------------------------------
+    instructions: List[str] = []
+    funct3 = 0
+
+    def add_instruction(mnemonic: str, encoding: str,
+                        body: List[str]) -> None:
+        lines = [f"    {mnemonic} {{",
+                 f"      encoding: {encoding};",
+                 "      behavior: {"]
+        lines += [f"        {line}" for line in body]
+        lines += ["      }", "    }"]
+        instructions.append("\n".join(lines))
+
+    setups: List[SetupInfo] = []
+    for index, load_id in enumerate(candidate.loads):
+        mnemonic = f"{prefix}_ld{index}"
+        add_instruction(
+            mnemonic,
+            _encoding(funct3, rs1=True, rs2=False, rd=False),
+            [f"{load_addr[load_id]} = X[rs1];"])
+        setups.append(SetupInfo(mnemonic=mnemonic, kind="load",
+                                target=by_id[load_id].attr("array")))
+        funct3 += 1
+    for name in candidate.carries:
+        mnemonic = f"{prefix}_st_{name.lower()}"
+        add_instruction(
+            mnemonic,
+            _encoding(funct3, rs1=True, rs2=False, rd=False),
+            [f"{carry_state[name]} = X[rs1];"])
+        setups.append(SetupInfo(mnemonic=mnemonic, kind="carry",
+                                target=name))
+        funct3 += 1
+
+    # the step instruction: one full evaluation of the covered dataflow
+    value_of: Dict[int, str] = {}
+    body: List[str] = []
+    for position, input_id in enumerate(candidate.inputs):
+        field = "rs1" if position == 0 else "rs2"
+        body.append(f"unsigned<32> v{input_id} = X[{field}];")
+        value_of[input_id] = f"v{input_id}"
+
+    def external_value(node_id: int) -> str:
+        node = by_id[node_id]
+        if node.op == "const":
+            return f"v{node_id}"
+        if node.op == "carry":
+            return carry_state[node.attr("name")]
+        raise EmitError(
+            f"node {node_id} ({node.op}) reaches the step instruction "
+            f"without an input binding")
+
+    for node_id in candidate.nodes:            # ids are topological
+        node = by_id[node_id]
+        for operand in node.operands:
+            if operand in value_of or operand in subset:
+                continue
+            source = by_id[operand]
+            if source.op == "const":
+                body.append(f"unsigned<32> v{operand} = "
+                            f"0x{source.attr('value'):x};")
+                value_of[operand] = f"v{operand}"
+            else:
+                value_of[operand] = external_value(operand)
+        if node.op == "load":
+            addr = load_addr[node_id]
+            body.append(f"unsigned<32> v{node_id} = "
+                        f"MEM[{addr}+3:{addr}];")
+        else:
+            expr, helpers = _emit_node_expr(kernel, node_id, value_of)
+            body.extend(helpers)
+            body.append(f"unsigned<32> v{node_id} = {expr};")
+        value_of[node_id] = f"v{node_id}"
+
+    for name in candidate.carries:
+        update = kernel.carries[name].update
+        body.append(f"{carry_state[name]} = {value_of[update]};")
+    for load_id in candidate.loads:
+        spec = kernel.arrays[by_id[load_id].attr("array")]
+        addr = load_addr[load_id]
+        body.append(f"{addr} = (unsigned<32>) ({addr} + {spec.stride});")
+    if candidate.output is not None:
+        body.append(f"X[rd] = {value_of[candidate.output]};")
+
+    step = f"{prefix}_step"
+    add_instruction(
+        step,
+        _encoding(funct3,
+                  rs1=len(candidate.inputs) >= 1,
+                  rs2=len(candidate.inputs) >= 2,
+                  rd=candidate.output is not None),
+        body)
+    funct3 += 1
+
+    # accumulator readout (only needed when the result carry is promoted)
+    get: Optional[str] = None
+    if kernel.result in candidate.carries:
+        get = f"{prefix}_get"
+        add_instruction(
+            get,
+            _encoding(funct3, rs1=False, rs2=False, rd=True),
+            [f"X[rd] = {carry_state[kernel.result]};"])
+        funct3 += 1
+
+    loop: Optional[str] = None
+    always_block = ""
+    if fold_loop:
+        loop = f"{prefix}_loop"
+        add_instruction(
+            loop,
+            _encoding(funct3, rs1=False, rs2=False, rd=False, imm=True),
+            ["LSTART = (unsigned<32>) (PC + 4);",
+             "LEND = (unsigned<32>) (PC + (uimmS :: 1'b0));",
+             "LCOUNT = uimmL;"])
+        funct3 += 1
+        always_block = "\n".join([
+            "  always {",
+            f"    {prefix}_zol {{",
+            "      if (LCOUNT != 0 && LEND == PC) {",
+            "        PC = LSTART;",
+            "        --LCOUNT;",
+            "      }",
+            "    }",
+            "  }",
+        ])
+
+    if funct3 > 8:
+        raise EmitError(
+            f"candidate needs {funct3} instructions; funct3 holds 8")
+
+    set_name = f"disc_{prefix}"
+    parts = [f'import "RV32I.core_desc"',
+             "",
+             f"// Auto-discovered from kernel {kernel.name!r}: "
+             f"{len(candidate.nodes)} covered ops, digest "
+             f"{candidate.digest[:12]}.",
+             f"InstructionSet {set_name} extends RV32I {{"]
+    if state_lines:
+        parts.append("  architectural_state {")
+        parts.extend(state_lines)
+        parts.append("  }")
+    parts.append("  instructions {")
+    parts.append("\n".join(instructions))
+    parts.append("  }")
+    if always_block:
+        parts.append(always_block)
+    parts.append("}")
+
+    return EmittedISAX(
+        set_name=set_name,
+        prefix=prefix,
+        source="\n".join(parts) + "\n",
+        setups=tuple(setups),
+        step=step,
+        step_inputs=tuple(candidate.inputs),
+        step_output=candidate.output,
+        get=get,
+        loop=loop,
+        fold_loop=fold_loop,
+    )

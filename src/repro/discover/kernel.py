@@ -1,0 +1,479 @@
+"""The kernel IR of the ISAX-discovery subsystem.
+
+A :class:`Kernel` is the per-iteration dataflow of one counted loop over
+32-bit values — the shape of the Section 5.5 array-sum and Section 5.6
+audio-ML workloads (:mod:`repro.workloads` registers both as reusable
+fixtures).  It is deliberately tiny: straight-line SSA, no intra-iteration
+control flow, loads from affine streams, loop-carried scalars ("carries",
+e.g. an accumulator) and constant lookup tables.  Everything downstream —
+candidate enumeration (:mod:`repro.discover.enumerate`), CoreDSL emission
+(:mod:`repro.discover.emit`) and RV32 code generation
+(:mod:`repro.discover.codegen`) — consumes this one representation.
+
+Node operations (all values are 32-bit unless stated):
+
+========  ===========================================================
+op        semantics
+========  ===========================================================
+const     literal (attr ``value``)
+input     loop-invariant register input (attr ``name``, ``value``)
+carry     previous-iteration value of a loop-carried scalar (``name``)
+load      word from stream ``array`` at ``base + offset + i*stride``
+add/sub   wrapping 32-bit arithmetic
+mul       wrapping 32-bit product
+and/or/xor  bitwise
+shl/shru/shrs  shift by constant (attr ``amount``); ``shrs`` arithmetic
+extract   bit-field ``[lo+width-1 : lo]`` (attrs ``lo``, ``width``)
+sext      sign-extend from ``width`` bits to 32
+table     byte lookup in constant table ``table`` (index masked to size)
+========  ===========================================================
+
+Kernels are registered by name (:func:`register_kernel`) so pricing
+workers can rebuild them from a JSON payload; :func:`resolve_kernel`
+imports :mod:`repro.workloads` on first use to pick up the built-in
+fixtures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.diagnostics import CoreDSLError
+
+MASK32 = 0xFFFFFFFF
+
+#: Binary operations (two value operands).
+BINARY_OPS = ("add", "sub", "mul", "and", "or", "xor")
+
+#: Shift operations (one value operand + constant ``amount`` attr).
+SHIFT_OPS = ("shl", "shru", "shrs")
+
+#: Leaf node kinds — never part of a mined candidate themselves.
+LEAF_OPS = ("const", "input", "carry")
+
+#: Every operation kind the IR accepts.
+ALL_OPS = LEAF_OPS + BINARY_OPS + SHIFT_OPS + ("load", "extract", "sext",
+                                               "table")
+
+
+class KernelError(CoreDSLError):
+    """Malformed kernel description (or an unknown registry name).
+
+    A :class:`repro.utils.diagnostics.CoreDSLError` subclass so the CLI's
+    one error path renders it like every other flow error."""
+
+
+@dataclasses.dataclass(frozen=True)
+class KNode:
+    """One SSA value of the per-iteration dataflow."""
+
+    id: int
+    op: str
+    operands: Tuple[int, ...] = ()
+    attrs: Tuple[Tuple[str, object], ...] = ()
+
+    def attr(self, name: str, default=None):
+        for key, value in self.attrs:
+            if key == name:
+                return value
+        return default
+
+
+@dataclasses.dataclass(frozen=True)
+class ArraySpec:
+    """One affine load/store stream: word at ``base + offset + i*stride``."""
+
+    name: str
+    base: int
+    stride: int = 4
+    offset: int = 0
+    data: Tuple[int, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class CarrySpec:
+    """A loop-carried 32-bit scalar (accumulator-style)."""
+
+    name: str
+    init: int
+    update: int                 # node id producing the next-iteration value
+
+
+@dataclasses.dataclass
+class Kernel:
+    """A counted loop: per-iteration dataflow + streams + carried state."""
+
+    name: str
+    nodes: List[KNode]
+    arrays: Dict[str, ArraySpec]
+    carries: Dict[str, CarrySpec]
+    tables: Dict[str, Tuple[int, ...]]
+    result: str                                 # carry holding the result
+    trip_count: int
+    params: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    # ------------------------------------------------------------ validation
+    def validate(self) -> None:
+        ids = set()
+        for node in self.nodes:
+            if node.op not in ALL_OPS:
+                raise KernelError(f"unknown op {node.op!r}")
+            if node.id in ids:
+                raise KernelError(f"duplicate node id {node.id}")
+            for operand in node.operands:
+                if operand not in ids:
+                    raise KernelError(
+                        f"node {node.id} ({node.op}) uses undefined or "
+                        f"forward operand {operand}")
+            ids.add(node.id)
+            if node.op == "load" and node.attr("array") not in self.arrays:
+                raise KernelError(f"load {node.id} names unknown array")
+            if node.op == "table" and node.attr("table") not in self.tables:
+                raise KernelError(f"table {node.id} names unknown table")
+        if self.result not in self.carries:
+            raise KernelError(f"result carry {self.result!r} undefined")
+        for carry in self.carries.values():
+            if carry.update not in ids:
+                raise KernelError(
+                    f"carry {carry.name!r} update node {carry.update} "
+                    f"undefined")
+        if self.trip_count < 1:
+            raise KernelError("trip_count must be >= 1")
+
+    # ----------------------------------------------------------- conveniences
+    @property
+    def node_by_id(self) -> Dict[int, KNode]:
+        return {node.id: node for node in self.nodes}
+
+    def op_nodes(self) -> List[KNode]:
+        """The non-leaf nodes — the material a candidate can cover."""
+        return [n for n in self.nodes if n.op not in LEAF_OPS]
+
+    def users(self) -> Dict[int, List[int]]:
+        """node id -> ids of nodes consuming its value."""
+        consumers: Dict[int, List[int]] = {n.id: [] for n in self.nodes}
+        for node in self.nodes:
+            for operand in node.operands:
+                consumers[operand].append(node.id)
+        return consumers
+
+    def fingerprint(self) -> str:
+        """Stable content digest over the whole kernel instance."""
+        doc = {
+            "name": self.name,
+            "nodes": [[n.id, n.op, list(n.operands),
+                       [[k, v] for k, v in n.attrs]] for n in self.nodes],
+            "arrays": {k: [a.base, a.stride, a.offset, list(a.data)]
+                       for k, a in sorted(self.arrays.items())},
+            "carries": {k: [c.init, c.update]
+                        for k, c in sorted(self.carries.items())},
+            "tables": {k: list(v) for k, v in sorted(self.tables.items())},
+            "result": self.result,
+            "trip": self.trip_count,
+            "params": dict(sorted(self.params.items())),
+        }
+        blob = json.dumps(doc, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+
+class KernelBuilder:
+    """Fluent construction of a :class:`Kernel` (ids handed out in order,
+    so the node list is topologically sorted by construction)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._nodes: List[KNode] = []
+        self._arrays: Dict[str, ArraySpec] = {}
+        self._carries: Dict[str, Tuple[int, Optional[int]]] = {}
+        self._tables: Dict[str, Tuple[int, ...]] = {}
+        self._result: Optional[str] = None
+        self._params: Dict[str, int] = {}
+
+    # -- declarations -------------------------------------------------------
+    def array(self, name: str, base: int, data: Sequence[int],
+              stride: int = 4, offset: int = 0) -> None:
+        self._arrays[name] = ArraySpec(
+            name=name, base=base, stride=stride, offset=offset,
+            data=tuple(value & MASK32 for value in data))
+
+    def table(self, name: str, values: Sequence[int]) -> None:
+        if len(values) & (len(values) - 1):
+            raise KernelError("table size must be a power of two")
+        self._tables[name] = tuple(v & 0xFF for v in values)
+
+    def carry(self, name: str, init: int = 0) -> int:
+        """Declare a loop-carried scalar; returns the carry-in leaf node."""
+        if name in self._carries:
+            raise KernelError(f"carry {name!r} already declared")
+        node = self._emit("carry", attrs=(("name", name),))
+        self._carries[name] = (init & MASK32, None)
+        self._carry_leaves = getattr(self, "_carry_leaves", {})
+        self._carry_leaves[name] = node
+        return node
+
+    def set_carry(self, name: str, update: int) -> None:
+        init, _old = self._carries[name]
+        self._carries[name] = (init, update)
+
+    def param(self, name: str, value: int) -> None:
+        self._params[name] = int(value)
+
+    def result(self, carry_name: str) -> None:
+        self._result = carry_name
+
+    # -- values -------------------------------------------------------------
+    def _emit(self, op: str, operands: Tuple[int, ...] = (),
+              attrs: Tuple[Tuple[str, object], ...] = ()) -> int:
+        node = KNode(id=len(self._nodes), op=op, operands=operands,
+                     attrs=attrs)
+        self._nodes.append(node)
+        return node.id
+
+    def const(self, value: int) -> int:
+        return self._emit("const", attrs=(("value", value & MASK32),))
+
+    def input(self, name: str, value: int) -> int:
+        return self._emit("input", attrs=(("name", name),
+                                          ("value", value & MASK32)))
+
+    def load(self, array: str) -> int:
+        return self._emit("load", attrs=(("array", array),))
+
+    def binary(self, op: str, a: int, b: int) -> int:
+        if op not in BINARY_OPS:
+            raise KernelError(f"not a binary op: {op!r}")
+        return self._emit(op, operands=(a, b))
+
+    def add(self, a: int, b: int) -> int:
+        return self.binary("add", a, b)
+
+    def sub(self, a: int, b: int) -> int:
+        return self.binary("sub", a, b)
+
+    def mul(self, a: int, b: int) -> int:
+        return self.binary("mul", a, b)
+
+    def shift(self, op: str, a: int, amount: int) -> int:
+        if op not in SHIFT_OPS:
+            raise KernelError(f"not a shift op: {op!r}")
+        if not 0 <= amount < 32:
+            raise KernelError("shift amount must be in [0, 32)")
+        return self._emit(op, operands=(a,), attrs=(("amount", amount),))
+
+    def extract(self, a: int, lo: int, width: int) -> int:
+        if lo < 0 or width < 1 or lo + width > 32:
+            raise KernelError("extract range out of bounds")
+        return self._emit("extract", operands=(a,),
+                          attrs=(("lo", lo), ("width", width)))
+
+    def sext(self, a: int, width: int) -> int:
+        if not 1 <= width <= 32:
+            raise KernelError("sext width out of bounds")
+        return self._emit("sext", operands=(a,), attrs=(("width", width),))
+
+    def lookup(self, table: str, index: int) -> int:
+        return self._emit("table", operands=(index,),
+                          attrs=(("table", table),))
+
+    # -- finalize -----------------------------------------------------------
+    def build(self, trip_count: int) -> Kernel:
+        carries = {}
+        for name, (init, update) in self._carries.items():
+            if update is None:
+                raise KernelError(f"carry {name!r} never updated")
+            carries[name] = CarrySpec(name=name, init=init, update=update)
+        if self._result is None:
+            raise KernelError("kernel has no result carry")
+        kernel = Kernel(
+            name=self.name,
+            nodes=list(self._nodes),
+            arrays=dict(self._arrays),
+            carries=carries,
+            tables=dict(self._tables),
+            result=self._result,
+            trip_count=trip_count,
+            params=dict(self._params),
+        )
+        kernel.validate()
+        return kernel
+
+
+# ---------------------------------------------------------------------------
+# Reference evaluation
+# ---------------------------------------------------------------------------
+
+def _signed(value: int, width: int = 32) -> int:
+    value &= (1 << width) - 1
+    if value >= 1 << (width - 1):
+        value -= 1 << width
+    return value
+
+
+def eval_node(node: KNode, values: Dict[int, int], kernel: Kernel,
+              iteration: int, carry_values: Dict[str, int]) -> int:
+    """Evaluate one node for one iteration (pure 32-bit semantics)."""
+    op = node.op
+    if op == "const":
+        return node.attr("value") & MASK32
+    if op == "input":
+        return node.attr("value") & MASK32
+    if op == "carry":
+        return carry_values[node.attr("name")] & MASK32
+    if op == "load":
+        spec = kernel.arrays[node.attr("array")]
+        index = (spec.offset + iteration * spec.stride) // 4
+        if not 0 <= index < len(spec.data):
+            raise KernelError(
+                f"load {node.id} out of range: iteration {iteration} "
+                f"reads word {index} of {len(spec.data)}")
+        return spec.data[index] & MASK32
+    a = values[node.operands[0]] if node.operands else 0
+    if op in BINARY_OPS:
+        b = values[node.operands[1]]
+        if op == "add":
+            return (a + b) & MASK32
+        if op == "sub":
+            return (a - b) & MASK32
+        if op == "mul":
+            return (a * b) & MASK32
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        return a ^ b
+    if op == "shl":
+        return (a << node.attr("amount")) & MASK32
+    if op == "shru":
+        return (a & MASK32) >> node.attr("amount")
+    if op == "shrs":
+        return (_signed(a) >> node.attr("amount")) & MASK32
+    if op == "extract":
+        return (a >> node.attr("lo")) & ((1 << node.attr("width")) - 1)
+    if op == "sext":
+        return _signed(a, node.attr("width")) & MASK32
+    if op == "table":
+        table = kernel.tables[node.attr("table")]
+        return table[a & (len(table) - 1)]
+    raise KernelError(f"cannot evaluate op {op!r}")
+
+
+def run_reference(kernel: Kernel,
+                  trip_count: Optional[int] = None) -> int:
+    """Execute the kernel loop in pure Python; returns the result carry."""
+    trips = kernel.trip_count if trip_count is None else trip_count
+    carry_values = {name: spec.init & MASK32
+                    for name, spec in kernel.carries.items()}
+    for iteration in range(trips):
+        values: Dict[int, int] = {}
+        for node in kernel.nodes:
+            values[node.id] = eval_node(node, values, kernel, iteration,
+                                        carry_values)
+        for name, spec in kernel.carries.items():
+            carry_values[name] = values[spec.update]
+    return carry_values[kernel.result] & MASK32
+
+
+# ---------------------------------------------------------------------------
+# Kernel registry (workers rebuild kernels from names + params)
+# ---------------------------------------------------------------------------
+
+KernelFactory = Callable[..., Kernel]
+
+_KERNEL_FACTORIES: Dict[str, KernelFactory] = {}
+
+
+def register_kernel(name: str):
+    """Decorator registering a kernel factory under ``name``.
+
+    Factories accept keyword parameters (e.g. ``n=64``) and return a fully
+    populated :class:`Kernel` — data arrays included — so a pricing worker
+    can rebuild the exact kernel from ``{"kernel": name, "params": {...}}``.
+    """
+    def wrap(factory: KernelFactory) -> KernelFactory:
+        _KERNEL_FACTORIES[name] = factory
+        return factory
+    return wrap
+
+
+def kernel_names() -> List[str]:
+    _load_builtin_kernels()
+    return sorted(_KERNEL_FACTORIES)
+
+
+def resolve_kernel(name: str, **params) -> Kernel:
+    """Build a registered kernel; imports the workload fixtures lazily."""
+    _load_builtin_kernels()
+    if name not in _KERNEL_FACTORIES:
+        raise KernelError(
+            f"unknown kernel {name!r}; available: "
+            + ", ".join(sorted(_KERNEL_FACTORIES)))
+    return _KERNEL_FACTORIES[name](**params)
+
+
+def _load_builtin_kernels() -> None:
+    # The workload module registers "array_sum" and "audio_ml" on import;
+    # the random kernel family registers here.
+    import repro.workloads  # noqa: F401  (side effect: registration)
+
+
+# ---------------------------------------------------------------------------
+# Seeded random kernels (fuzz-oracle material)
+# ---------------------------------------------------------------------------
+
+@register_kernel("random")
+def random_kernel(seed: int = 0, size: int = 5, n: int = 8) -> Kernel:
+    """A seeded random — but always well-formed — reduction kernel.
+
+    The shape mirrors the real workloads: one loaded stream, up to two
+    register inputs, ``size`` random compute nodes, and an accumulator
+    carry summing the last value.  Used by the ``discover`` fuzz oracle:
+    every candidate mined from any seed must compile, lint clean and pass
+    the verification stack.
+    """
+    rng = random.Random(int(seed))
+    build = KernelBuilder(f"random{seed}")
+    data = [rng.getrandbits(32) for _ in range(n)]
+    build.param("seed", int(seed))
+    build.param("size", int(size))
+    build.param("n", int(n))
+    build.array("A", base=0x1000, data=data)
+    acc_in = build.carry("ACC", init=0)
+    pool: List[int] = [build.load("A")]
+    pool.append(build.input("K0", rng.getrandbits(32)))
+    if rng.random() < 0.5:
+        pool.append(build.input("K1", rng.getrandbits(32)))
+    consumed: set = set()
+    for _ in range(max(1, int(size))):
+        kind = rng.choice(("binary", "shift", "extract_sext"))
+        if kind == "binary":
+            op = rng.choice(BINARY_OPS)
+            a, b = rng.choice(pool), rng.choice(pool)
+            consumed.update((a, b))
+            pool.append(build.binary(op, a, b))
+        elif kind == "shift":
+            op = rng.choice(SHIFT_OPS)
+            source = rng.choice(pool)
+            consumed.add(source)
+            pool.append(build.shift(op, source, rng.randrange(1, 31)))
+        else:
+            lo = rng.choice((0, 8, 16, 24))
+            source = rng.choice(pool)
+            consumed.add(source)
+            value = build.extract(source, lo, 8)
+            consumed.add(value)
+            pool.append(build.sext(value, 8))
+    # Fold every value nothing consumed into the reduction, so the graph
+    # has no dead nodes: a candidate covering only dead compute would
+    # have no architectural effect and is not worth mining.
+    sinks = [v for v in pool if v not in consumed]
+    value = sinks[0]
+    for other in sinks[1:]:
+        value = build.binary("xor", value, other)
+    update = build.add(acc_in, value)
+    build.set_carry("ACC", update)
+    build.result("ACC")
+    return build.build(trip_count=int(n))

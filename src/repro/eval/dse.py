@@ -235,6 +235,45 @@ def _explore_via_server(url: str, specs: Sequence[TaskSpec],
     return points
 
 
+def explore_discovered(kernel: str,
+                       params: Optional[dict] = None,
+                       core: str = "VexRiscv",
+                       budget: int = 8,
+                       trials: int = 3,
+                       executor: Optional[BatchExecutor] = None,
+                       server_url: Optional[str] = None,
+                       priority: str = "batch",
+                       **explore_kwargs):
+    """Mine an ISAX from a registered kernel, then sweep its design space.
+
+    Chains the two automation stages the paper's outlook describes:
+    :func:`repro.discover.search.discover` finds and prices candidate
+    instructions for *kernel* (see ``repro-longnail discover``), and the
+    winning CoreDSL goes straight into :func:`explore` for the cycle-time
+    x II sweep.  Returns ``(discovery_report, design_points)``; both
+    stages share the executor / compile server.
+    """
+    from repro.discover.search import DiscoveryConfig, discover
+
+    config = DiscoveryConfig(
+        kernel=kernel, params={k: int(v) for k, v in (params or {}).items()},
+        core=core, budget=budget, trials=trials,
+        server_url=server_url, priority=priority)
+    report = discover(config, executor=executor)
+    if report.winner is None or not report.winner.get("source"):
+        raise ValueError(
+            f"discovery found no verified candidate for kernel {kernel!r}")
+    # Sweep the datapath instruction, not a setup shim: the `_step` op
+    # carries the mined subgraph and hence all the area/latency trade-off.
+    step = next((name for name in report.winner.get("instructions", [])
+                 if name.endswith("_step")), None)
+    points = explore(
+        report.winner["source"], core=core, instruction=step,
+        executor=executor, server_url=server_url, priority=priority,
+        **explore_kwargs)
+    return report, points
+
+
 def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
     """Non-dominated subset, sorted by area."""
     frontier = [
@@ -276,13 +315,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="server queue priority (with --server)")
     parser.add_argument("--workers", type=int, default=1,
                         help="local executor workers (without --server)")
+    parser.add_argument("--discover-kernel", default=None, metavar="KERNEL",
+                        help="instead of a built-in ISAX, sweep the winner "
+                             "mined from this kernel by `repro-longnail "
+                             "discover` (overrides --isax)")
+    parser.add_argument("--discover-param", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="kernel parameter for --discover-kernel "
+                             "(repeatable)")
+    parser.add_argument("--discover-budget", type=int, default=8,
+                        help="max priced variants for --discover-kernel")
     args = parser.parse_args(argv)
 
     executor = None
     if args.server is None and args.workers > 1:
         executor = BatchExecutor(workers=args.workers)
-    points = explore(
-        ALL_ISAXES[args.isax],
+    sweep_kwargs = dict(
         core=args.core,
         cycle_scales=args.cycle_scale or (1.0, 1.5, 2.0, 3.0, 4.0),
         initiation_intervals=args.ii or (1, 2, 4),
@@ -291,8 +339,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         server_url=args.server,
         priority=args.priority,
     )
+    if args.discover_kernel is not None:
+        params = {}
+        for item in args.discover_param:
+            name, _, value = item.partition("=")
+            params[name.strip()] = int(value, 0)
+        report, points = explore_discovered(
+            args.discover_kernel, params=params,
+            budget=args.discover_budget, **sweep_kwargs)
+        subject = (f"discovered {report.winner['label']} "
+                   f"(speedup {report.winner['speedup']:.2f}x)")
+    else:
+        points = explore(ALL_ISAXES[args.isax], **sweep_kwargs)
+        subject = args.isax
     via = f"server {args.server}" if args.server else "local executor"
-    print(f"# {args.isax} on {args.core} via {via}: "
+    print(f"# {subject} on {args.core} via {via}: "
           f"{len(points)} design points")
     print(render_design_space(points))
     return 0

@@ -26,6 +26,12 @@ two as fixed-corpus spot checks; here they become programmable):
   the optimized artifact's architectural trace
   (:func:`repro.opt.equiv.architectural_trace`) to be byte-identical to the
   unoptimized one: the optimizer must never change observable behaviour.
+* **discover** (opt-in via ``oracles``) — smoke the automatic ISAX
+  discovery pipeline (:mod:`repro.discover`): a random kernel seeded from
+  the fuzzed program's digest is mined, and every emitted candidate must
+  compile, lint clean, verify its IR and stay ``-O2``-trace-equivalent.
+  The fuzzed CoreDSL source only supplies entropy here; the subject under
+  test is the kernel-to-CoreDSL emitter and its toolchain contract.
 
 Elaboration errors (parse/typecheck) are *not* oracle failures: generated
 programs are well-typed by construction, so an elaboration error is a
@@ -55,8 +61,9 @@ DEFAULT_ORACLES: Tuple[str, ...] = (
     "compile", "schedule", "irverify", "cosim", "simengine", "determinism",
 )
 
-#: Every oracle kind, including the opt-in optimizer-equivalence check.
-ALL_ORACLES: Tuple[str, ...] = DEFAULT_ORACLES + ("optequiv",)
+#: Every oracle kind, including the opt-in optimizer-equivalence and
+#: ISAX-discovery smoke checks.
+ALL_ORACLES: Tuple[str, ...] = DEFAULT_ORACLES + ("optequiv", "discover")
 
 
 def _resolve_oracles(oracles: Optional[Sequence[str]]) -> Tuple[str, ...]:
@@ -78,7 +85,7 @@ class OracleFailure:
     """One oracle violation; picklable and JSON-able."""
 
     kind: str  # "compile" | "schedule" | "cosim" | "determinism"
-               # | "simengine" | "irverify" | "optequiv"
+               # | "simengine" | "irverify" | "optequiv" | "discover"
     core: str
     detail: str
 
@@ -113,6 +120,75 @@ class OracleReport:
                 f"{self.functionalities} schedules cross-checked, "
                 f"{self.trials} cosim trials/core "
                 f"(seed={self.cosim_seed}), {status}")
+
+
+def _discover_oracle(source: str, core: str, trials: int, cosim_seed: int,
+                     sim_engine: str,
+                     max_candidates: int = 3) -> List[OracleFailure]:
+    """Smoke the discovery pipeline against one core.
+
+    The fuzzed program's content digest seeds
+    :func:`repro.discover.kernel.random_kernel`, so every corpus entry
+    exercises a different mined subgraph while staying reproducible from
+    ``(source, cosim_seed)`` alone.  Each emitted candidate must compile,
+    lint without errors, pass the IR verifier, and keep its ``-O2``
+    architectural trace identical to ``-O0``.
+    """
+    import hashlib
+
+    from repro.discover.emit import EmitError, emit_candidate
+    from repro.discover.enumerate import enumerate_candidates
+    from repro.discover.kernel import resolve_kernel
+    from repro.opt.equiv import compare_artifacts
+
+    entropy = int(hashlib.sha256(source.encode()).hexdigest()[:8], 16)
+    seed = (entropy ^ cosim_seed) % 100_000
+    kernel = resolve_kernel("random", seed=seed)
+
+    failures: List[OracleFailure] = []
+    candidates = enumerate_candidates(kernel)[:max_candidates]
+    if not candidates:
+        return [OracleFailure(
+            kind="discover", core=core,
+            detail=f"random kernel (seed={seed}) yielded no candidates")]
+    for candidate in candidates:
+        label = candidate.label()
+        try:
+            emitted = emit_candidate(kernel, candidate)
+        except EmitError as exc:
+            failures.append(OracleFailure(
+                kind="discover", core=core,
+                detail=f"{label}: emit failed: {exc}"))
+            continue
+        try:
+            plain = compile_isax(emitted.source, core, engine="fastpath",
+                                 schedule_cache=False)
+            optimized = compile_isax(emitted.source, core,
+                                     engine="fastpath",
+                                     schedule_cache=False, opt=2)
+        except Exception as exc:
+            failures.append(OracleFailure(
+                kind="discover", core=core,
+                detail=f"{label}: compile failed: "
+                       f"{type(exc).__name__}: {exc}"))
+            continue
+        lint_errors = [d for d in plain.diagnostics
+                       if getattr(d, "severity", "") == "error"]
+        if lint_errors:
+            failures.append(OracleFailure(
+                kind="discover", core=core,
+                detail=f"{label}: lint: {lint_errors[0]}"))
+        for diag in verify_artifact_ir(plain):
+            failures.append(OracleFailure(
+                kind="discover", core=core,
+                detail=f"{label}: {diag.render().splitlines()[0]}"))
+        mismatch = compare_artifacts(
+            plain, optimized, trials=max(2, trials // 2),
+            seed=cosim_seed, sim_engine=sim_engine)
+        if mismatch is not None:
+            failures.append(OracleFailure(
+                kind="discover", core=core, detail=f"{label}: {mismatch}"))
+    return failures
 
 
 def run_oracles(source: str,
@@ -230,6 +306,13 @@ def run_oracles(source: str,
                 if mismatch is not None:
                     failures.append(OracleFailure(
                         kind="optequiv", core=core, detail=mismatch))
+
+        # Oracle 7 (opt-in): ISAX discovery smoke — mined candidates from
+        # a seeded random kernel must clear the toolchain gates.
+        if "discover" in selected:
+            failures.extend(_discover_oracle(
+                source, core, trials=trials, cosim_seed=cosim_seed,
+                sim_engine=sim_engine))
 
     return OracleReport(cores=cores, failures=failures,
                         functionalities=functionalities, trials=trials,

@@ -168,6 +168,18 @@ class CompileServerClient:
         }
         return await self._request("POST", "/v1/tasks", body)
 
+    async def discover(self, kernel: str, priority: str = "batch",
+                       wait: bool = True, include_result: bool = True,
+                       **config: object) -> dict:
+        """Run one ISAX discovery search on the server.
+
+        ``config`` takes any :class:`repro.discover.search.DiscoveryConfig`
+        field (``params``, ``core``, ``budget``, ``trials``, ...)."""
+        body: dict = {"kernel": kernel, "priority": priority,
+                      "wait": wait, "result": include_result}
+        body.update(config)
+        return await self._request("POST", "/v1/discover", body)
+
     async def job(self, job_id: str, include_result: bool = False) -> dict:
         path = f"/v1/jobs/{job_id}" + ("?result=1" if include_result else "")
         return await self._request("GET", path)

@@ -15,6 +15,8 @@ POST      /v1/compile                submit one ISAX compile (coalesced,
                                      cached, prioritised); ``wait=1`` blocks
 POST      /v1/tasks                  submit a generic allow-listed runner task
                                      (the DSE sweep uses this)
+POST      /v1/discover               mine + price candidate ISAXes from a
+                                     registered kernel (one search task)
 GET       /v1/jobs/{id}              job status (``result=1`` inlines it)
 GET       /v1/jobs/{id}/events       NDJSON trace stream until terminal
 GET       /v1/metrics                batch-metrics JSON + ``server`` section
@@ -52,6 +54,8 @@ from repro.utils.diagnostics import CoreDSLError
 DEFAULT_ALLOWED_RUNNERS = frozenset({
     COMPILE_RUNNER,
     "repro.eval.dse:_evaluate_candidate",
+    "repro.discover.pricing:run_pricing_payload",
+    "repro.discover.pricing:run_discover_payload",
 })
 
 _MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -227,12 +231,14 @@ class CompileServerApp:
                 await self._route_compile(request, writer)
             elif path == "/v1/tasks" and method == "POST":
                 await self._route_task(request, writer)
+            elif path == "/v1/discover" and method == "POST":
+                await self._route_discover(request, writer)
             elif path == "/v1/drain" and method == "POST":
                 await self._route_drain(request, writer)
             elif path.startswith("/v1/jobs/") and method == "GET":
                 return await self._route_jobs(request, writer)
             elif path in ("/v1/healthz", "/v1/metrics", "/v1/compile",
-                          "/v1/tasks", "/v1/drain") \
+                          "/v1/tasks", "/v1/discover", "/v1/drain") \
                     or path.startswith("/v1/jobs/"):
                 raise HttpError(405, f"{method} not allowed on {path}")
             else:
@@ -352,6 +358,32 @@ class CompileServerApp:
                 "(16-128 chars) or omitted")
         spec = TaskSpec(runner=runner, payload=payload,
                         key=key, label=body.get("label", ""))
+        await self._submit_and_respond(request, body, spec, writer)
+
+    async def _route_discover(self, request: Request,
+                              writer: asyncio.StreamWriter) -> None:
+        """One whole ISAX discovery search as a single server task.
+
+        The body is a :class:`repro.discover.search.DiscoveryConfig`
+        payload (only ``kernel`` is required).  Validation happens here so
+        a malformed search dies with a 400 instead of a failed job, and
+        the canonical payload doubles as the cache key — identical
+        searches coalesce and warm re-runs are cache hits.
+        """
+        from repro.discover.pricing import DISCOVER_SEARCH_RUNNER
+        from repro.discover.search import DiscoveryConfig
+        from repro.service.jobs import digest
+
+        body = request.json()
+        try:
+            config = DiscoveryConfig.from_payload(body)
+        except (TypeError, ValueError) as err:
+            raise HttpError(400, str(err))
+        payload = config.to_payload()
+        key = digest("discover-search", json.dumps(payload, sort_keys=True))
+        spec = TaskSpec(runner=DISCOVER_SEARCH_RUNNER, payload=payload,
+                        key=key,
+                        label=f"discover:{config.kernel}@{config.core}")
         await self._submit_and_respond(request, body, spec, writer)
 
     async def _route_drain(self, request: Request,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Tuple
 
+from repro.discover.kernel import Kernel, KernelBuilder, register_kernel
 from repro.eval.asic import evaluate_combination
 from repro.hls.longnail import IsaxArtifact, compile_isax
 from repro.isaxes import AUTOINC, DOTPROD, SBOX, ZOL
@@ -39,10 +40,15 @@ OUT_BASE = 0x4000
 # Section 5.5: array sum
 # ---------------------------------------------------------------------------
 
-def array_sum_baseline(n: int) -> str:
+def array_sum_data(n: int) -> List[int]:
+    """The n-element input array (Knuth-hash words, reproducible)."""
+    return [(i * 2654435761) & 0xFFFFFFFF for i in range(1, n + 1)]
+
+
+def array_sum_baseline(n: int, base: int = ARRAY_BASE) -> str:
     """Plain RV32I loop: load, bump pointer, accumulate, count, branch."""
     return f"""
-      li   t0, {ARRAY_BASE}
+      li   t0, {base}
       li   t1, {n}
       li   t2, 0
     loop:
@@ -55,12 +61,12 @@ def array_sum_baseline(n: int) -> str:
     """
 
 
-def array_sum_isax(n: int) -> str:
+def array_sum_isax(n: int, base: int = ARRAY_BASE) -> str:
     """The same kernel with autoinc (pointer bump folded into the load) and
     zol (loop control folded into the always-block): the loop body is just
     ``lw_ai`` + ``add``."""
     return f"""
-      li   t0, {ARRAY_BASE}
+      li   t0, {base}
       li   t2, 0
       setup_ai t0
       setup_zol uimmS=6, uimmL={n - 1}
@@ -68,6 +74,23 @@ def array_sum_isax(n: int) -> str:
       add  t2, t2, t3
       ecall
     """
+
+
+@register_kernel("array_sum")
+def array_sum_kernel(n: int = 64, base: int = ARRAY_BASE) -> Kernel:
+    """The Section 5.5 per-iteration body as a dataflow fixture: one
+    stream load folded into a running accumulator.  This is the kernel
+    the discovery subsystem mines (``repro-longnail discover --kernel
+    array_sum``); its data and semantics match :func:`run_array_sum`
+    exactly."""
+    build = KernelBuilder("array_sum")
+    build.param("n", n)
+    build.array("A", base=base, data=array_sum_data(n))
+    acc = build.carry("ACC", init=0)
+    value = build.load("A")
+    build.set_carry("ACC", build.add(acc, value))
+    build.result("ACC")
+    return build.build(trip_count=n)
 
 
 @dataclasses.dataclass
@@ -87,7 +110,7 @@ def run_array_sum(n: int, core: str = "VexRiscv",
     """Run the Section 5.5 experiment for one array size."""
     if artifacts is None:
         artifacts = [compile_isax(AUTOINC, core), compile_isax(ZOL, core)]
-    data = [(i * 2654435761) & 0xFFFFFFFF for i in range(1, n + 1)]
+    data = array_sum_data(n)
     expected = sum(data) & 0xFFFFFFFF
 
     baseline = CoreTimingModel(core_datasheet(core))
@@ -113,12 +136,21 @@ def run_array_sum(n: int, core: str = "VexRiscv",
 
 
 def fit_linear(ns: List[int], cycles: List[int]) -> Tuple[float, float]:
-    """Least-squares fit cycles ~= a*n + b."""
+    """Least-squares fit cycles ~= a*n + b.
+
+    Degenerate inputs — a single sample, or every ``n`` identical — have
+    no defined slope; the fit degrades to the constant model ``a=0,
+    b=mean(cycles)`` instead of dividing by zero.
+    """
+    if not ns or len(ns) != len(cycles):
+        raise ValueError("fit_linear needs equally sized non-empty inputs")
     count = len(ns)
     mean_n = sum(ns) / count
     mean_c = sum(cycles) / count
     numerator = sum((n - mean_n) * (c - mean_c) for n, c in zip(ns, cycles))
     denominator = sum((n - mean_n) ** 2 for n in ns)
+    if denominator == 0.0:
+        return 0.0, mean_c
     slope = numerator / denominator
     return slope, mean_c - slope * mean_n
 
@@ -130,6 +162,16 @@ def fit_linear(ns: List[int], cycles: List[int]) -> Tuple[float, float]:
 #: Inner dot-product length in 4-lane words and number of output frames.
 AUDIO_WORDS = 8
 AUDIO_FRAMES = 16
+
+
+def audio_sample_byte(word_index: int, lane: int) -> int:
+    """One synthetic int8 audio sample (reproducible pseudo-signal)."""
+    return ((word_index * 37 + lane * 11) % 201) - 100
+
+
+def audio_coeff_byte(word_index: int, lane: int) -> int:
+    """One synthetic int8 filter coefficient."""
+    return ((word_index * 13 + lane * 7) % 31) - 15
 
 
 def _audio_data(words: int, frames: int) -> Tuple[List[int], List[int]]:
@@ -144,11 +186,40 @@ def _audio_data(words: int, frames: int) -> Tuple[List[int], List[int]]:
             packed.append(value)
         return packed
 
-    samples = pack(lambda w, l: to_unsigned(
-        ((w * 37 + l * 11) % 201) - 100, 8))
-    coeffs = pack(lambda w, l: to_unsigned(
-        ((w * 13 + l * 7) % 31) - 15, 8))
+    samples = pack(lambda w, l: to_unsigned(audio_sample_byte(w, l), 8))
+    coeffs = pack(lambda w, l: to_unsigned(audio_coeff_byte(w, l), 8))
     return samples, coeffs[:words]
+
+
+@register_kernel("audio_ml")
+def audio_ml_kernel(words: int = AUDIO_WORDS, frame: int = 0,
+                    samples_base: int = SAMPLES_BASE,
+                    coeffs_base: int = COEFFS_BASE) -> Kernel:
+    """The Section 5.6 inner loop (one output frame of the sliding-window
+    dot-product) as a dataflow fixture: two packed-int8 streams, per-lane
+    extract/sign-extend/multiply, and an accumulator — the shape the
+    hand-written ``dotprod`` + ``autoinc`` + ``zol`` combination targets,
+    now available to the discovery subsystem."""
+    samples, coeffs = _audio_data(words, frame + 1)
+    build = KernelBuilder("audio_ml")
+    build.param("words", words)
+    build.param("frame", frame)
+    build.array("S", base=samples_base, data=samples,
+                offset=4 * frame)
+    build.array("C", base=coeffs_base, data=coeffs)
+    acc = build.carry("ACC", init=0)
+    sample = build.load("S")
+    coeff = build.load("C")
+    products = []
+    for lane in range(4):
+        s8 = build.sext(build.extract(sample, 8 * lane, 8), 8)
+        c8 = build.sext(build.extract(coeff, 8 * lane, 8), 8)
+        products.append(build.mul(s8, c8))
+    total = build.add(build.add(products[0], products[1]),
+                      build.add(products[2], products[3]))
+    build.set_carry("ACC", build.add(acc, total))
+    build.result("ACC")
+    return build.build(trip_count=words)
 
 
 def audio_baseline(frames: int = AUDIO_FRAMES, words: int = AUDIO_WORDS) -> str:

@@ -1,0 +1,37 @@
+"""The ``repro-longnail discover`` subcommand."""
+
+from repro.cli import main
+
+
+class TestDiscoverCommand:
+    def test_list_kernels(self, capsys):
+        assert main(["discover", "--list-kernels"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "array_sum" in out
+        assert "audio_ml" in out
+
+    def test_end_to_end_writes_winner(self, tmp_path, capsys):
+        code = main([
+            "discover", "--kernel", "array_sum", "--param", "n=16",
+            "--budget", "4", "--trials", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "-o", str(tmp_path / "out"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out
+        assert (tmp_path / "out" / "discover_array_sum.json").exists()
+        winner = tmp_path / "out" / "array_sum_winner.core_desc"
+        assert winner.exists() and winner.read_text().strip()
+
+    def test_unknown_kernel_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["discover", "--kernel", "nope",
+                     "-o", str(tmp_path / "out")])
+        assert code == 1
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_malformed_param_is_a_usage_error(self, tmp_path, capsys):
+        code = main(["discover", "--kernel", "array_sum",
+                     "--param", "n16", "-o", str(tmp_path / "out")])
+        assert code == 2
+        assert "NAME=VALUE" in capsys.readouterr().err

@@ -1,0 +1,100 @@
+"""Generated RV32 programs: baseline and candidate must both compute the
+kernel's reference result, and the ZOL-folded body must stay encodable."""
+
+import pytest
+
+from repro.discover import codegen
+from repro.discover.emit import emit_candidate
+from repro.discover.enumerate import enumerate_candidates
+from repro.discover.kernel import resolve_kernel, run_reference
+from repro.hls.longnail import compile_isax
+
+
+@pytest.mark.parametrize("name,params", [
+    ("array_sum", {"n": 16}),
+    ("audio_ml", {"words": 4}),
+    ("random", {"seed": 2}),
+])
+def test_baseline_reproduces_reference(name, params):
+    kernel = resolve_kernel(name, **params)
+    program = codegen.baseline_program(kernel)
+    report, result = codegen.run_program(kernel, program, "VexRiscv")
+    assert result == run_reference(kernel)
+    assert report.cycles > 0
+
+
+class TestCandidateProgram:
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        return resolve_kernel("array_sum", n=16)
+
+    @pytest.fixture(scope="class")
+    def candidate(self, kernel):
+        return enumerate_candidates(kernel)[0]
+
+    def test_plain_rewrite_matches_reference(self, kernel, candidate):
+        emitted = emit_candidate(kernel, candidate)
+        artifact = compile_isax(emitted.source, "VexRiscv", opt=2)
+        program = codegen.candidate_program(kernel, candidate, emitted)
+        report, result = codegen.run_program(
+            kernel, program, "VexRiscv", artifacts=[artifact])
+        assert result == run_reference(kernel)
+        assert report.isax_busy_cycles > 0
+
+    def test_folded_rewrite_is_faster(self, kernel, candidate):
+        emitted = emit_candidate(kernel, candidate)
+        folded = emit_candidate(kernel, candidate, fold_loop=True)
+        plain_art = compile_isax(emitted.source, "VexRiscv", opt=2)
+        fold_art = compile_isax(folded.source, "VexRiscv", opt=2)
+
+        plain = codegen.candidate_program(kernel, candidate, emitted)
+        fold = codegen.candidate_program(kernel, candidate, folded)
+        _, plain_result = codegen.run_program(
+            kernel, plain, "VexRiscv", artifacts=[plain_art])
+        plain_report, _ = codegen.run_program(
+            kernel, plain, "VexRiscv", artifacts=[plain_art])
+        fold_report, fold_result = codegen.run_program(
+            kernel, fold, "VexRiscv", artifacts=[fold_art])
+        assert plain_result == fold_result == run_reference(kernel)
+        assert fold_report.cycles < plain_report.cycles
+        assert fold.loop_body_words is not None
+
+    def test_baseline_beats_nothing_but_matches(self, kernel):
+        # The generated baseline should stay within a few percent of the
+        # hand-scheduled Section 5.5 loop (same load-use filling trick).
+        from repro.sim.riscv.assembler import assemble
+        from repro.sim.riscv.core_model import CoreTimingModel
+        from repro.scaiev.cores import core_datasheet
+        from repro.workloads import ARRAY_BASE, array_sum_baseline, \
+            array_sum_data
+
+        hand = CoreTimingModel(core_datasheet("VexRiscv"))
+        hand.load_program(assemble(array_sum_baseline(16)))
+        hand.load_data(array_sum_data(16), ARRAY_BASE)
+        hand_cycles = hand.run().cycles
+
+        program = codegen.baseline_program(kernel)
+        report, _ = codegen.run_program(kernel, program, "VexRiscv")
+        assert report.cycles <= hand_cycles * 1.05
+
+
+class TestEncodingLimits:
+    def test_oversized_fold_body_raises(self):
+        # uimmS is 5 bits: a small candidate leaves most of the audio
+        # loop in software, the body exceeds the ZOL span, and codegen
+        # must raise instead of silently mis-encoding — pricing turns
+        # this into an ok=false record with the "codegen" gate.
+        kernel = resolve_kernel("audio_ml", words=4)
+        small = next(c for c in enumerate_candidates(kernel)
+                     if c.size <= 3)
+        emitted = emit_candidate(kernel, small, fold_loop=True)
+        with pytest.raises(codegen.CodegenError, match="zero-overhead"):
+            codegen.candidate_program(kernel, small, emitted)
+
+    def test_full_cover_fold_body_fits(self):
+        kernel = resolve_kernel("array_sum", n=16)
+        full = enumerate_candidates(kernel)[0]
+        emitted = emit_candidate(kernel, full, fold_loop=True)
+        program = codegen.candidate_program(kernel, full, emitted)
+        assert program.loop_body_words is not None
+        assert program.loop_body_words <= 14

@@ -1,0 +1,93 @@
+"""CoreDSL emission: every mined candidate must satisfy the frontend."""
+
+import pytest
+
+from repro.analysis.verifier import verify_artifact_ir
+from repro.discover.emit import EmitError, emit_candidate
+from repro.discover.enumerate import enumerate_candidates
+from repro.discover.kernel import resolve_kernel
+from repro.discover.pricing import rebuild_candidate
+from repro.hls.longnail import compile_isax
+
+
+def _full_cover(kernel):
+    return enumerate_candidates(kernel)[0]
+
+
+class TestArraySumEmission:
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        return resolve_kernel("array_sum", n=16)
+
+    def test_compiles_lints_and_verifies(self, kernel):
+        emitted = emit_candidate(kernel, _full_cover(kernel))
+        artifact = compile_isax(emitted.source, "VexRiscv", opt=2)
+        errors = [d for d in artifact.diagnostics
+                  if getattr(d, "severity", "") == "error"]
+        assert errors == []
+        assert verify_artifact_ir(artifact) == []
+
+    def test_setup_instructions_cover_state(self, kernel):
+        candidate = _full_cover(kernel)
+        emitted = emit_candidate(kernel, candidate)
+        kinds = {s.kind for s in emitted.setups}
+        # one load pointer and one accumulator to initialise
+        assert kinds == {"load", "carry"}
+        assert emitted.get is not None      # promoted result needs a reader
+
+    def test_fold_variant_adds_the_loop_pair(self, kernel):
+        emitted = emit_candidate(kernel, _full_cover(kernel),
+                                 fold_loop=True)
+        assert emitted.loop is not None
+        assert emitted.fold_loop
+        assert "always" in emitted.source
+        artifact = compile_isax(emitted.source, "VexRiscv", opt=2)
+        assert emitted.loop in artifact.functionalities
+
+    def test_instruction_names_share_the_digest_prefix(self, kernel):
+        candidate = _full_cover(kernel)
+        emitted = emit_candidate(kernel, candidate)
+        assert emitted.step.startswith(emitted.prefix)
+        for setup in emitted.setups:
+            assert setup.mnemonic.startswith(emitted.prefix)
+
+
+class TestAudioEmission:
+    def test_lane_mac_candidate_compiles(self):
+        kernel = resolve_kernel("audio_ml", words=4)
+        candidates = enumerate_candidates(kernel)
+        lane = next(c for c in candidates
+                    if {kernel.node_by_id[i].op for i in c.nodes}
+                    >= {"extract", "sext", "mul"})
+        emitted = emit_candidate(kernel, lane)
+        artifact = compile_isax(emitted.source, "VexRiscv", opt=2)
+        errors = [d for d in artifact.diagnostics
+                  if getattr(d, "severity", "") == "error"]
+        assert errors == []
+
+
+class TestEmitRejections:
+    def test_no_visible_effect_is_an_emit_error(self):
+        kernel = resolve_kernel("audio_ml", words=4)
+        # A pure slice of compute whose value stays internal: force it by
+        # rebuilding a candidate with promotion re-derived, then lying
+        # about the interface via a node set that covers nothing visible.
+        # The extract feeding a sext has one internal reader only when
+        # both are excluded from promotion paths, so craft directly:
+        from repro.discover.enumerate import Candidate
+        node = next(n for n in kernel.op_nodes() if n.op == "extract")
+        bogus = Candidate(nodes=(node.id,), inputs=(node.operands[0],),
+                          output=None, carries=(), loads=(),
+                          digest="deadbeef00")
+        with pytest.raises(EmitError):
+            emit_candidate(kernel, bogus)
+
+    def test_rebuild_rejects_multi_output_sets(self):
+        kernel = resolve_kernel("audio_ml", words=4)
+        by_op = {}
+        for node in kernel.op_nodes():
+            by_op.setdefault(node.op, []).append(node.id)
+        # two disjoint extracts escape to two external readers -> 2 writes
+        two_lanes = by_op["extract"][:2]
+        with pytest.raises(ValueError):
+            rebuild_candidate(kernel, two_lanes)

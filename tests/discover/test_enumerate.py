@@ -1,0 +1,123 @@
+"""Subgraph enumeration: convexity, interface limits, canonical dedup."""
+
+import pytest
+
+from repro.discover.enumerate import (
+    Candidate,
+    canonical_digest,
+    classify_io,
+    enumerate_candidates,
+)
+from repro.discover.kernel import KernelBuilder, resolve_kernel
+
+
+def _diamond_kernel():
+    """a -> (b, c) -> d with an op on only one branch: covering {shl, add2}
+    without the mul between them would be non-convex."""
+    build = KernelBuilder("diamond")
+    build.array("A", base=0x1000, data=[3, 5, 7, 9])
+    acc = build.carry("ACC", init=0)
+    x = build.load("A")
+    left = build.shift("shl", x, 1)
+    right = build.mul(x, x)
+    joined = build.add(left, right)
+    build.set_carry("ACC", build.add(acc, joined))
+    build.result("ACC")
+    return build.build(trip_count=4)
+
+
+class TestLegality:
+    def test_every_candidate_is_convex_and_connected(self):
+        kernel = _diamond_kernel()
+        from repro.discover.enumerate import _Analysis
+        analysis = _Analysis(kernel)
+        for candidate in enumerate_candidates(kernel):
+            subset = frozenset(candidate.nodes)
+            assert analysis.is_convex(subset), candidate
+            assert analysis.is_connected(subset), candidate
+
+    def test_interface_limits_hold(self):
+        kernel = resolve_kernel("audio_ml", words=4)
+        for candidate in enumerate_candidates(kernel, max_inputs=2,
+                                              max_outputs=1, max_mem=1):
+            assert len(candidate.inputs) <= 2
+            assert len(candidate.loads) <= 1
+            # exactly one visible effect path: rd, or promoted state
+            assert candidate.output is not None or candidate.carries
+
+    def test_nonconvex_subset_never_emitted(self):
+        kernel = _diamond_kernel()
+        # load (1) and the join add (4) without the shl/mul in between:
+        # both branch ops have an ancestor and a descendant inside.
+        bad = frozenset({1, 4})
+        from repro.discover.enumerate import _Analysis
+        assert not _Analysis(kernel).is_convex(bad)
+        for candidate in enumerate_candidates(kernel):
+            assert frozenset(candidate.nodes) != bad
+
+    def test_max_mem_zero_excludes_loads(self):
+        kernel = resolve_kernel("array_sum", n=8)
+        for candidate in enumerate_candidates(kernel, max_mem=0):
+            assert not candidate.loads
+
+
+class TestClassifyIO:
+    def test_full_cover_promotes_the_accumulator(self):
+        kernel = resolve_kernel("array_sum", n=8)
+        subset = frozenset(n.id for n in kernel.op_nodes())
+        inputs, outputs, promoted, loads = classify_io(kernel, subset)
+        assert promoted == ["ACC"]
+        assert outputs == []        # value lives in custom state
+        assert len(loads) == 1
+
+    def test_promotion_disabled_exposes_register_write(self):
+        kernel = resolve_kernel("array_sum", n=8)
+        subset = frozenset(n.id for n in kernel.op_nodes())
+        inputs, outputs, promoted, loads = classify_io(
+            kernel, subset, promote_state=False)
+        assert promoted == []
+        assert len(outputs) == 1    # unpromoted carry update needs rd
+
+
+class TestCanonicalDedup:
+    def test_audio_lane_macs_collapse_to_one(self):
+        # The audio kernel has four isomorphic (extract, sext) x2 -> mul
+        # lane trees differing only in the extract "lo" position; they
+        # must be priced once.
+        kernel = resolve_kernel("audio_ml", words=4)
+        candidates = enumerate_candidates(kernel)
+        lane_shapes = [c for c in candidates
+                       if {kernel.node_by_id[i].op for i in c.nodes}
+                       == {"extract", "sext", "mul"}]
+        digests = {c.digest for c in lane_shapes}
+        assert len(lane_shapes) == len(digests)
+        # at least the 5-node single-lane MAC exists, deduplicated
+        assert any(c.size == 5 for c in lane_shapes)
+
+    def test_digest_ignores_lane_position(self):
+        kernel = resolve_kernel("audio_ml", words=4)
+        by_op = {}
+        for node in kernel.op_nodes():
+            by_op.setdefault(node.op, []).append(node.id)
+        extracts = sorted(by_op["extract"])
+        # one-node subsets for two different lanes of the same stream
+        same = {
+            canonical_digest(kernel, frozenset({extracts[0]}), [], []),
+            canonical_digest(kernel, frozenset({extracts[1]}), [], []),
+        }
+        assert len(same) == 1
+
+    def test_largest_candidates_rank_first(self):
+        kernel = resolve_kernel("array_sum", n=8)
+        candidates = enumerate_candidates(kernel)
+        sizes = [c.size for c in candidates]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_candidates_are_frozen_records(self):
+        import dataclasses
+
+        kernel = resolve_kernel("array_sum", n=8)
+        candidate = enumerate_candidates(kernel)[0]
+        assert isinstance(candidate, Candidate)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            candidate.digest = "tampered"

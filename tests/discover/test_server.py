@@ -1,0 +1,94 @@
+"""``POST /v1/discover`` and the allow-listed pricing runner."""
+
+import asyncio
+
+from repro.discover.pricing import DISCOVER_RUNNER, DISCOVER_SEARCH_RUNNER
+from repro.server import (
+    CompileServer,
+    CompileServerApp,
+    CompileServerClient,
+    CompileServerError,
+)
+from repro.server.http import DEFAULT_ALLOWED_RUNNERS
+
+
+def run_http(coro_fn, **core_kwargs):
+    core_kwargs.setdefault("backend", "thread")
+
+    async def _body():
+        core = CompileServer(**core_kwargs)
+        app = CompileServerApp(core)
+        host, port = await app.start("127.0.0.1", 0)
+        client = CompileServerClient(f"http://{host}:{port}",
+                                     timeout_s=300.0)
+        try:
+            await coro_fn(client)
+        finally:
+            await app.close(drain=False)
+
+    asyncio.run(_body())
+
+
+def test_discover_runners_are_allow_listed():
+    assert DISCOVER_RUNNER in DEFAULT_ALLOWED_RUNNERS
+    assert DISCOVER_SEARCH_RUNNER in DEFAULT_ALLOWED_RUNNERS
+
+
+def test_discover_route_end_to_end_and_warm_cache():
+    async def body(client):
+        job = await client.discover("array_sum", params={"n": 16},
+                                    budget=4, trials=2, workers=1)
+        assert job["state"] == "ok"
+        report = job["result"]
+        assert report["winner"] is not None
+        assert report["winner"]["speedup"] > 1.0
+        assert report["config"]["kernel"] == "array_sum"
+
+        # identical search -> served from the warm cache tier
+        warm = await client.discover("array_sum", params={"n": 16},
+                                     budget=4, trials=2, workers=1)
+        assert warm["state"] == "ok"
+        assert warm["cached"] == "memory"
+        assert (warm["result"]["winner"]["digest"]
+                == report["winner"]["digest"])
+
+    run_http(body, workers=2)
+
+
+def test_discover_route_validates_payload():
+    async def body(client):
+        # unknown kernel name: submission is accepted, the job fails
+        job = await client.discover("not_a_kernel", budget=1)
+        assert job["state"] == "failed"
+        assert "unknown kernel" in str(job.get("error"))
+        # missing kernel entirely -> 400 from DiscoveryConfig.from_payload
+        try:
+            await client._request("POST", "/v1/discover", {"budget": 2})
+            raise AssertionError("missing kernel must be rejected")
+        except CompileServerError as err:
+            assert err.status == 400
+            assert "kernel" in str(err)
+
+    run_http(body, workers=1)
+
+
+def test_pricing_runner_via_tasks_route():
+    async def body(client):
+        from repro.discover.enumerate import enumerate_candidates
+        from repro.discover.kernel import resolve_kernel
+        from repro.discover.pricing import PricingRequest
+
+        kernel = resolve_kernel("array_sum", n=16)
+        candidate = enumerate_candidates(kernel)[0]
+        request = PricingRequest(kernel="array_sum", params={"n": 16},
+                                 candidate=candidate, fold=False,
+                                 core="VexRiscv", trials=2, seed=0)
+        job = await client.submit_task(
+            runner=DISCOVER_RUNNER, payload=request.payload(),
+            key=request.cache_key(kernel.fingerprint()),
+            label=request.label())
+        assert job["state"] == "ok"
+        assert job["result"]["ok"] is True
+        assert job["result"]["speedup"] > 1.0
+
+    run_http(body, workers=1)

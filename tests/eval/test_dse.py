@@ -89,3 +89,23 @@ class TestExploration:
                          initiation_intervals=(1,))
         assert len(points) == 2
         assert all(p.instruction == "dotp" for p in points)
+
+
+class TestExploreDiscovered:
+    def test_mines_then_sweeps_the_step_instruction(self):
+        from repro.eval.dse import explore_discovered
+
+        report, points = explore_discovered(
+            "array_sum", params={"n": 16}, budget=4, trials=2,
+            cycle_scales=(1.0, 2.0), initiation_intervals=(1,))
+        assert report.winner is not None
+        assert len(points) == 2
+        assert all(p.instruction.endswith("_step") for p in points)
+        assert all(p.area_um2 > 0 for p in points)
+
+    def test_no_winner_raises(self):
+        from repro.eval.dse import explore_discovered
+
+        with pytest.raises(ValueError, match="no verified candidate"):
+            # budget 0 prices nothing, so there can be no winner
+            explore_discovered("array_sum", params={"n": 16}, budget=0)

@@ -90,3 +90,26 @@ def test_oracles_run_on_every_requested_core():
     report = run_oracles(source, cores=("ORCA", "PicoRV32"), trials=1)
     assert report.cores == ("ORCA", "PicoRV32")
     assert report.ok, [str(f) for f in report.failures]
+
+
+def test_discover_oracle_is_opt_in_and_passes():
+    from repro.fuzz.oracles import ALL_ORACLES, DEFAULT_ORACLES
+
+    assert "discover" in ALL_ORACLES
+    assert "discover" not in DEFAULT_ORACLES
+    report = run_oracles(XOR_ISAX, cores=("VexRiscv",), trials=2,
+                         oracles=("compile", "discover"))
+    assert report.ok, [str(f) for f in report.failures]
+
+
+def test_discover_oracle_catches_broken_emitter(monkeypatch):
+    """An emitter that drops a candidate's behaviour must be reported."""
+    from repro.discover import emit as emit_module
+
+    def hollow(kernel, candidate, **kwargs):
+        raise emit_module.EmitError("injected emitter fault")
+
+    monkeypatch.setattr(emit_module, "emit_candidate", hollow)
+    report = run_oracles(XOR_ISAX, cores=("VexRiscv",), trials=1,
+                         oracles=("compile", "discover"))
+    assert any(f.kind == "discover" for f in report.failures)

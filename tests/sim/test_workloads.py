@@ -23,6 +23,24 @@ class TestFitLinear:
         assert slope == pytest.approx(10)
         assert const == pytest.approx(0)
 
+    def test_single_sample_degrades_to_constant(self):
+        slope, const = fit_linear([64], [1202])
+        assert slope == 0.0
+        assert const == pytest.approx(1202)
+
+    def test_identical_ns_degrade_to_mean(self):
+        slope, const = fit_linear([32, 32, 32], [100, 110, 120])
+        assert slope == 0.0
+        assert const == pytest.approx(110)
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError):
+            fit_linear([], [])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            fit_linear([1, 2], [10])
+
 
 class TestArraySum:
     @pytest.fixture(scope="class")
