@@ -32,6 +32,7 @@ from repro.isaxes import ALL_ISAXES
 from repro.opt.pipeline import PASS_ORDER, OptOptions
 from repro.scaiev.cores import CORES, EXPERIMENTAL_CORES, core_datasheet
 from repro.scheduling.problem import ScheduleError
+from repro.sim.compile import SIM_ENGINES
 from repro.utils.diagnostics import CoreDSLError
 
 #: Every targetable host core: the four Table 4 MCUs plus the Section 7
@@ -682,9 +683,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--cosim-seed", type=int, default=0,
                         help="RNG seed for co-simulation stimulus")
     fuzz_p.add_argument("--sim-engine", default="auto",
-                        choices=("auto", "interp", "compiled"),
+                        choices=SIM_ENGINES,
                         help="RTL simulation engine for the cosim oracle "
-                             "(auto = compiled with interpreter fallback)")
+                             "(auto = compiled with interpreter fallback; "
+                             "batched = numpy lane-per-trial)")
     fuzz_p.add_argument("-o", "--out", default="fuzz-out",
                         help="corpus/stats directory (default fuzz-out)")
     fuzz_p.add_argument("--no-reduce", action="store_true",
@@ -715,9 +717,10 @@ def build_parser() -> argparse.ArgumentParser:
     verify_p.add_argument("--vcd-dir", default=None,
                           help="dump a VCD waveform per failing trial here")
     verify_p.add_argument("--sim-engine", default="auto",
-                          choices=("auto", "interp", "compiled"),
+                          choices=SIM_ENGINES,
                           help="RTL simulation engine (auto = compiled "
-                               "with interpreter fallback)")
+                               "with interpreter fallback; batched = "
+                               "numpy lane-per-trial)")
     verify_p.set_defaults(func=_cmd_verify)
 
     datasheet_p = sub.add_parser(

@@ -164,17 +164,21 @@ _BINARY_EVAL: Dict[str, Callable[[int, int, int], int]] = {
     "comb.shrs": _eval_shrs,
 }
 
-_ICMP_EVAL: Dict[str, Callable[[int, int, int], bool]] = {
-    "eq": lambda a, b, w: a == b,
-    "ne": lambda a, b, w: a != b,
-    "ult": lambda a, b, w: a < b,
-    "ule": lambda a, b, w: a <= b,
-    "ugt": lambda a, b, w: a > b,
-    "uge": lambda a, b, w: a >= b,
-    "slt": lambda a, b, w: to_signed(a, w) < to_signed(b, w),
-    "sle": lambda a, b, w: to_signed(a, w) <= to_signed(b, w),
-    "sgt": lambda a, b, w: to_signed(a, w) > to_signed(b, w),
-    "sge": lambda a, b, w: to_signed(a, w) >= to_signed(b, w),
+# Signed predicates sign-extend each operand from its *own* width: verified
+# IR guarantees equal widths, but ops are evaluated before verification too
+# (hand-built netlists, fuzz reducers), and borrowing operand 0's width for
+# operand 1 would silently mis-sign the comparison.
+_ICMP_EVAL: Dict[str, Callable[[int, int, int, int], bool]] = {
+    "eq": lambda a, b, wa, wb: a == b,
+    "ne": lambda a, b, wa, wb: a != b,
+    "ult": lambda a, b, wa, wb: a < b,
+    "ule": lambda a, b, wa, wb: a <= b,
+    "ugt": lambda a, b, wa, wb: a > b,
+    "uge": lambda a, b, wa, wb: a >= b,
+    "slt": lambda a, b, wa, wb: to_signed(a, wa) < to_signed(b, wb),
+    "sle": lambda a, b, wa, wb: to_signed(a, wa) <= to_signed(b, wb),
+    "sgt": lambda a, b, wa, wb: to_signed(a, wa) > to_signed(b, wb),
+    "sge": lambda a, b, wa, wb: to_signed(a, wa) >= to_signed(b, wb),
 }
 
 
@@ -193,7 +197,8 @@ def evaluate(op: Operation, operand_values: List[int]) -> int:
         return to_unsigned(~operand_values[0], width)
     if name == "comb.icmp":
         a, b = operand_values
-        return int(_ICMP_EVAL[op.attr("predicate")](a, b, op.operands[0].width))
+        return int(_ICMP_EVAL[op.attr("predicate")](
+            a, b, op.operands[0].width, op.operands[1].width))
     if name == "comb.mux":
         cond, true_value, false_value = operand_values
         return true_value if cond else false_value

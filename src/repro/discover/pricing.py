@@ -48,8 +48,9 @@ DISCOVER_RUNNER = "repro.discover.pricing:run_pricing_payload"
 DISCOVER_SEARCH_RUNNER = "repro.discover.pricing:run_discover_payload"
 
 #: Part of every pricing cache key; bump when the record shape or the
-#: evaluation pipeline changes.
-_DISCOVER_CACHE_VERSION = "discover-1"
+#: evaluation pipeline changes.  ``discover-2``: cosim gate runs on the
+#: batched simulation engine (lane-per-trial) by default.
+_DISCOVER_CACHE_VERSION = "discover-2"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,6 +65,9 @@ class PricingRequest:
     opt: int = 2
     trials: int = 5
     seed: int = 0
+    #: RTL-simulation engine for the cosim gate; batched evaluates all
+    #: trials of a functionality as lanes of one numpy batch.
+    sim_engine: str = "batched"
 
     def payload(self) -> dict:
         return {
@@ -75,13 +79,15 @@ class PricingRequest:
             "opt": self.opt,
             "trials": self.trials,
             "seed": self.seed,
+            "sim_engine": self.sim_engine,
         }
 
     def cache_key(self, kernel_fingerprint: str) -> str:
         return digest(
             _DISCOVER_CACHE_VERSION, kernel_fingerprint,
             self.candidate.digest, repr(self.fold), self.core,
-            repr(self.opt), repr(self.trials), repr(self.seed))
+            repr(self.opt), repr(self.trials), repr(self.seed),
+            self.sim_engine)
 
     def label(self) -> str:
         fold = "+zol" if self.fold else ""
@@ -117,6 +123,7 @@ def run_pricing_payload(payload: dict) -> dict:
     from repro.analysis.verifier import verify_artifact_ir
     from repro.eval.asic import evaluate_combination
     from repro.hls.longnail import compile_isax
+    from repro.sim.compile import resolve_engine
     from repro.sim.cosim import verify_artifact
 
     kernel = resolve_kernel(payload["kernel"], **payload.get("params", {}))
@@ -126,6 +133,8 @@ def run_pricing_payload(payload: dict) -> dict:
     opt = int(payload.get("opt", 2))
     trials = int(payload.get("trials", 5))
     seed = int(payload.get("seed", 0))
+    sim_engine = str(payload.get("sim_engine", "batched"))
+    resolve_engine(sim_engine)  # reject unknown engines before compiling
 
     record: dict = {
         "kernel": payload["kernel"],
@@ -169,7 +178,11 @@ def run_pricing_payload(payload: dict) -> dict:
         return _failure(record, "irverify",
                         "; ".join(str(d) for d in ir_diagnostics[:3]))
 
-    cosim = verify_artifact(artifact, trials=trials, seed=seed)
+    cosim = verify_artifact(artifact, trials=trials, seed=seed,
+                            sim_engine=sim_engine)
+    record["sim_engine"] = sim_engine
+    record["batched_trials"] = cosim.batched_trials
+    record["scalar_fallbacks"] = cosim.scalar_fallbacks
     if not cosim.passed:
         return _failure(record, "cosim",
                         f"{len(cosim.failures)} mismatching trials")

@@ -19,6 +19,12 @@ two as fixed-corpus spot checks; here they become programmable):
   engines (:mod:`repro.sim.compile`) over the same random stimulus on every
   generated module and require identical output traces, register counts and
   final register state.
+* **batchsim** — the numpy lane-parallel engine
+  (:mod:`repro.sim.batch`) must match the scalar engines byte for byte on
+  every generated module (three-engine ``crosscheck_engines``), and a
+  ``verify_artifact`` run with ``sim_engine="batched"`` — the trials of
+  each functionality evaluated as lanes of one numpy batch — must reach
+  the same PASS verdict as the golden model.
 * **irverify** — run the IR verifier (:mod:`repro.analysis.verifier`) over
   every functionality's lil graph, solved schedule and hardware module;
   any ``IVxxx`` finding on a valid program is a lowering/scheduling bug.
@@ -58,7 +64,8 @@ DEFAULT_CORES: Tuple[str, ...] = ("ORCA", "Piccolo", "PicoRV32", "VexRiscv")
 
 #: The classic oracle stack run when no explicit selection is given.
 DEFAULT_ORACLES: Tuple[str, ...] = (
-    "compile", "schedule", "irverify", "cosim", "simengine", "determinism",
+    "compile", "schedule", "irverify", "cosim", "simengine", "batchsim",
+    "determinism",
 )
 
 #: Every oracle kind, including the opt-in optimizer-equivalence and
@@ -85,7 +92,8 @@ class OracleFailure:
     """One oracle violation; picklable and JSON-able."""
 
     kind: str  # "compile" | "schedule" | "cosim" | "determinism"
-               # | "simengine" | "irverify" | "optequiv" | "discover"
+               # | "simengine" | "batchsim" | "irverify" | "optequiv"
+               # | "discover"
     core: str
     detail: str
 
@@ -271,6 +279,29 @@ def run_oracles(source: str,
                     failures.append(OracleFailure(
                         kind="simengine", core=core,
                         detail=f"{name}: {mismatch}"))
+
+        # Oracle: the batched engine is a drop-in for the scalar ones —
+        # lane-exact on random stimulus, and the whole cosim trial set of
+        # each functionality evaluated as one numpy batch still matches
+        # the golden model.
+        if "batchsim" in selected:
+            for name, functionality in fast.functionalities.items():
+                mismatch = crosscheck_engines(
+                    functionality.module, cycles=max(trials, 8),
+                    seed=cosim_seed,
+                    engines=("interp", "compiled", "batched"))
+                if mismatch is not None:
+                    failures.append(OracleFailure(
+                        kind="batchsim", core=core,
+                        detail=f"{name}: {mismatch}"))
+            batched = verify_artifact(fast, trials=trials, seed=cosim_seed,
+                                      sim_engine="batched")
+            for result in batched.failures:
+                failures.append(OracleFailure(
+                    kind="batchsim", core=core,
+                    detail=f"batched cosim {result.functionality}: "
+                           + "; ".join(f"{m.kind}: {m.detail}"
+                                       for m in result.mismatches)))
 
         # Oracle 5: byte-identical artifacts across two runs.
         if "determinism" in selected:

@@ -126,6 +126,10 @@ class JobRecord:
         self.backoff_seconds = 0.0
         self.result: Optional[dict] = None
         self.error: Optional[str] = None
+        # The only wall-clock read in the record: every trace timestamp
+        # is this anchor plus a monotonic delta, so the event stream and
+        # the latency fields share one clock and can never run backwards
+        # under wall-clock steps (NTP slew, manual adjustment).
         self.submitted_at = time.time()
         self.queue_wait_s: Optional[float] = None
         self.run_s: Optional[float] = None
@@ -141,7 +145,8 @@ class JobRecord:
         return self.state in TERMINAL_STATES
 
     def add_event(self, event: str, **fields: Any) -> None:
-        entry = {"ts": round(time.time(), 6), "event": event}
+        ts = self.submitted_at + (time.monotonic() - self._submit_mono)
+        entry = {"ts": round(ts, 6), "event": event}
         entry.update(fields)
         self.events.append(entry)
         self._wake_waiters()

@@ -46,6 +46,7 @@ from repro.server.core import (
 )
 from repro.opt.pipeline import PASS_ORDER
 from repro.service.jobs import CompileJob
+from repro.sim.compile import SIM_ENGINES
 from repro.utils.diagnostics import CoreDSLError
 
 #: Runner references clients may name on POST /v1/tasks.  Everything else
@@ -350,6 +351,13 @@ class CompileServerApp:
         payload = body.get("payload")
         if not isinstance(payload, dict):
             raise HttpError(400, "'payload' must be a JSON object")
+        engine = payload.get("sim_engine")
+        if engine is not None and engine not in SIM_ENGINES:
+            # Reject unknown engines at the door: a typo'd engine should
+            # die as a 400, not as a failed (and cached) job.
+            raise HttpError(
+                400, f"unknown sim_engine {engine!r}; expected one of "
+                + ", ".join(SIM_ENGINES))
         key = body.get("key")
         if key is not None and (not isinstance(key, str)
                                 or not _KEY_RE.fullmatch(key)):

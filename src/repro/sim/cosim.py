@@ -16,7 +16,13 @@ data).
 
 ``verify_artifact`` runs randomized trials over all functionalities; it is
 what a downstream ISAX author would call before handing the SystemVerilog
-to a real flow.
+to a real flow.  With ``sim_engine="batched"`` the randomized trials of
+each functionality are evaluated together through the numpy lane-parallel
+engine (one lane per trial, :meth:`repro.sim.batch.BatchedSimulator
+.run_const`); functionalities whose datapath reads memory or indexed
+custom registers need the per-trial feedback fixpoint and transparently
+fall back to the scalar path — both populations are counted on the
+report (``batched_trials`` / ``scalar_fallbacks``).
 """
 
 from __future__ import annotations
@@ -81,27 +87,22 @@ def _steady_outputs(functionality: FunctionalityArtifact,
     return outputs
 
 
-def cosim_instruction(artifact: IsaxArtifact, name: str, state: ArchState,
-                      field_values: Dict[str, int],
-                      sim_engine: str = "auto") -> CosimResult:
-    """Co-simulate one instruction against a *copy* of ``state``."""
-    functionality = artifact.artifact(name)
-    isa = artifact.isa
-    encoding = isa.instructions[name].encoding
-    word = encoding.encode(field_values)
+def _fork_state(state: ArchState) -> ArchState:
+    """Snapshot ``state`` for the golden model (which mutates its copy)."""
+    golden = ArchState()
+    golden.xregs = list(state.xregs)
+    golden.pc = state.pc
+    golden.memory = dict(state.memory)
+    golden.custom = {k: list(v) for k, v in state.custom.items()}
+    golden.custom_widths = dict(state.custom_widths)
+    return golden
 
-    # --- golden execution on a snapshot -------------------------------------
-    golden_state = ArchState()
-    golden_state.xregs = list(state.xregs)
-    golden_state.pc = state.pc
-    golden_state.memory = dict(state.memory)
-    golden_state.custom = {k: list(v) for k, v in state.custom.items()}
-    golden_state.custom_widths = dict(state.custom_widths)
-    interp = CoreDSLInterpreter(isa)
-    effects = interp.execute_instruction(golden_state, name, word)
 
-    # --- RTL execution with memory/register read feedback -------------------
-    module = functionality.module
+def _instruction_inputs(module, state: ArchState,
+                        field_values: Dict[str, int],
+                        word: int) -> Dict[str, int]:
+    """Initial RTL input vector for an instruction trial (before any
+    memory/indexed-register read feedback)."""
     rs1 = field_values.get("rs1", 0)
     rs2 = field_values.get("rs2", 0)
     inputs: Dict[str, int] = {}
@@ -120,6 +121,59 @@ def cosim_instruction(artifact: IsaxArtifact, name: str, state: ArchState,
             reg = port.name[2:port.name.index("_data_")]
             if reg in state.custom:
                 inputs[port.name] = state.read_custom(reg)
+    return inputs
+
+
+def _always_inputs(module, state: ArchState) -> Dict[str, int]:
+    """RTL input vector for one always-block evaluation."""
+    inputs: Dict[str, int] = {}
+    for port in module.inputs:
+        if port.name.startswith("pc_data"):
+            inputs[port.name] = state.pc
+        elif port.name.startswith("rd") and "_data_" in port.name:
+            reg = port.name[2:port.name.index("_data_")]
+            if reg in state.custom:
+                inputs[port.name] = state.read_custom(reg)
+    return inputs
+
+
+def _needs_feedback(module) -> bool:
+    """True when the datapath observes read responses that depend on its
+    own outputs: memory loads (``mem_raddr`` -> ``mem_rdata``) or indexed
+    custom-register reads (``rd<REG>_addr`` -> ``rd<REG>_data``).  Such
+    trials need the scalar fixpoint loop; everything else can run as one
+    batched lane with constant inputs."""
+    reads_mem = (
+        any(p.name.startswith("mem_raddr") for p in module.outputs)
+        and any(p.name.startswith("mem_rdata") for p in module.inputs))
+    if reads_mem:
+        return True
+    indexed = {p.name[2:p.name.index("_addr_")]
+               for p in module.outputs
+               if p.name.startswith("rd") and "_addr_" in p.name}
+    return any(
+        p.name.startswith("rd") and "_data_" in p.name
+        and p.name[2:p.name.index("_data_")] in indexed
+        for p in module.inputs)
+
+
+def cosim_instruction(artifact: IsaxArtifact, name: str, state: ArchState,
+                      field_values: Dict[str, int],
+                      sim_engine: str = "auto") -> CosimResult:
+    """Co-simulate one instruction against a *copy* of ``state``."""
+    functionality = artifact.artifact(name)
+    isa = artifact.isa
+    encoding = isa.instructions[name].encoding
+    word = encoding.encode(field_values)
+
+    # --- golden execution on a snapshot -------------------------------------
+    golden_state = _fork_state(state)
+    interp = CoreDSLInterpreter(isa)
+    effects = interp.execute_instruction(golden_state, name, word)
+
+    # --- RTL execution with memory/register read feedback -------------------
+    module = functionality.module
+    inputs = _instruction_inputs(module, state, field_values, word)
 
     outputs = _steady_outputs(functionality, inputs, sim_engine)
     for _round in range(3):
@@ -162,24 +216,12 @@ def cosim_always(artifact: IsaxArtifact, name: str,
     cycle)."""
     functionality = artifact.artifact(name)
     isa = artifact.isa
-    golden_state = ArchState()
-    golden_state.xregs = list(state.xregs)
-    golden_state.pc = state.pc
-    golden_state.memory = dict(state.memory)
-    golden_state.custom = {k: list(v) for k, v in state.custom.items()}
-    golden_state.custom_widths = dict(state.custom_widths)
+    golden_state = _fork_state(state)
     interp = CoreDSLInterpreter(isa)
     effects = interp.execute_always(golden_state, name)
 
     module = functionality.module
-    inputs: Dict[str, int] = {}
-    for port in module.inputs:
-        if port.name.startswith("pc_data"):
-            inputs[port.name] = state.pc
-        elif port.name.startswith("rd") and "_data_" in port.name:
-            reg = port.name[2:port.name.index("_data_")]
-            if reg in state.custom:
-                inputs[port.name] = state.read_custom(reg)
+    inputs = _always_inputs(module, state)
     outputs = RTLSimulator(module, engine=sim_engine).step(inputs)
     return _compare(functionality, effects, outputs, state, golden_state,
                     inputs)
@@ -249,6 +291,60 @@ def _compare(functionality: FunctionalityArtifact, effects: List[Effect],
     )
 
 
+def _cosim_instruction_batch(artifact: IsaxArtifact, name: str,
+                             specs) -> List[CosimResult]:
+    """Run every (state, fields) trial of one instruction as one lane of
+    a single batched steady-state evaluation.  Only valid for datapaths
+    without read feedback (see :func:`_needs_feedback`)."""
+    from repro.sim.batch import BatchedSimulator  # deferred: numpy
+
+    functionality = artifact.artifact(name)
+    isa = artifact.isa
+    encoding = isa.instructions[name].encoding
+    module = functionality.module
+    goldens = []
+    vectors: List[Dict[str, int]] = []
+    for state, fields in specs:
+        word = encoding.encode(fields)
+        golden_state = _fork_state(state)
+        effects = CoreDSLInterpreter(isa).execute_instruction(
+            golden_state, name, word)
+        goldens.append((effects, golden_state))
+        vectors.append(_instruction_inputs(module, state, fields, word))
+    depth = functionality.schedule.makespan + 2
+    outs = BatchedSimulator(module).run_const(vectors, depth)
+    return [
+        _compare(functionality, effects, outputs, state, golden_state,
+                 inputs)
+        for (state, _), (effects, golden_state), inputs, outputs
+        in zip(specs, goldens, vectors, outs)
+    ]
+
+
+def _cosim_always_batch(artifact: IsaxArtifact, name: str,
+                        states) -> List[CosimResult]:
+    """Run every always-block trial as one lane of a single-cycle batch."""
+    from repro.sim.batch import BatchedSimulator  # deferred: numpy
+
+    functionality = artifact.artifact(name)
+    isa = artifact.isa
+    module = functionality.module
+    goldens = []
+    vectors: List[Dict[str, int]] = []
+    for state in states:
+        golden_state = _fork_state(state)
+        effects = CoreDSLInterpreter(isa).execute_always(golden_state, name)
+        goldens.append((effects, golden_state))
+        vectors.append(_always_inputs(module, state))
+    outs = BatchedSimulator(module).run_const(vectors, 1)
+    return [
+        _compare(functionality, effects, outputs, state, golden_state,
+                 inputs)
+        for state, (effects, golden_state), inputs, outputs
+        in zip(states, goldens, vectors, outs)
+    ]
+
+
 @dataclasses.dataclass
 class VerificationReport:
     """Aggregate outcome of :func:`verify_artifact`."""
@@ -262,6 +358,12 @@ class VerificationReport:
     seed: int = 0
     #: VCD waveforms dumped for failing trials (when ``vcd_dir`` was given).
     vcd_paths: List[str] = dataclasses.field(default_factory=list)
+    #: Trials evaluated lane-parallel through the batched engine; only
+    #: populated when ``sim_engine="batched"``.
+    batched_trials: int = 0
+    #: Trials that needed the scalar read-feedback fixpoint and fell back
+    #: to the per-trial path despite ``sim_engine="batched"``.
+    scalar_fallbacks: int = 0
 
     @property
     def passed(self) -> bool:
@@ -269,8 +371,13 @@ class VerificationReport:
 
     def __str__(self) -> str:
         status = "PASS" if self.passed else f"FAIL ({len(self.failures)})"
+        batching = ""
+        if self.batched_trials or self.scalar_fallbacks:
+            batching = (f"{self.batched_trials} batched/"
+                        f"{self.scalar_fallbacks} scalar-fallback, ")
         return (f"co-simulation of '{self.artifact}' on {self.core}: "
-                f"{self.trials} trials, seed={self.seed}, {status}")
+                f"{self.trials} trials, {batching}seed={self.seed}, "
+                f"{status}")
 
 
 def _dump_failure_vcd(functionality: FunctionalityArtifact,
@@ -305,13 +412,29 @@ def verify_artifact(artifact: IsaxArtifact, trials: int = 25,
     mismatch is reproducible from the output alone; with ``vcd_dir`` set,
     each failing trial's waveform is saved as a VCD file there instead of
     being discarded.  ``sim_engine`` selects the RTL simulation engine
-    (``auto``/``interp``/``compiled``, see :mod:`repro.sim.compile`).
+    (``auto``/``interp``/``compiled``/``batched``, see
+    :mod:`repro.sim.compile`).  With ``batched``, each functionality's
+    trials run lane-parallel through one numpy evaluation unless its
+    datapath needs read feedback, in which case they fall back to the
+    scalar per-trial path; the report counts both populations.  Stimuli
+    are drawn in the same RNG order either way, so a seed reproduces the
+    exact trial set regardless of engine.
     """
     rng = random.Random(seed)
     failures: List[CosimResult] = []
     vcd_paths: List[str] = []
     total = 0
+    batched_trials = 0
+    scalar_fallbacks = 0
+    batch = sim_engine == "batched"
     for name, functionality in artifact.functionalities.items():
+        is_instr = functionality.kind == "instruction"
+        encoding = (artifact.isa.instructions[name].encoding
+                    if is_instr else None)
+        # Draw every trial's stimulus upfront, in the exact per-trial
+        # order of the scalar path, so the RNG stream (and therefore the
+        # trial set for a given seed) is engine-independent.
+        specs = []
         for _ in range(trials):
             state = ArchState(artifact.isa)
             for index in range(1, 32):
@@ -322,9 +445,8 @@ def verify_artifact(artifact: IsaxArtifact, trials: int = 25,
                     state.write_custom(reg, rng.getrandbits(32), element)
             for _ in range(64):
                 state.write_mem_byte(rng.getrandbits(32), rng.getrandbits(8))
-            total += 1
-            if functionality.kind == "instruction":
-                encoding = artifact.isa.instructions[name].encoding
+            fields = None
+            if is_instr:
                 fields = {
                     fname: rng.getrandbits(field.width)
                     for fname, field in encoding.fields.items()
@@ -332,11 +454,28 @@ def verify_artifact(artifact: IsaxArtifact, trials: int = 25,
                 for reg_field in ("rs1", "rs2", "rd"):
                     if reg_field in fields:
                         fields[reg_field] = rng.randrange(32)
-                result = cosim_instruction(artifact, name, state, fields,
-                                           sim_engine=sim_engine)
+            specs.append((state, fields))
+        if batch and not _needs_feedback(functionality.module):
+            if is_instr:
+                results = _cosim_instruction_batch(artifact, name, specs)
             else:
-                result = cosim_always(artifact, name, state,
-                                      sim_engine=sim_engine)
+                results = _cosim_always_batch(
+                    artifact, name, [state for state, _ in specs])
+            batched_trials += len(specs)
+        else:
+            if batch:
+                scalar_fallbacks += len(specs)
+            results = []
+            for state, fields in specs:
+                if is_instr:
+                    results.append(cosim_instruction(
+                        artifact, name, state, fields,
+                        sim_engine=sim_engine))
+                else:
+                    results.append(cosim_always(
+                        artifact, name, state, sim_engine=sim_engine))
+        for result in results:
+            total += 1
             if not result.matches:
                 failures.append(result)
                 if vcd_dir is not None:
@@ -352,4 +491,6 @@ def verify_artifact(artifact: IsaxArtifact, trials: int = 25,
         failures=failures,
         seed=seed,
         vcd_paths=vcd_paths,
+        batched_trials=batched_trials,
+        scalar_fallbacks=scalar_fallbacks,
     )

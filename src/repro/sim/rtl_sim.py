@@ -8,20 +8,24 @@ reproduction's equivalent of running the emitted SystemVerilog through a
 commercial simulator, and it backs the co-simulation tests that compare the
 generated hardware against the CoreDSL golden interpreter.
 
-Two engines implement the cycle, selected with ``engine=``:
+Three engines implement the cycle, selected with ``engine=``:
 
 * ``"interp"`` — walks the netlist op by op through
   :func:`repro.dialects.comb.evaluate` (the original, reference engine),
 * ``"compiled"`` — a straight-line Python ``step`` function generated once
   per module by :mod:`repro.sim.compile` (typically >10x faster),
+* ``"batched"`` — the numpy lane-parallel engine
+  (:class:`repro.sim.batch.BatchedSimulator`) driven as a persistent
+  single-lane batch; use :class:`~repro.sim.batch.BatchedSimulator`
+  directly to exploit multi-stimulus batches,
 * ``"auto"`` (default) — the compiled engine, falling back to the
   interpreter if the module contains an op without a compilation rule.
 
-Both engines share the register-first topological schedule, the flat
-register state, and the public ``step``/``run``/``reset``/``output`` API,
-and are held to bit-identical behavior by the standing
-compiled-vs-interpreted differential oracle
-(:func:`repro.sim.compile.crosscheck_engines`).
+All engines share the register-first topological schedule (memoized per
+module by :func:`repro.sim.compile.cached_schedule`), the flat register
+state, and the public ``step``/``run``/``reset``/``output`` API, and are
+held to bit-identical behavior by the standing engine-equivalence
+differential oracle (:func:`repro.sim.compile.crosscheck_engines`).
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.dialects import comb
 from repro.dialects.hw import HWModule
 from repro.ir.core import IRError, Operation, Value
-from repro.sim.compile import compile_module, resolve_engine
+from repro.sim.compile import cached_schedule, compile_module, resolve_engine
 
 
 class RTLSimulator:
@@ -40,7 +44,7 @@ class RTLSimulator:
     def __init__(self, module: HWModule, engine: str = "auto"):
         resolve_engine(engine)
         self.module = module
-        self._order: List[Operation] = self._schedule(module)
+        self._order: List[Operation] = cached_schedule(module)
         self._reg_ops: List[Operation] = [
             op for op in self._order if op.name == "seq.compreg"
         ]
@@ -52,6 +56,12 @@ class RTLSimulator:
         self._last_outputs: Dict[str, int] = {}
         self.cycle = 0
         self._compiled = None
+        self._batched = None
+        if engine == "batched":
+            from repro.sim.batch import BatchedSimulator
+            self._batched = BatchedSimulator(module)
+            self.engine = "batched"
+            return
         if engine == "compiled":
             compiled = compile_module(module, self._order)
         elif engine == "auto":
@@ -108,6 +118,8 @@ class RTLSimulator:
         """Reset all pipeline registers to zero."""
         for index in range(len(self._reg_state)):
             self._reg_state[index] = 0
+        if self._batched is not None:
+            self._batched.reset(1)
         self.cycle = 0
         self._last_outputs = {}
 
@@ -124,7 +136,9 @@ class RTLSimulator:
                 f"unknown input port(s) {unknown} on module "
                 f"'{self.module.name}'"
             )
-        if self._compiled is not None:
+        if self._batched is not None:
+            outputs = self._batched.step(inputs)
+        elif self._compiled is not None:
             outputs = self._compiled.step(inputs, self._reg_state)
         else:
             outputs = self._interp_step(inputs)
@@ -169,10 +183,14 @@ class RTLSimulator:
     def register_state(self) -> Tuple[int, ...]:
         """Current register values, in schedule order (pre-edge values of
         the upcoming cycle)."""
+        if self._batched is not None:
+            return self._batched.register_state()
         return tuple(self._reg_state)
 
     def register_value(self, op: Operation) -> int:
         """Current value of one ``seq.compreg`` operation."""
+        if self._batched is not None:
+            return self._batched.register_state()[self._reg_index[op]]
         return self._reg_state[self._reg_index[op]]
 
     @property

@@ -75,15 +75,16 @@ def test_injected_fault_caught_reduced_deduplicated(tmp_path, monkeypatch):
     result = run_campaign(config)
 
     assert result.failing_seeds == [40, 41]
-    # The broken interpreter xor trips two oracles: cosim (interpreter vs
-    # golden model) and simengine (interpreter vs compiled engine).
+    # The broken interpreter xor trips three oracles: cosim (interpreter
+    # vs golden model), simengine (interpreter vs compiled engine) and
+    # batchsim (interpreter vs the numpy batched engine).
     # Deduplication: both seeds map onto one canonical reproducer per kind.
-    assert len(result.reproducers) == 4
-    assert len(result.new_reproducers) == 2
+    assert len(result.reproducers) == 6
+    assert len(result.new_reproducers) == 3
     corpus = FuzzCorpus(out)
-    assert len(corpus) == 2
+    assert len(corpus) == 3
     kinds = sorted(entry.split("-")[0] for entry in corpus.entries())
-    assert kinds == ["cosim", "simengine"]
+    assert kinds == ["batchsim", "cosim", "simengine"]
     name = next(entry for entry in corpus.entries()
                 if entry.startswith("cosim-"))
 
@@ -98,7 +99,7 @@ def test_injected_fault_caught_reduced_deduplicated(tmp_path, monkeypatch):
 
     stats = json.loads(open(result.stats_path).read())
     assert stats["failing_seeds"] == [40, 41]
-    assert stats["corpus_size"] == 2
+    assert stats["corpus_size"] == 3
 
 
 def test_worker_pool_matches_inline(tmp_path):

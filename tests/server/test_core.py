@@ -396,3 +396,31 @@ class TestRetryAndTrace:
             assert doc["jobs_total"] == 1
 
         run_async(body, workers=1)
+
+    def test_trace_timestamps_survive_wall_clock_steps(self, monkeypatch):
+        """Trace ``ts`` values are the submit-time wall-clock anchor plus
+        a monotonic delta — a wall clock stepping backwards mid-job (NTP,
+        manual adjustment) must never produce a backwards event stream or
+        disagree with the monotonic latency fields."""
+        import repro.server.core as core_module
+
+        anchor = 1_000_000.0
+        wall = {"now": anchor}
+
+        def backwards_clock():
+            value = wall["now"]
+            wall["now"] -= 50.0             # every read jumps backwards
+            return value
+
+        monkeypatch.setattr(core_module.time, "time", backwards_clock)
+        record = core_module.JobRecord(
+            "j0", TaskSpec(runner=ECHO, payload={}), "batch")
+        record.add_event("submitted")
+        record.add_event("queued", depth=1)
+        record.mark_started()
+        record.finalize("ok", result={})
+        stamps = [event["ts"] for event in record.events]
+        assert stamps == sorted(stamps)
+        # Anchored once: every ts sits at/after the submit-time reading.
+        assert all(ts >= anchor for ts in stamps)
+        assert record.total_s is not None and record.total_s >= 0

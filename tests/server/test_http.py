@@ -147,6 +147,14 @@ class TestErrorPaths:
 
             with pytest.raises(CompileServerError) as excinfo:
                 await client._request(
+                    "POST", "/v1/tasks",
+                    {"runner": ECHO,
+                     "payload": {"sim_engine": "verilator"}})
+            assert excinfo.value.status == 400     # unknown sim engine
+            assert "sim_engine" in str(excinfo.value)
+
+            with pytest.raises(CompileServerError) as excinfo:
+                await client._request(
                     "POST", "/v1/compile",
                     {"isax": "dotprod", "cycle_time_ns": "fast"})
             assert excinfo.value.status == 400
