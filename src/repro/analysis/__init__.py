@@ -7,8 +7,25 @@ checks the ``lil``/``comb``/``hw`` graphs and solved schedules that the
 lowering stages produce (``IVxxx`` codes); it runs between pipeline phases
 under ``REPRO_IR_VERIFY=1``, inside the fuzz oracle stack, and on demand
 via ``repro-longnail lint``.
+
+Both tiers, the ``range-narrow`` optimizer pass, and the simulators'
+lane-kind bound selection are backed by one abstract-interpretation
+engine (:mod:`repro.analysis.absint`): interval + known-bits dataflow
+over the CDFG, memoized per module on the netlist digest.
 """
 
+from repro.analysis.absint import (
+    ABSINT_COUNTS,
+    AbsVal,
+    IntRange,
+    RangeFacts,
+    absint_cache_stats,
+    analyze_graph,
+    analyze_module,
+    clear_facts_cache,
+    netlist_digest,
+    slice_source,
+)
 from repro.analysis.lint import (
     LINT_RULES,
     LintContext,
@@ -29,6 +46,16 @@ from repro.analysis.verifier import (
 )
 
 __all__ = [
+    "ABSINT_COUNTS",
+    "AbsVal",
+    "IntRange",
+    "RangeFacts",
+    "absint_cache_stats",
+    "analyze_graph",
+    "analyze_module",
+    "clear_facts_cache",
+    "netlist_digest",
+    "slice_source",
     "LINT_RULES",
     "LintContext",
     "LintRule",

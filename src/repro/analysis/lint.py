@@ -26,7 +26,19 @@ LN008     unreachable-code            statement after return/spawn
 LN009     dead-branch                 branch condition is compile-time constant
 LN010     encoding-overlap            two instructions match the same word
 LN011     encoding-overlap-cross      overlap across ISAXes of one compile job
+LN012     proven-comparison           comparison decided by proven value ranges
+LN013     proven-division-by-zero     divisor's proven range is exactly zero
+LN014     array-index-out-of-range    index's proven range misses the array
+LN015     field-dead-bits             encoding never fills some field bits
 ========  ==========================  ========================================
+
+LN012-LN015 are range rules: they evaluate expressions in the
+mathematical-integer interval domain (:class:`repro.analysis.absint.IntRange`
+— encoding operand fields get their exact decoded range from the
+placement masks, other expressions their type range) and only report
+what is *proven* for every reachable input.  LN015 carries ``note``
+severity: unfilled field bits read as zero, which is well-defined and
+occasionally intentional, so it never gates ``--werror``.
 """
 
 from __future__ import annotations
@@ -44,6 +56,7 @@ from typing import (
     Tuple,
 )
 
+from repro.analysis.absint import IntRange
 from repro.frontend import ast_nodes as ast
 from repro.frontend.elaboration import ElabInstruction, ElaboratedISA, elaborate
 from repro.frontend.typecheck import StateInfo
@@ -181,6 +194,7 @@ class LintContext:
         self._walks: Optional[List[Walk]] = None
         self._accesses: Optional[Tuple[Dict[str, SourceLocation],
                                        Set[str]]] = None
+        self._field_ranges: Dict[str, Dict[str, IntRange]] = {}
 
     def walks(self, include_functions: bool = True) -> List[Walk]:
         if self._walks is None:
@@ -256,6 +270,120 @@ class LintContext:
         return self._accesses
 
 
+    def field_ranges(self, behavior: Behavior) -> Dict[str, IntRange]:
+        """Proven value range per encoding operand field of an instruction
+        behavior (empty for always-blocks and functions).
+
+        The range comes from the *decoded* value, not just the declared
+        width: field bits no encoding slice fills are always zero, so a
+        field assembled from slices ``[4:3]`` and ``[0:0]`` tops out at
+        ``0b11001``, not ``0b11111``."""
+        if behavior.kind != "instruction":
+            return {}
+        cached = self._field_ranges.get(behavior.name)
+        if cached is not None:
+            return cached
+        ranges: Dict[str, IntRange] = {}
+        instruction = self.isa.instructions.get(behavior.name)
+        if instruction is not None:
+            for name, field in instruction.encoding.fields.items():
+                covered = 0
+                for placement in field.placements:
+                    covered |= ((1 << (placement.field_hi + 1)) -
+                                (1 << placement.field_lo))
+                ranges[name] = IntRange(0, covered)
+        self._field_ranges[behavior.name] = ranges
+        return ranges
+
+
+# ---------------------------------------------------------------------------
+# Expression ranges (the AST face of the abstract-interpretation engine)
+# ---------------------------------------------------------------------------
+
+_COMPARISON_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+def _type_range(ctype: object) -> Optional[IntRange]:
+    min_value = getattr(ctype, "min_value", None)
+    max_value = getattr(ctype, "max_value", None)
+    if min_value is None or max_value is None:
+        return None
+    return IntRange(min_value, max_value)
+
+
+def expr_range(expr: Optional[ast.Expr],
+               fields: Dict[str, IntRange]) -> Optional[IntRange]:
+    """Sound mathematical value range of a typed expression.
+
+    Flow-insensitive: encoding operand fields get their decoded range
+    from ``fields``, every other identifier its type range.  CoreDSL
+    operators compute in widened result types, so the recursion only
+    narrows below the type range, never wraps; whenever a computed range
+    escapes the expression's own type range (a container the semantics
+    would truncate into) it is widened back to the full type range.
+    ``None`` means no claim (untyped or unmodelled node).
+    """
+    if expr is None:
+        return None
+    if expr.const_value is not None:
+        return IntRange.const(expr.const_value)
+    type_rng = _type_range(expr.ctype)
+    result: Optional[IntRange] = None
+    if isinstance(expr, ast.Identifier):
+        result = fields.get(expr.name)
+    elif isinstance(expr, ast.BinaryOp) \
+            and expr.lhs is not None and expr.rhs is not None:
+        a = expr_range(expr.lhs, fields)
+        b = expr_range(expr.rhs, fields)
+        if expr.op in _COMPARISON_OPS:
+            result = IntRange(0, 1)
+        elif expr.op in ("&&", "||"):
+            result = IntRange(0, 1)
+        elif a is not None and b is not None:
+            op = expr.op
+            if op == "+":
+                result = a.add(b)
+            elif op == "-":
+                result = a.sub(b)
+            elif op == "*":
+                result = a.mul(b)
+            elif op == "<<":
+                result = a.shl(b)
+            elif op == ">>":
+                result = a.shr(b)
+            elif op == "/" and b.lo > 0 and a.lo >= 0:
+                result = IntRange(a.lo // b.hi, a.hi // b.lo)
+            elif op == "%" and b.lo > 0 and a.lo >= 0:
+                result = IntRange(0, min(a.hi, b.hi - 1))
+            elif op == "&" and a.lo >= 0 and b.lo >= 0:
+                result = IntRange(0, min(a.hi, b.hi))
+            elif op in ("|", "^") and a.lo >= 0 and b.lo >= 0:
+                bits = max(a.hi.bit_length(), b.hi.bit_length())
+                result = IntRange(0, (1 << bits) - 1)
+    elif isinstance(expr, ast.UnaryOp) and expr.operand is not None:
+        a = expr_range(expr.operand, fields)
+        if expr.op == "!":
+            result = IntRange(0, 1)
+        elif expr.op == "-" and a is not None:
+            result = a.neg()
+    elif isinstance(expr, ast.Conditional):
+        a = expr_range(expr.true_value, fields)
+        b = expr_range(expr.false_value, fields)
+        if a is not None and b is not None:
+            result = IntRange(min(a.lo, b.lo), max(a.hi, b.hi))
+    elif isinstance(expr, ast.Cast) and expr.operand is not None:
+        a = expr_range(expr.operand, fields)
+        if a is not None and type_rng is not None \
+                and type_rng.lo <= a.lo and a.hi <= type_rng.hi:
+            result = a          # value-preserving re-encoding
+    if result is None:
+        return type_rng
+    if type_rng is not None \
+            and (result.lo < type_rng.lo or result.hi > type_rng.hi):
+        return type_rng         # truncating container: all bets off
+    return result
+
+
 RuleCheck = Callable[[LintContext], Iterable[Diagnostic]]
 
 
@@ -318,12 +446,15 @@ def _check_implicit_truncation(ctx: LintContext) -> Iterator[Diagnostic]:
 
 
 @lint_rule("LN002", "shift-width", Severity.WARNING,
-           "A constant shift amount greater than or equal to the operand "
-           "width always produces 0 (or the sign fill); almost certainly "
-           "an off-by-one in the shift distance.")
+           "A shift amount — constant, or non-constant with a proven value "
+           "range — that never drops below the operand width always "
+           "produces 0 (or the sign fill); almost certainly an off-by-one "
+           "in the shift distance.  Field-bounded amounts (e.g. a 5-bit "
+           "shamt on a 32-bit operand) stay clean.")
 def _check_shift_width(ctx: LintContext) -> Iterator[Diagnostic]:
     rule = LINT_RULES["LN002"]
     for behavior, _stmts, exprs in ctx.walks():
+        fields = ctx.field_ranges(behavior)
         for expr in exprs:
             if not isinstance(expr, ast.BinaryOp) \
                     or expr.op not in ("<<", ">>"):
@@ -332,12 +463,27 @@ def _check_shift_width(ctx: LintContext) -> Iterator[Diagnostic]:
             if lhs is None or rhs is None or lhs.ctype is None:
                 continue
             amount = rhs.const_value
-            if amount is not None and amount >= lhs.ctype.width:
+            if amount is not None:
+                if amount >= lhs.ctype.width:
+                    yield rule.diagnostic(
+                        f"shift amount {amount} >= operand width "
+                        f"{lhs.ctype.width} in {behavior.kind} "
+                        f"'{behavior.name}'; the result is constant",
+                        expr.loc,
+                    )
+                continue
+            # Non-constant amount: flag only when the proven interval
+            # never drops below the operand width.
+            rng = expr_range(rhs, fields)
+            if rng is not None and rng.lo >= lhs.ctype.width:
                 yield rule.diagnostic(
-                    f"shift amount {amount} >= operand width "
-                    f"{lhs.ctype.width} in {behavior.kind} "
+                    f"shift amount is proven to stay in "
+                    f"[{rng.lo}, {rng.hi}], never below the operand width "
+                    f"{lhs.ctype.width}, in {behavior.kind} "
                     f"'{behavior.name}'; the result is constant",
                     expr.loc,
+                    fix_hint="reduce the shift distance or widen the "
+                             "shifted operand",
                 )
 
 
@@ -570,6 +716,129 @@ def _check_encoding_overlap_cross(ctx: LintContext) -> Iterator[Diagnostic]:
                 if a.loc is not None:
                     diag.with_note(f"'{isa_a}.{a.name}' defined here", a.loc)
                 yield diag
+
+
+@lint_rule("LN012", "proven-comparison", Severity.WARNING,
+           "A comparison whose operands have non-overlapping (or fully "
+           "ordered) proven value ranges is decided at compile time for "
+           "every reachable input; one outcome can never occur.")
+def _check_proven_comparison(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN012"]
+    for behavior, _stmts, exprs in ctx.walks():
+        fields = ctx.field_ranges(behavior)
+        for expr in exprs:
+            if not isinstance(expr, ast.BinaryOp) \
+                    or expr.op not in _COMPARISON_OPS:
+                continue
+            lhs, rhs = expr.lhs, expr.rhs
+            if lhs is None or rhs is None:
+                continue
+            # All-constant comparisons fold upstream (LN009's territory);
+            # a range proof is only news when a side is dynamic.
+            if expr.const_value is not None \
+                    or (lhs.const_value is not None
+                        and rhs.const_value is not None):
+                continue
+            # Mixed-signedness comparisons convert values (LN003 warns);
+            # the mathematical proof below would not match the semantics.
+            if lhs.ctype is None or rhs.ctype is None \
+                    or lhs.ctype.is_signed != rhs.ctype.is_signed:
+                continue
+            a = expr_range(lhs, fields)
+            b = expr_range(rhs, fields)
+            if a is None or b is None:
+                continue
+            decided = a.compare(expr.op, b)
+            if decided is None:
+                continue
+            yield rule.diagnostic(
+                f"comparison '{expr.op}' is always "
+                f"{'true' if decided else 'false'} in {behavior.kind} "
+                f"'{behavior.name}': left side stays in [{a.lo}, {a.hi}], "
+                f"right side in [{b.lo}, {b.hi}]",
+                expr.loc,
+                fix_hint="simplify the condition or fix the compared "
+                         "bound",
+            )
+
+
+@lint_rule("LN013", "proven-division-by-zero", Severity.WARNING,
+           "The divisor's proven value range is exactly zero: every "
+           "execution divides by zero (all-ones result in hardware; "
+           "undefined in C semantics).")
+def _check_proven_division_by_zero(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN013"]
+    for behavior, _stmts, exprs in ctx.walks():
+        fields = ctx.field_ranges(behavior)
+        for expr in exprs:
+            if not isinstance(expr, ast.BinaryOp) \
+                    or expr.op not in ("/", "%"):
+                continue
+            rng = expr_range(expr.rhs, fields)
+            if rng is not None and rng.always_zero():
+                yield rule.diagnostic(
+                    f"divisor of '{expr.op}' is proven to be zero on "
+                    f"every execution in {behavior.kind} "
+                    f"'{behavior.name}'",
+                    expr.loc,
+                )
+
+
+@lint_rule("LN014", "array-index-out-of-range", Severity.WARNING,
+           "The index's proven value range lies entirely beyond a "
+           "register-file or ROM array: every access misses the array "
+           "(reads return 0, writes are dropped).")
+def _check_array_index_range(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN014"]
+    state = ctx.isa.state
+    for behavior, _stmts, exprs in ctx.walks():
+        fields = ctx.field_ranges(behavior)
+        for expr in exprs:
+            if not isinstance(expr, ast.IndexExpr) \
+                    or not isinstance(expr.base, ast.Identifier):
+                continue
+            info = state.get(expr.base.name)
+            if info is None or info.kind not in ("array_reg", "rom") \
+                    or not info.size:
+                continue
+            rng = expr_range(expr.index, fields)
+            if rng is not None and rng.lo >= info.size:
+                yield rule.diagnostic(
+                    f"index into '{info.name}' ({info.size} elements) is "
+                    f"proven to stay in [{rng.lo}, {rng.hi}] in "
+                    f"{behavior.kind} '{behavior.name}'; every access is "
+                    "out of range",
+                    expr.loc,
+                    fix_hint=f"bound the index below {info.size} or grow "
+                             f"'{info.name}'",
+                )
+
+
+@lint_rule("LN015", "field-dead-bits", Severity.NOTE,
+           "An encoding operand field's declared width exceeds the bits "
+           "its encoding slices actually fill; the unfilled bits decode "
+           "as constant zero.  Well-defined — and occasionally intended — "
+           "so this is a note, never a '--werror' gate.")
+def _check_field_dead_bits(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = LINT_RULES["LN015"]
+    for instruction in ctx.isa.instructions.values():
+        for name, field in instruction.encoding.fields.items():
+            covered = 0
+            for placement in field.placements:
+                covered |= ((1 << (placement.field_hi + 1)) -
+                            (1 << placement.field_lo))
+            dead = ((1 << field.width) - 1) & ~covered
+            if dead:
+                dead_bits = [i for i in range(field.width)
+                             if dead & (1 << i)]
+                yield rule.diagnostic(
+                    f"field '{name}' of instruction '{instruction.name}' "
+                    f"is {field.width} bits wide but the encoding never "
+                    f"fills bit{'s' if len(dead_bits) != 1 else ''} "
+                    f"{', '.join(map(str, dead_bits))}; they always "
+                    "decode as 0",
+                    instruction.loc,
+                )
 
 
 # ---------------------------------------------------------------------------

@@ -5,21 +5,25 @@ enforce end-to-end: SSA scoping, per-op structural invariants, constants
 inside their type's range, acyclic combinational dataflow, schedule
 legality (precedence and datasheet windows) and module port wiring.
 Findings are the same structured :class:`~repro.utils.diagnostics.Diagnostic`
-records the frontend linter emits, with ``IVxxx`` codes; all IR-verifier
-findings are errors — a violated invariant means a later stage (or the
-generated RTL) is silently wrong.
+records the frontend linter emits, with ``IVxxx`` codes; structural
+findings (IV001-IV007) are errors — a violated invariant means a later
+stage (or the generated RTL) is silently wrong — while the range checks
+(IV008-IV009, proved by :mod:`repro.analysis.absint`) are warnings:
+the behaviour is well-defined, just almost certainly unintended.
 
-========  =====================  ==========================================
-code      check                  invariant
-========  =====================  ==========================================
-IV001     ssa-def-before-use     every operand is defined in the same graph
-IV002     op-invariant           per-op structural verifier (widths, attrs)
-IV003     constant-range         constant/ROM values fit the element width
-IV004     comb-cycle             dataflow graphs are acyclic
-IV005     schedule-precedence    start times respect dependence edges
-IV006     schedule-window        start times inside [earliest, latest]
-IV007     module-ports           every declared output port is driven
-========  =====================  ==========================================
+========  ========================  =======================================
+code      check                     invariant
+========  ========================  =======================================
+IV001     ssa-def-before-use        every operand defined in the same graph
+IV002     op-invariant              per-op structural verifier (widths, attrs)
+IV003     constant-range            constant/ROM values fit the element width
+IV004     comb-cycle                dataflow graphs are acyclic
+IV005     schedule-precedence       start times respect dependence edges
+IV006     schedule-window           start times inside [earliest, latest]
+IV007     module-ports              every declared output port is driven
+IV008     shift-always-flushed      non-const shift amounts can stay < width
+IV009     rom-index-out-of-range    some ROM index can land inside the table
+========  ========================  =======================================
 
 The pipeline (:func:`repro.hls.longnail.compile_isax`) runs these between
 phases when ``REPRO_IR_VERIFY=1`` (see :func:`ir_verify_enabled`), the
@@ -33,7 +37,7 @@ import dataclasses
 import os
 from typing import TYPE_CHECKING, Dict, Iterator, List, Sequence
 
-from repro.ir.core import Graph, IRError, Operation
+from repro.ir.core import Graph, IRError, Operation, Value
 from repro.utils.bits import mask
 from repro.utils.diagnostics import Diagnostic, Severity
 
@@ -45,14 +49,22 @@ if TYPE_CHECKING:                              # imports used only in hints
 
 @dataclasses.dataclass(frozen=True)
 class IRCheck:
-    """Metadata for one verifier check (mirrors :class:`LintRule`)."""
+    """Metadata for one verifier check (mirrors :class:`LintRule`).
+
+    Structural invariants (IV001-IV007) are errors — a violation means a
+    later stage is silently wrong.  Range findings (IV008-IV009) prove a
+    *well-defined but almost certainly unintended* behaviour from the
+    abstract-interpretation engine, so they carry warning severity and
+    never fail :func:`require_valid` or the fuzz ``irverify`` oracle.
+    """
 
     code: str
     name: str
     description: str
+    severity: Severity = Severity.ERROR
 
     def diagnostic(self, message: str) -> Diagnostic:
-        return Diagnostic(self.code, Severity.ERROR, message, rule=self.name)
+        return Diagnostic(self.code, self.severity, message, rule=self.name)
 
 
 #: Registry: code -> check metadata (consumed by docs and the CLI).
@@ -86,6 +98,16 @@ IR_CHECKS: Dict[str, IRCheck] = {
                 "Every declared output port of a hardware module must be "
                 "driven by exactly one 'hw.output'; undriven ports elide "
                 "logic from the RTL."),
+        IRCheck("IV008", "shift-always-flushed",
+                "A non-constant shift amount whose proven interval never "
+                "drops below the operand width makes the shift always "
+                "produce its flush value; the data operand is dead.",
+                severity=Severity.WARNING),
+        IRCheck("IV009", "rom-index-out-of-range",
+                "A ROM read whose proven index interval lies entirely "
+                "beyond the table reads the out-of-range default (0) on "
+                "every cycle; the table contents are dead.",
+                severity=Severity.WARNING),
     )
 }
 
@@ -198,12 +220,61 @@ def _check_acyclic(graph: Graph) -> Iterator[Diagnostic]:
             "cyclic")
 
 
+_SHIFT_OPS = ("comb.shl", "comb.shru", "comb.shrs")
+
+
+def _is_constant_value(value: Value) -> bool:
+    owner = value.owner
+    return owner is not None and owner.name in ("comb.constant",
+                                                "hwarith.constant")
+
+
+def _check_ranges(graph: Graph) -> Iterator[Diagnostic]:
+    """Range findings proved by the abstract-interpretation engine
+    (IV008-IV009).  Only runs when the graph is structurally sound enough
+    to analyze (acyclic); the structural checks report the rest."""
+    from repro.analysis.absint import analyze_graph
+    try:
+        graph.topological_order()
+    except (IRError, RecursionError):
+        return
+    facts = analyze_graph(graph)
+    shift_check = IR_CHECKS["IV008"]
+    rom_check = IR_CHECKS["IV009"]
+    for index, op in enumerate(graph.operations):
+        if op.name in _SHIFT_OPS and len(op.operands) == 2:
+            amount = op.operands[1]
+            width = op.operands[0].width
+            # Constant amounts are LN002 / constant-folding territory;
+            # this check proves dead *dynamic* shifts.
+            if not _is_constant_value(amount):
+                fact = facts.get(amount)
+                if fact.lo >= width:
+                    flush = ("a sign fill" if op.name == "comb.shrs"
+                             else "0")
+                    yield shift_check.diagnostic(
+                        f"{_op_label(graph, op, index)}: the shift amount "
+                        f"is proven to stay in [{fact.lo}, {fact.hi}], "
+                        f"never below the {width}-bit operand width — the "
+                        f"result is always {flush}")
+        elif op.name == "comb.rom":
+            values = op.attr("values") or []
+            fact = facts.get(op.operands[0])
+            if values and fact.lo >= len(values):
+                yield rom_check.diagnostic(
+                    f"{_op_label(graph, op, index)}: the index is proven "
+                    f"to stay in [{fact.lo}, {fact.hi}], beyond the "
+                    f"{len(values)}-entry table — every read returns 0")
+
+
 def verify_graph(graph: Graph) -> List[Diagnostic]:
-    """Run the structural checks (IV001-IV004) over one dataflow graph."""
+    """Run the structural checks (IV001-IV004) and the range checks
+    (IV008-IV009) over one dataflow graph."""
     diagnostics: List[Diagnostic] = []
     diagnostics.extend(_check_ssa(graph))
     diagnostics.extend(_check_op_invariants(graph))
     diagnostics.extend(_check_acyclic(graph))
+    diagnostics.extend(_check_ranges(graph))
     return diagnostics
 
 

@@ -41,7 +41,8 @@ ALL_CORES = CORES + EXPERIMENTAL_CORES
 
 #: Oracle kinds `fuzz --oracle` accepts ("all" expands to every kind).
 ORACLE_CHOICES = ("compile", "schedule", "irverify", "cosim", "simengine",
-                  "determinism", "optequiv", "discover", "all")
+                  "batchsim", "rangesound", "determinism", "optequiv",
+                  "discover", "all")
 
 
 def _add_opt_arguments(parser: argparse.ArgumentParser) -> None:

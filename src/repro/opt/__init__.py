@@ -5,6 +5,7 @@ deliberately not imported here: it pulls in the simulator and the HLS
 pipeline, which itself imports this package.
 """
 
+from repro.opt.narrow import range_narrow_pass
 from repro.opt.passes import (
     canonicalize_pass,
     cse_pass,
@@ -38,6 +39,7 @@ __all__ = [
     "optimize_graphs",
     "pool_cross_isax",
     "propagate_pass",
+    "range_narrow_pass",
     "share_pass",
     "strength_pass",
 ]

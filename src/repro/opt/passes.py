@@ -16,7 +16,7 @@ The pass order and -O level presets live in :mod:`repro.opt.pipeline`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.ir.core import Graph, Operation, Value
 from repro.ir.passes import (
@@ -461,7 +461,9 @@ def _apply_self_inverse(graph: Graph, op: Operation) -> Optional[str]:
     return "removed" if _simplify_self_inverse(graph, op) else None
 
 
-def _as_rewrite(helper):
+def _as_rewrite(
+        helper: Callable[[Graph, Operation], bool],
+) -> Callable[[Graph, Operation], Optional[str]]:
     def rule(graph: Graph, op: Operation) -> Optional[str]:
         return "rewritten" if helper(graph, op) else None
     return rule

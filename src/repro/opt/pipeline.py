@@ -7,7 +7,7 @@ level   pipeline
 ======  =======================================================
 ``O0``  (nothing — the optimizer is not run)
 ``O1``  canonicalize, propagate, cse, dce
-``O2``  canonicalize, propagate, cse, strength, share, dce
+``O2``  canonicalize, propagate, cse, strength, range-narrow, share, dce
 ======  =======================================================
 
 Individual passes toggle via ``--opt-pass NAME`` / ``--no-opt-pass NAME``
@@ -31,6 +31,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.verifier import require_valid, verify_graph
 from repro.ir.core import Graph
+from repro.opt.narrow import range_narrow_pass
 from repro.opt.passes import (
     canonicalize_pass,
     cse_pass,
@@ -41,14 +42,19 @@ from repro.opt.passes import (
 )
 from repro.opt.share import pool_cross_isax
 
-#: Every pass, in pipeline order.
-PASS_ORDER = ("canonicalize", "propagate", "cse", "strength", "share", "dce")
+#: Every pass, in pipeline order.  ``range-narrow`` runs after ``strength``
+#: (its singleton-operand pinning feeds the constant-shift and div/mod
+#: folders on the next round) and before ``share`` (narrowed graphs expose
+#: more mutually exclusive arms to mux-pushing).
+PASS_ORDER = ("canonicalize", "propagate", "cse", "strength",
+              "range-narrow", "share", "dce")
 
 _PASS_FUNCS = {
     "canonicalize": canonicalize_pass,
     "propagate": propagate_pass,
     "cse": cse_pass,
     "strength": strength_pass,
+    "range-narrow": range_narrow_pass,
     "share": share_pass,
     "dce": dce_pass,
 }

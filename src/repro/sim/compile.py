@@ -42,6 +42,7 @@ import threading
 import weakref
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.absint import RangeFacts, analyze_module, slice_source
 from repro.dialects import comb
 from repro.dialects.hw import HWModule
 from repro.ir.core import IRError, Operation
@@ -417,7 +418,8 @@ class _BatchEmitter:
     """Codegen state for one ``step_batch``: SSA-value registry with lane
     kind + clean flag, cached lane conversions, and hoisted constants."""
 
-    def __init__(self, module: HWModule, np, helpers: Dict[str, object]):
+    def __init__(self, module: HWModule, np, helpers: Dict[str, object],
+                 facts: RangeFacts):
         self.module = module
         self.np = np
         self.lines: List[str] = []
@@ -428,10 +430,11 @@ class _BatchEmitter:
         self.registry: Dict[object, List] = {}
         # Value -> known compile-time constant (masked int), for folding.
         self.consts: Dict[object, int] = {}
-        # Value -> upper bound on the true (masked) value; absent entries
-        # default to the full type-width mask.  Bounds let >64-bit values
-        # whose range provably fits uint64 stay off the object lanes.
-        self.bounds: Dict[object, int] = {}
+        # Per-value range facts from the shared abstract-interpretation
+        # engine (repro.analysis.absint), memoized per module on the
+        # netlist digest.  Bounds let >64-bit values whose range provably
+        # fits uint64 stay off the object lanes.
+        self.facts = facts
         self._aux: Dict[Tuple[str, str], str] = {}
         self._serial = 0
 
@@ -469,8 +472,6 @@ class _BatchEmitter:
         self.registry[op.result] = self._entry(value)
         if value in self.consts:
             self.consts[op.result] = self.consts[value]
-        if value in self.bounds:
-            self.bounds[op.result] = self.bounds[value]
 
     def kind_of(self, value) -> str:
         """Lane kind the value is currently stored in."""
@@ -538,50 +539,10 @@ class _BatchEmitter:
         return bool(entry[2])
 
 
-def _slice_source(value, low: int, width: int):
-    """Resolve ``value[low +: width]`` through bit-plumbing producers.
-
-    Extract-of-extract composes offsets; a slice fully contained in one
-    ``comb.concat`` operand (or one ``comb.replicate`` chunk) forwards to
-    that operand directly.  Netlists spend most of their ops assembling
-    wide words from narrow pieces and slicing them back apart — forwarding
-    lets the batch engine read the pieces themselves, and (via liveness on
-    the *resolved* operands) never materialize the wide word at all.  This
-    is what keeps >64-bit concat/extract round trips off the slow
-    object-dtype lanes.
-    """
-    while True:
-        owner = value.owner
-        if owner is None:
-            return value, low
-        name = owner.name
-        if name == "comb.extract":
-            low += owner.attr("low")
-            value = owner.operands[0]
-            continue
-        if name == "comb.concat":
-            # Operands are MSB-first; walk from the LSB end.
-            offset = 0
-            forwarded = None
-            for operand in reversed(owner.operands):
-                top = offset + operand.width
-                if low + width <= top:
-                    if low >= offset:
-                        forwarded = (operand, low - offset)
-                    break
-                offset = top
-            if forwarded is None:
-                return value, low  # slice spans an operand boundary
-            value, low = forwarded
-            continue
-        if name == "comb.replicate":
-            chunk = owner.operands[0].width
-            if (low % chunk) + width <= chunk:
-                value = owner.operands[0]
-                low %= chunk
-                continue
-            return value, low
-        return value, low
+#: Slice forwarding through bit-plumbing producers lives in the shared
+#: analysis module (:func:`repro.analysis.absint.slice_source`) so the
+#: batch codegen and the range engine resolve slices identically.
+_slice_source = slice_source
 
 
 def _live_operands(op: Operation):
@@ -600,6 +561,7 @@ def _codegen_batch(module: HWModule,
     from repro.sim import batch as _bh
 
     CODEGEN_COUNTS["batched"] += 1
+    facts = analyze_module(module)
     emitter = _BatchEmitter(module, np, {
         "np": np,
         "_u64": np.uint64,
@@ -617,7 +579,7 @@ def _codegen_batch(module: HWModule,
         "_rom": _bh.b_rom_take,
         "_lift": _bh.lift_object,
         "_lower": _bh.lower_uint64,
-    })
+    }, facts)
 
     output_exprs: List[str] = []
     output_names: List[str] = []
@@ -716,9 +678,9 @@ _NATIVE_LIMIT = 1 << BATCH_NATIVE_WIDTH
 
 
 def _bound(e: _BatchEmitter, value) -> int:
-    """Upper bound on the value's true (masked) magnitude."""
-    b = e.bounds.get(value)
-    return mask(value.width) if b is None else b
+    """Upper bound on the value's true (masked) magnitude, from the
+    shared abstract-interpretation engine's per-value facts."""
+    return e.facts.hi(value)
 
 
 def _define_const(e: _BatchEmitter, op: Operation, value: int) -> None:
@@ -740,7 +702,6 @@ def _define_const(e: _BatchEmitter, op: Operation, value: int) -> None:
         name = e.const(np.array(value, dtype=object), "c")
     e.registry[op.result] = [name, rk, True]
     e.consts[op.result] = value
-    e.bounds[op.result] = value
 
 
 def _batch_expression(op: Operation, e: _BatchEmitter) -> None:
@@ -748,7 +709,7 @@ def _batch_expression(op: Operation, e: _BatchEmitter) -> None:
 
     Lane selection is range-driven: ``i1`` rides bool lanes; any other
     value rides uint64 lanes unless both its type width exceeds 64 *and*
-    its value-range bound (:attr:`_BatchEmitter.bounds`) can reach 2^64 —
+    its value-range bound (the absint engine's ``facts.hi``) can reach 2^64 —
     only then does it fall back to the object-dtype lanes.  A wide value
     stored in a uint64 lane is always exact (clean) by construction.
     """
@@ -807,7 +768,6 @@ def _batch_expression(op: Operation, e: _BatchEmitter) -> None:
                 and e.is_clean(op.operands[0], "u")
                 and e.is_clean(op.operands[1], "u"))
         e.define(op, lane, clean, f"({a} {sign} {b})")
-        e.bounds[op.result] = min(beta, wmask)
         return
 
     if kind in ("comb.and", "comb.or", "comb.xor"):
@@ -841,7 +801,6 @@ def _batch_expression(op: Operation, e: _BatchEmitter) -> None:
         else:
             clean = clean_a and clean_b
         e.define(op, lane, clean, f"({a} {sign} {b})")
-        e.bounds[op.result] = min(beta, wmask)
         return
 
     if kind == "comb.not":
@@ -864,9 +823,6 @@ def _batch_expression(op: Operation, e: _BatchEmitter) -> None:
         b = e.get(op.operands[1], kind=lane, clean=True)
         e.define(op, lane, True,
                  f"{helper}({a}, {b}, {e.mask_const(width, lane)})")
-        if kind == "comb.modu":
-            # a % b <= a, and % 0 yields a.
-            e.bounds[op.result] = _bound(e, op.operands[0])
         return
 
     if kind in ("comb.divs", "comb.mods", "comb.shrs", "comb.shl",
@@ -880,8 +836,6 @@ def _batch_expression(op: Operation, e: _BatchEmitter) -> None:
         e.define(op, lane, True,
                  f"{helper}({a}, {b}, {width}, "
                  f"{e.mask_const(width, lane)})")
-        if kind == "comb.shru":
-            e.bounds[op.result] = _bound(e, op.operands[0])
         return
 
     if kind == "comb.icmp":
@@ -946,7 +900,6 @@ def _batch_expression(op: Operation, e: _BatchEmitter) -> None:
         t = e.get(op.operands[1], kind=lane, clean=wide_u)
         f = e.get(op.operands[2], kind=lane, clean=wide_u)
         e.define(op, lane, clean, f"np.where({cond}, {t}, {f})")
-        e.bounds[op.result] = beta
         return
 
     if kind == "comb.extract":
@@ -999,7 +952,6 @@ def _batch_expression(op: Operation, e: _BatchEmitter) -> None:
             e.define(op, want_lane, True,
                      f"_lower({expr})" if src_lane == "o"
                      else f"_lift({expr})")
-        e.bounds[op.result] = beta
         return
 
     if kind == "comb.concat":
@@ -1024,7 +976,6 @@ def _batch_expression(op: Operation, e: _BatchEmitter) -> None:
             _define_const(e, op, 0)
             return
         e.define(op, lane, True, out)
-        e.bounds[op.result] = min(beta, wmask)
         return
 
     if kind == "comb.replicate":
@@ -1039,7 +990,6 @@ def _batch_expression(op: Operation, e: _BatchEmitter) -> None:
         n = e.get(op.operands[0], kind=lane, clean=True)
         rep = e.const(np.uint64(repunit) if lane == "u" else repunit, "r")
         e.define(op, lane, True, f"({n} * {rep})")
-        e.bounds[op.result] = beta
         return
 
     if kind == "comb.rom":
@@ -1054,7 +1004,6 @@ def _batch_expression(op: Operation, e: _BatchEmitter) -> None:
         idx = e.get(idx_src, kind=("u" if idx_kind == "b" else idx_kind),
                     clean=True)
         e.define(op, lane, True, f"_rom({table}, {idx})")
-        e.bounds[op.result] = beta
         return
 
     raise IRError(f"no batch compilation rule for '{kind}'")

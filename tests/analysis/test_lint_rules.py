@@ -10,6 +10,7 @@ from repro.analysis.lint import (
 )
 from repro.frontend.elaboration import elaborate
 from repro.isaxes import ALL_ISAXES
+from repro.utils.diagnostics import Severity
 
 
 def isax(body: str, name: str = "X_TEST") -> str:
@@ -37,7 +38,7 @@ def codes(source: str, **kwargs):
 class TestRegistry:
     def test_all_rules_registered_in_order(self):
         assert sorted(LINT_RULES) == list(LINT_RULES)
-        assert set(LINT_RULES) == {f"LN{n:03d}" for n in range(1, 12)}
+        assert set(LINT_RULES) == {f"LN{n:03d}" for n in range(1, 16)}
 
     def test_every_rule_has_description(self):
         for rule in LINT_RULES.values():
@@ -68,6 +69,21 @@ class TestShiftWidth:
     def test_negative_dynamic_shift_amount(self):
         src = isax(instr(
             "X[rd] = (unsigned<32>) (X[rs1] << X[rs2][4:0]);"))
+        assert "LN002" not in codes(src)
+
+
+class TestShiftWidthProvenRange:
+    """LN002's range upgrade: non-constant amounts with a proven range."""
+
+    def test_positive_proven_overshift(self):
+        # rs2 decodes to [0, 31]; +32 keeps the amount >= the width.
+        src = isax(instr(
+            "X[rd] = (unsigned<32>)(X[rs1] << (rs2 + 32));"))
+        assert "LN002" in codes(src)
+
+    def test_negative_field_bounded_amount(self):
+        # A raw 5-bit shamt tops out at 31 < 32: stays clean.
+        src = isax(instr("X[rd] = (unsigned<32>)(X[rs1] << rs2);"))
         assert "LN002" not in codes(src)
 
 
@@ -264,6 +280,92 @@ class TestEncodingOverlapCross:
         isas = [elaborate(src, filename=f"{name}.core_desc")
                 for name, src in sorted(ALL_ISAXES.items())]
         assert lint_cross_isa(isas) == []
+
+
+class TestProvenComparison:
+    def test_positive_field_vs_constant(self):
+        # rs1 decodes to [0, 31]: never above 40.
+        src = isax(instr("if (rs1 > 40) X[rd] = 1; else X[rd] = 0;"))
+        assert "LN012" in codes(src)
+
+    def test_positive_disjoint_field_windows(self):
+        src = isax(instr(
+            "if ((rs1 + 1) > (rs2 + 40)) X[rd] = 1; else X[rd] = 0;"))
+        assert "LN012" in codes(src)
+
+    def test_negative_overlapping_ranges(self):
+        src = isax(instr("if (rs1 > rs2) X[rd] = 1; else X[rd] = 0;"))
+        assert "LN012" not in codes(src)
+
+    def test_negative_mixed_signedness_is_ln003_territory(self):
+        # The mathematical proof would not match converted semantics;
+        # LN003 owns mixed-signedness compares.
+        src = isax(instr(
+            "if ((signed<6>)rs1 > (rs2 + 40)) X[rd] = 1; else X[rd] = 0;"
+            " X[rd] = X[rs2];"))
+        found = codes(src)
+        assert "LN012" not in found
+        assert "LN003" in found
+
+
+class TestProvenDivisionByZero:
+    def test_positive_masked_to_zero_divisor(self):
+        src = isax(instr("X[rd] = X[rs1] / (rs2 & 0x0);"))
+        assert "LN013" in codes(src)
+
+    def test_positive_modulo(self):
+        src = isax(instr("X[rd] = X[rs1] % (rs2 & 0x0);"))
+        assert "LN013" in codes(src)
+
+    def test_negative_divisor_proven_positive(self):
+        src = isax(instr("X[rd] = X[rs1] / (rs2 + 1);"))
+        assert "LN013" not in codes(src)
+
+
+class TestArrayIndexOutOfRange:
+    def test_positive_index_proven_past_array(self):
+        # rs1 + 8 stays in [8, 39]; ACC has 4 elements.
+        src = isax(
+            "  architectural_state { register unsigned<32> ACC[4]; }\n"
+            + instr("X[rd] = ACC[rs1 + 8];"))
+        assert "LN014" in codes(src)
+
+    def test_negative_masked_index(self):
+        src = isax(
+            "  architectural_state { register unsigned<32> ACC[4]; }\n"
+            + instr("X[rd] = ACC[rs1 & 0x3]; ACC[rs2 & 0x3] = X[rs1];"))
+        assert "LN014" not in codes(src)
+
+
+class TestFieldDeadBits:
+    DEAD = """
+  instructions {
+    t {
+        encoding: 7'd0 :: imm[4:1] :: 1'b0 :: rs1[4:0] :: 3'd1 :: rd[4:0]
+                  :: 7'b0001011;
+        behavior: { X[rd] = (unsigned<32>)(X[rs1] + imm); }
+    }
+  }
+"""
+    FULL = """
+  instructions {
+    t {
+        encoding: 7'd0 :: imm[4:0] :: rs1[4:0] :: 3'd1 :: rd[4:0]
+                  :: 7'b0001011;
+        behavior: { X[rd] = (unsigned<32>)(X[rs1] + imm); }
+    }
+  }
+"""
+
+    def test_positive_unfilled_bit_reported_as_note(self):
+        _isa, diagnostics = lint_source(isax(self.DEAD))
+        found = [d for d in diagnostics if d.code == "LN015"]
+        assert len(found) == 1
+        assert found[0].severity is Severity.NOTE
+        assert "bit 0" in found[0].message
+
+    def test_negative_fully_covered_field(self):
+        assert "LN015" not in codes(isax(self.FULL))
 
 
 class TestRuleSelection:

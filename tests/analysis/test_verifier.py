@@ -33,7 +33,7 @@ def codes(diagnostics):
 
 class TestRegistry:
     def test_all_checks_present(self):
-        assert set(IR_CHECKS) == {f"IV{n:03d}" for n in range(1, 8)}
+        assert set(IR_CHECKS) == {f"IV{n:03d}" for n in range(1, 10)}
         for check in IR_CHECKS.values():
             assert check.description
 
@@ -189,6 +189,72 @@ class TestModulePorts:
         a = module.add_input("a", 8)
         module.add_output("out", a)
         assert verify_module(module) == []
+
+
+class TestShiftAlwaysFlushed:
+    def _shift(self, amount_bits):
+        graph, builder = make_graph()
+        data = builder.constant(1, 8)
+        # Non-constant amount (comb.or owner) with a proven interval.
+        amount = builder.create(
+            "comb.or",
+            [builder.constant(amount_bits, 8), builder.constant(0, 8)],
+            [(8, None)])
+        builder.create("comb.shl", [data, amount.result], [(8, None)])
+        return graph
+
+    def test_positive_amount_proven_at_or_above_width(self):
+        found = verify_graph(self._shift(12))
+        assert codes(found) == ["IV008"]
+        assert found[0].severity is Severity.WARNING
+        assert "[12, 12]" in found[0].message
+
+    def test_negative_amount_can_stay_below_width(self):
+        assert verify_graph(self._shift(2)) == []
+
+    def test_negative_constant_amount_is_not_iv008(self):
+        # Constant flushes are LN002 / fold territory, not this check.
+        graph, builder = make_graph()
+        data = builder.constant(1, 8)
+        builder.create("comb.shl", [data, builder.constant(12, 8)],
+                       [(8, None)])
+        assert "IV008" not in codes(verify_graph(graph))
+
+
+class TestRomIndexOutOfRange:
+    def _rom(self, index_bits):
+        graph, builder = make_graph()
+        index = builder.create(
+            "comb.or",
+            [builder.constant(index_bits, 3), builder.constant(0, 3)],
+            [(3, None)])
+        builder.create("comb.rom", [index.result], [(8, None)],
+                       {"values": [1, 2, 3, 4]})
+        return graph
+
+    def test_positive_index_proven_past_table(self):
+        found = verify_graph(self._rom(4))
+        assert codes(found) == ["IV009"]
+        assert found[0].severity is Severity.WARNING
+        assert "4-entry" in found[0].message
+
+    def test_negative_index_can_hit_table(self):
+        assert verify_graph(self._rom(2)) == []
+
+
+class TestRangeFindingsNeverFailRequireValid:
+    def test_warning_findings_pass(self):
+        # IV008/IV009 are warnings: require_valid must not raise on them.
+        graph, builder = make_graph()
+        data = builder.constant(1, 8)
+        amount = builder.create(
+            "comb.or",
+            [builder.constant(12, 8), builder.constant(0, 8)],
+            [(8, None)])
+        builder.create("comb.shl", [data, amount.result], [(8, None)])
+        found = verify_graph(graph)
+        assert codes(found) == ["IV008"]
+        require_valid("test:range", found)
 
 
 class TestRequireValid:

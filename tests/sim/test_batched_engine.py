@@ -193,6 +193,40 @@ def test_rom_out_of_range_reads_zero():
         assert out["r"] == expect
 
 
+def test_wide_value_with_proven_small_bound_rides_uint64_lanes():
+    """The absint facts keep a 96-bit sum on native uint64 lanes when the
+    operands are provably narrow — and the values still come out right."""
+    from repro.sim.compile import compile_module_batch
+
+    def build(masked):
+        label = "masked" if masked else "raw"
+        module = HWModule(f"wide_bound_{label}")
+        a = module.add_input("a", 96)
+        if masked:
+            m = Operation("comb.constant", [], [(96, None)],
+                          {"value": 0xFF})
+            module.body.append(m)
+            narrow = Operation("comb.and", [a, m.result], [(96, None)])
+            module.body.append(narrow)
+            a = narrow.result
+        total = Operation("comb.add", [a, a], [(96, None)])
+        module.body.append(total)
+        module.add_output("r", total.result)
+        return module
+
+    bounded = compile_module_batch(build(masked=True))
+    unbounded = compile_module_batch(build(masked=False))
+    # hi(a & 0xFF) = 255, so the sum is bounded by 510: uint64 lanes.
+    assert bounded.output_kinds == ["u"]
+    # Without the mask the 96-bit sum needs exact object lanes.
+    assert unbounded.output_kinds == ["o"]
+
+    stimulus = [{"a": v} for v in (0, 0xFF, (1 << 96) - 1, 0x1234567890)]
+    trace = engines_agree(build(masked=True), stimulus)
+    for vector, out in zip(stimulus, trace):
+        assert out["r"] == 2 * (vector["a"] & 0xFF)
+
+
 def test_multi_lane_traces_match_scalar_runs():
     """Distinct stimuli on every lane of one batch reproduce, bit for
     bit, the trace and final register state of one scalar run per

@@ -127,6 +127,28 @@ InstructionSet X_WARNY extends RV32I {
     def test_werror_fails_on_warnings(self, warny_file, capsys):
         assert main(["lint", str(warny_file), "--werror"]) == 1
 
+    NOTEY = '''
+import "RV32I.core_desc"
+InstructionSet X_NOTEY extends RV32I {
+  instructions {
+    notey {
+        encoding: 7'd0 :: imm[4:1] :: 1'b0 :: rs1[4:0] :: 3'd1 :: rd[4:0]
+                  :: 7'b0001011;
+        behavior: { X[rd] = (unsigned<32>)(X[rs1] + imm); }
+    }
+  }
+}
+'''
+
+    def test_note_findings_never_gate_werror(self, tmp_path, capsys):
+        # LN015 carries NOTE severity: reported, but --werror stays green.
+        path = tmp_path / "notey.core_desc"
+        path.write_text(self.NOTEY, encoding="utf-8")
+        rc = main(["lint", str(path), "--werror"])
+        out = capsys.readouterr().out
+        assert "[LN015]" in out
+        assert rc == 0
+
     def test_disable_silences_rule(self, warny_file, capsys):
         rc = main(["lint", str(warny_file), "--disable", "LN005",
                    "--werror"])
